@@ -1,0 +1,82 @@
+// Command ssbench regenerates every experiment table of the
+// reproduction (E1–E8, see DESIGN.md §5 and EXPERIMENTS.md): one table
+// per claim-level figure of the paper.
+//
+// Usage:
+//
+//	ssbench [-quick] [-seed N] [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"silentspan/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller sweeps (seconds instead of minutes)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	flag.Parse()
+
+	type experiment struct {
+		name string
+		run  func() (*bench.Table, error)
+	}
+
+	e1n := []int{16, 32, 64, 128, 256}
+	e2n := []int{16, 32, 64, 128, 256, 512}
+	e3n := []int{16, 24, 32, 48, 64}
+	e4n := []int{10, 14, 18, 24}
+	e5n := []int{8, 12, 16, 20}
+	e6n := []int{5, 6, 7, 8}
+	e7f := []int{1, 2, 4, 8, 16}
+	e7n, e8n := 32, 16
+	a1n := []int{16, 32, 64}
+	if *quick {
+		a1n = []int{12, 24}
+		e1n = []int{16, 32, 64}
+		e2n = []int{16, 64, 256}
+		e3n = []int{12, 20, 28}
+		e4n = []int{10, 14}
+		e5n = []int{8, 12}
+		e6n = []int{5, 6, 7}
+		e7f = []int{1, 2, 4}
+		e7n, e8n = 20, 14
+	}
+
+	experiments := []experiment{
+		{"E1", func() (*bench.Table, error) { return bench.E1Switch(e1n, *seed) }},
+		{"E2", func() (*bench.Table, error) { return bench.E2NCA(e2n, *seed) }},
+		{"E3", func() (*bench.Table, error) { return bench.E3BFS(e3n, *seed) }},
+		{"E4", func() (*bench.Table, error) { return bench.E4MST(e4n, *seed) }},
+		{"E5", func() (*bench.Table, error) { return bench.E5MDST(e5n, *seed) }},
+		{"E6", func() (*bench.Table, error) { return bench.E6Verification(e6n, *seed) }},
+		{"E7", func() (*bench.Table, error) { return bench.E7FaultRecovery(e7n, e7f, *seed) }},
+		{"E8", func() (*bench.Table, error) { return bench.E8Potential(e8n, *seed) }},
+		{"A1", func() (*bench.Table, error) { return bench.A1Malleability(a1n, *seed) }},
+		{"A2", func() (*bench.Table, error) { return bench.A2NCAEncoding(e2n, *seed) }},
+		{"A3", func() (*bench.Table, error) { return bench.A3Schedulers(e8n, *seed) }},
+		{"A4", func() (*bench.Table, error) { return bench.A4Families(*seed) }},
+	}
+
+	failed := false
+	for _, e := range experiments {
+		if *only != "" && !strings.EqualFold(*only, e.name) {
+			continue
+		}
+		tb, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.name, err)
+			failed = true
+			continue
+		}
+		tb.Fprint(os.Stdout)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,217 @@
+// Command sstsim runs one self-stabilization simulation: pick an
+// algorithm, a graph family, and a scheduler; start from an arbitrary
+// (adversarial) configuration; watch the system converge to a silent
+// legal configuration; optionally inject faults and watch it recover.
+//
+// Usage examples:
+//
+//	sstsim -alg bfs -graph random:40:0.1 -sched adversarial -faults 5
+//	sstsim -alg mst -graph geometric:24:0.35
+//	sstsim -alg mdst -graph lollipop:6:8 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"silentspan/internal/bfs"
+	"silentspan/internal/core"
+	"silentspan/internal/graph"
+	"silentspan/internal/mdst"
+	"silentspan/internal/mst"
+	"silentspan/internal/runtime"
+	"silentspan/internal/spanning"
+	"silentspan/internal/switching"
+	"silentspan/internal/trees"
+)
+
+func main() {
+	algName := flag.String("alg", "bfs", "algorithm: spanning | switching | bfs | mst | mdst")
+	graphSpec := flag.String("graph", "random:30:0.15", "graph: ring:n | path:n | grid:r:c | complete:n | star:n | lollipop:k:t | random:n:p | geometric:n:r")
+	schedName := flag.String("sched", "central", "scheduler: central | synchronous | adversarial | roundrobin | random")
+	seed := flag.Int64("seed", 1, "random seed")
+	faults := flag.Int("faults", 0, "registers to corrupt after stabilization (rule-based algorithms)")
+	maxMoves := flag.Int("maxmoves", 10_000_000, "move budget")
+	flag.Parse()
+
+	g, err := parseGraph(*graphSpec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	fmt.Printf("graph: %s (n=%d, m=%d)\n", *graphSpec, g.N(), g.M())
+
+	switch *algName {
+	case "mst", "mdst":
+		runEngine(*algName, g, rng)
+	case "spanning", "switching", "bfs":
+		runRules(*algName, g, *schedName, rng, *faults, *maxMoves)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algName))
+	}
+}
+
+func runEngine(name string, g *graph.Graph, rng *rand.Rand) {
+	var task core.Task
+	switch name {
+	case "mst":
+		task = mst.Task{}
+	case "mdst":
+		task = mdst.Task{}
+	}
+	final, trace, err := core.RunDistributed(g, task, core.EngineOptions{Rng: rng})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stabilized: rounds=%d moves=%d improvements=%d\n",
+		trace.Rounds, trace.Moves, trace.Improvements)
+	fmt.Printf("registers: substrate=%d bits, task labels=%d bits\n",
+		trace.MaxRegisterBits, trace.MaxLabelBits)
+	fmt.Printf("potential trajectory: %v\n", trace.Potentials)
+	switch name {
+	case "mst":
+		exact, err := mst.IsMST(final, g)
+		if err != nil {
+			fatal(err)
+		}
+		w, _ := final.Weight(g)
+		fmt.Printf("result: exact MST = %v, weight = %d\n", exact, w)
+	case "mdst":
+		fr, err := mdst.IsFRTree(g, final)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("result: FR-tree = %v, degree = %d (≤ OPT+1)\n", fr, final.MaxDegree())
+	}
+}
+
+func runRules(name string, g *graph.Graph, schedName string, rng *rand.Rand, faults, maxMoves int) {
+	var alg runtime.Algorithm
+	switch name {
+	case "spanning":
+		alg = spanning.Algorithm{}
+	case "switching":
+		alg = switching.Algorithm{}
+	case "bfs":
+		alg = bfs.Algorithm{}
+	}
+	sched, err := parseSched(schedName, rng)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := runtime.NewNetwork(g, alg)
+	if err != nil {
+		fatal(err)
+	}
+	net.InitArbitrary(rng)
+	res, err := net.Run(sched, maxMoves)
+	if err != nil {
+		fatal(err)
+	}
+	report(net, res, name)
+	for i := 0; i < faults; i++ {
+		victims := runtime.Corrupt(net, 1+rng.Intn(3), rng)
+		fmt.Printf("\ninjected faults at nodes %v\n", victims)
+		res, err = net.Run(sched, maxMoves)
+		if err != nil {
+			fatal(err)
+		}
+		report(net, res, name)
+	}
+}
+
+func report(net *runtime.Network, res runtime.Result, name string) {
+	fmt.Printf("stabilized: silent=%v rounds=%d moves=%d max-register=%d bits\n",
+		res.Silent, res.Rounds, res.Moves, res.MaxRegisterBits)
+	if !res.Silent {
+		return
+	}
+	switch name {
+	case "spanning":
+		t, err := spanning.ExtractTree(net)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tree: root=%d height=%d\n", t.Root(), height(t))
+	case "switching", "bfs":
+		t, err := switching.ExtractTree(net, switching.RegOf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tree: root=%d height=%d BFS=%v\n",
+			t.Root(), height(t), trees.IsBFSTree(t, net.Graph()))
+	}
+}
+
+func height(t *trees.Tree) int {
+	h := 0
+	for _, d := range t.Depths() {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+func parseGraph(spec string, seed int64) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	rng := rand.New(rand.NewSource(seed))
+	atoi := func(s string) int {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			fatal(fmt.Errorf("bad integer %q in graph spec", s))
+		}
+		return v
+	}
+	atof := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad float %q in graph spec", s))
+		}
+		return v
+	}
+	switch parts[0] {
+	case "ring":
+		return graph.Ring(atoi(parts[1])), nil
+	case "path":
+		return graph.Path(atoi(parts[1])), nil
+	case "star":
+		return graph.Star(atoi(parts[1])), nil
+	case "complete":
+		return graph.Complete(atoi(parts[1])), nil
+	case "grid":
+		return graph.Grid(atoi(parts[1]), atoi(parts[2])), nil
+	case "lollipop":
+		return graph.Lollipop(atoi(parts[1]), atoi(parts[2])), nil
+	case "random":
+		return graph.RandomConnected(atoi(parts[1]), atof(parts[2]), rng), nil
+	case "geometric":
+		return graph.RandomGeometric(atoi(parts[1]), atof(parts[2]), rng), nil
+	}
+	return nil, fmt.Errorf("unknown graph family %q", parts[0])
+}
+
+func parseSched(name string, rng *rand.Rand) (runtime.Scheduler, error) {
+	switch name {
+	case "central":
+		return runtime.Central(), nil
+	case "synchronous":
+		return runtime.Synchronous(), nil
+	case "adversarial":
+		return runtime.AdversarialUnfair(), nil
+	case "roundrobin":
+		return runtime.RoundRobin(), nil
+	case "random":
+		return runtime.RandomSubset(rng), nil
+	}
+	return nil, fmt.Errorf("unknown scheduler %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sstsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package silentspan reproduces "Space-Optimal Time-Efficient Silent
+// Self-Stabilizing Constructions of Constrained Spanning Trees" (Blin &
+// Fraigniaud, ICDCS 2015): a framework for building silent
+// self-stabilizing constrained-spanning-tree algorithms — BFS, MST, and
+// minimum-degree (MDST via FR-trees) — that are simultaneously
+// space-optimal and polynomial-round, guided by proof-labeling schemes.
+//
+// See README.md for the architecture, DESIGN.md for the system inventory
+// and experiment index, and EXPERIMENTS.md for measured results against
+// the paper's claims. The library lives under internal/; the runnable
+// entry points are cmd/sstsim, cmd/ssbench, and the examples/ programs.
+package silentspan

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestE1(t *testing.T) {
+	tb, err := E1Switch([]int{8, 16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	if !strings.Contains(buf.String(), "E1") {
+		t.Error("missing title")
+	}
+}
+
+func TestE2(t *testing.T) {
+	tb, err := E2NCA([]int{16, 32}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Rows {
+		if r[4] != "true" || r[5] != "true" {
+			t.Errorf("E2 row failed checks: %v", r)
+		}
+	}
+}
+
+func TestE3(t *testing.T) {
+	tb, err := E3BFS([]int{12, 20}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Rows {
+		if r[5] != "true" {
+			t.Errorf("E3 row not exact BFS: %v", r)
+		}
+	}
+}
+
+func TestE4(t *testing.T) {
+	tb, err := E4MST([]int{10, 14}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Rows {
+		if r[7] != "true" {
+			t.Errorf("E4 row not exact MST: %v", r)
+		}
+	}
+}
+
+func TestE5(t *testing.T) {
+	tb, err := E5MDST([]int{8, 12}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Rows {
+		if r[5] != "true" {
+			t.Errorf("E5 row not FR: %v", r)
+		}
+	}
+}
+
+func TestE6(t *testing.T) {
+	tb, err := E6Verification([]int{5, 6, 7}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestE7(t *testing.T) {
+	tb, err := E7FaultRecovery(16, []int{1, 2, 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Rows {
+		if r[3] != "true" {
+			t.Errorf("E7 row not legal after recovery: %v", r)
+		}
+	}
+}
+
+func TestE8(t *testing.T) {
+	tb, err := E8Potential(14, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r[4] != "true" {
+			t.Errorf("E8 row not monotone: %v", r)
+		}
+		if r[5] != "0" {
+			t.Errorf("E8 row did not reach φ=0: %v", r)
+		}
+	}
+}

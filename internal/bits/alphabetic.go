@@ -1,0 +1,127 @@
+package bits
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// AlphabeticCode holds a Gilbert–Moore code for a weighted, ordered
+// alphabet. The code is
+//
+//   - prefix-free: no codeword is a prefix of another, so concatenations
+//     of codewords are uniquely parseable by a decoder knowing the code;
+//   - alphabetic (order-preserving): i < j implies Code(i) < Code(j) in
+//     lexicographic bit-string order, so two codewords can be compared
+//     without decoding them — the property the NCA computation of
+//     Section V of the paper depends on;
+//   - compact: len(Code(i)) <= ceil(log2(W / w_i)) + 1 where W = sum of
+//     weights, so lengths telescope along root-to-leaf tree paths.
+type AlphabeticCode struct {
+	codes []String
+}
+
+// NewAlphabeticCode constructs the Gilbert–Moore code for the given
+// positive weights, in the given order. It returns an error if weights is
+// empty or contains a non-positive weight.
+//
+// Construction: element i is assigned the real interval midpoint
+// m_i = (s_i + w_i/2) / W where s_i = w_0 + ... + w_{i-1}, and its codeword
+// is the binary expansion of m_i truncated to ceil(log2(W/w_i)) + 1 bits.
+// Exact rational arithmetic (math/big) avoids floating-point ties.
+func NewAlphabeticCode(weights []uint64) (*AlphabeticCode, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("bits: alphabetic code needs at least one weight")
+	}
+	var total uint64
+	for i, w := range weights {
+		if w == 0 {
+			return nil, fmt.Errorf("bits: weight %d is zero (index %d)", w, i)
+		}
+		total += w
+	}
+	codes := make([]String, len(weights))
+	var cum uint64
+	for i, w := range weights {
+		codes[i] = GilbertMooreCodeword(cum, w, total)
+		cum += w
+	}
+	return &AlphabeticCode{codes: codes}, nil
+}
+
+// GilbertMooreCodeword returns the Gilbert–Moore codeword of the element
+// occupying the weight interval [before, before+w) out of total: the
+// binary expansion of the interval midpoint truncated to
+// ceil(log2(total/w)) + 1 bits. It is the per-element form of
+// NewAlphabeticCode, usable by local verifiers that know only their own
+// cumulative weights (the NCA proof-labeling scheme of Lemma 5.1 relies
+// on this locality).
+func GilbertMooreCodeword(before, w, total uint64) String {
+	if w == 0 || total == 0 || before+w > total {
+		panic(fmt.Sprintf("bits: invalid interval [%d,%d) of %d", before, before+w, total))
+	}
+	num := new(big.Int).SetUint64(2*before + w)
+	den := new(big.Int).SetUint64(2 * total)
+	return truncatedBinary(num, den, codeLen(total, w))
+}
+
+// codeLen returns ceil(log2(total/w)) + 1.
+func codeLen(total, w uint64) int {
+	// Smallest L with 2^L >= total/w, i.e. 2^L * w >= total, then +1.
+	l := 0
+	v := w
+	for v < total {
+		v <<= 1
+		l++
+	}
+	return l + 1
+}
+
+// truncatedBinary returns the first k bits of the binary expansion of the
+// rational num/den in [0, 1).
+func truncatedBinary(num, den *big.Int, k int) String {
+	var s String
+	n := new(big.Int).Set(num)
+	for i := 0; i < k; i++ {
+		n.Lsh(n, 1)
+		if n.Cmp(den) >= 0 {
+			s = s.AppendBit(true)
+			n.Sub(n, den)
+		} else {
+			s = s.AppendBit(false)
+		}
+	}
+	return s
+}
+
+// Size returns the number of codewords.
+func (c *AlphabeticCode) Size() int { return len(c.codes) }
+
+// Code returns the codeword of element i.
+func (c *AlphabeticCode) Code(i int) String {
+	if i < 0 || i >= len(c.codes) {
+		panic(fmt.Sprintf("bits: code index %d out of range [0,%d)", i, len(c.codes)))
+	}
+	return c.codes[i]
+}
+
+// Decode finds the element whose codeword is a prefix of the reader's
+// remaining bits, consumes it, and returns its index. Prefix-freeness
+// guarantees at most one match.
+func (c *AlphabeticCode) Decode(r *Reader) (int, error) {
+	for i, code := range c.codes {
+		if r.Remaining() >= code.Len() {
+			match := true
+			for j := 0; j < code.Len(); j++ {
+				if r.s.Bit(r.pos+j) != code.Bit(j) {
+					match = false
+					break
+				}
+			}
+			if match {
+				r.pos += code.Len()
+				return i, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("bits: no codeword matches at position %d", r.pos)
+}

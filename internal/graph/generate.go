@@ -1,0 +1,251 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// The generators below produce the graph families used throughout the
+// experiments: regular topologies exercising worst cases of the paper's
+// algorithms (paths and rings maximize stabilization distance, complete
+// graphs maximize degree, lollipops stress the MDST potential), and random
+// families standing in for the sensor networks that motivated the paper's
+// interest in MDST (Section I-D, the 802.15.4 MAC protocol design).
+//
+// All generators number nodes 1..n and, where weighted, assign pairwise
+// distinct weights (Section II-A assumes distinct weights w.l.o.g.).
+
+// Path returns the path 1-2-...-n.
+func Path(n int) *Graph {
+	g := New()
+	g.AddNode(1)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(NodeID(i), NodeID(i+1), Weight(i))
+	}
+	return g
+}
+
+// Ring returns the cycle 1-2-...-n-1. It panics for n < 3.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: ring needs n >= 3, got %d", n))
+	}
+	g := Path(n)
+	g.MustAddEdge(NodeID(n), 1, Weight(n))
+	return g
+}
+
+// Star returns the star with center 1 and leaves 2..n.
+func Star(n int) *Graph {
+	g := New()
+	g.AddNode(1)
+	for i := 2; i <= n; i++ {
+		g.MustAddEdge(1, NodeID(i), Weight(i))
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n with distinct weights.
+func Complete(n int) *Graph {
+	g := New()
+	g.AddNode(1)
+	w := Weight(1)
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			g.MustAddEdge(NodeID(i), NodeID(j), w)
+			w++
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph, nodes numbered row-major
+// starting at 1.
+func Grid(rows, cols int) *Graph {
+	g := New()
+	id := func(r, c int) NodeID { return NodeID(r*cols + c + 1) }
+	w := Weight(1)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddNode(id(r, c))
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1), w)
+				w++
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c), w)
+				w++
+			}
+		}
+	}
+	return g
+}
+
+// Caterpillar returns a spine of length spine with legs leaves attached to
+// every spine node. Caterpillars stress heavy-path decompositions.
+func Caterpillar(spine, legs int) *Graph {
+	g := Path(spine)
+	next := NodeID(spine + 1)
+	w := Weight(spine + 1)
+	for i := 1; i <= spine; i++ {
+		for j := 0; j < legs; j++ {
+			g.MustAddEdge(NodeID(i), next, w)
+			next++
+			w++
+		}
+	}
+	return g
+}
+
+// Lollipop returns a clique of size k attached to a path of length tail.
+// Lollipop graphs have minimum spanning-tree degree close to k-1 near the
+// clique, stressing the MDST improvement steps.
+func Lollipop(k, tail int) *Graph {
+	g := Complete(k)
+	w := Weight(k*k + 1)
+	prev := NodeID(k)
+	for i := 1; i <= tail; i++ {
+		next := NodeID(k + i)
+		g.MustAddEdge(prev, next, w)
+		prev = next
+		w++
+	}
+	return g
+}
+
+// RandomConnected returns a connected Erdős–Rényi-style graph: a random
+// spanning tree plus each remaining pair independently with probability p,
+// with pairwise distinct random weights. Deterministic given rng.
+func RandomConnected(n int, p float64, rng *rand.Rand) *Graph {
+	g := New()
+	g.AddNode(1)
+	perm := rng.Perm(n)
+	ids := make([]NodeID, n)
+	for i, x := range perm {
+		ids[i] = NodeID(x + 1)
+	}
+	weights := distinctWeights(n*(n-1)/2, rng)
+	wi := 0
+	// Random spanning tree: attach each node to a random earlier node.
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		g.MustAddEdge(ids[i], ids[j], weights[wi])
+		wi++
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			u, v := NodeID(i+1), NodeID(j+1)
+			if g.HasEdge(u, v) {
+				continue
+			}
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v, weights[wi])
+				wi++
+			}
+		}
+	}
+	return g
+}
+
+// RandomGeometric returns a random geometric graph: n points uniform in
+// the unit square, edges between pairs within distance radius, weights =
+// scaled distances made distinct by index perturbation. If the result is
+// disconnected, nearest components are stitched. This family models the
+// sensor networks (802.15.4) motivating the paper's MDST application.
+func RandomGeometric(n int, radius float64, rng *rand.Rand) *Graph {
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n+1)
+	for i := 1; i <= n; i++ {
+		pts[i] = pt{x: rng.Float64(), y: rng.Float64()}
+	}
+	dist := func(i, j int) float64 {
+		dx, dy := pts[i].x-pts[j].x, pts[i].y-pts[j].y
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	g := New()
+	for i := 1; i <= n; i++ {
+		g.AddNode(NodeID(i))
+	}
+	// Distinct weights: scale distance to integer and break ties by pair
+	// index, preserving the geometric ordering almost everywhere.
+	weightOf := func(i, j int) Weight {
+		return Weight(int64(dist(i, j)*1e9)*int64(n*n) + int64(i*n+j))
+	}
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			if dist(i, j) <= radius {
+				g.MustAddEdge(NodeID(i), NodeID(j), weightOf(i, j))
+			}
+		}
+	}
+	// Stitch components with the shortest available inter-component link.
+	for !g.Connected() {
+		comp := components(g)
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for i := 1; i <= n; i++ {
+			for j := i + 1; j <= n; j++ {
+				if comp[NodeID(i)] != comp[NodeID(j)] && dist(i, j) < best {
+					best, bi, bj = dist(i, j), i, j
+				}
+			}
+		}
+		g.MustAddEdge(NodeID(bi), NodeID(bj), weightOf(bi, bj))
+	}
+	return g
+}
+
+// HamiltonianWheel returns a Hamiltonian graph: a ring plus chords. Every
+// Hamiltonian graph has an FR-tree given by its Hamiltonian path with all
+// nodes marked bad (paper, Section VIII).
+func HamiltonianWheel(n int, chords int, rng *rand.Rand) *Graph {
+	g := Ring(n)
+	w := Weight(10 * n)
+	for c := 0; c < chords; c++ {
+		u := NodeID(rng.Intn(n) + 1)
+		v := NodeID(rng.Intn(n) + 1)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, w)
+			w++
+		}
+	}
+	return g
+}
+
+// distinctWeights returns count pairwise distinct pseudo-random weights.
+func distinctWeights(count int, rng *rand.Rand) []Weight {
+	seen := make(map[Weight]bool, count)
+	out := make([]Weight, 0, count)
+	for len(out) < count {
+		w := Weight(rng.Int63n(int64(count)*1000) + 1)
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// components labels each node with a component representative.
+func components(g *Graph) map[NodeID]NodeID {
+	comp := make(map[NodeID]NodeID, g.N())
+	for _, start := range g.Nodes() {
+		if _, ok := comp[start]; ok {
+			continue
+		}
+		stack := []NodeID{start}
+		comp[start] = start
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range g.Neighbors(v) {
+				if _, ok := comp[u]; !ok {
+					comp[u] = start
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	return comp
+}

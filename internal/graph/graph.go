@@ -1,0 +1,279 @@
+// Package graph provides the network substrate of the paper's model
+// (Section II-A): simple connected graphs whose nodes carry distinct,
+// incorruptible identities, and whose edges may carry distinct,
+// incorruptible weights storable on O(log n) bits.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID is a node identity, drawn from {1, ..., n^c} as in the paper.
+// Identities are constants: a self-stabilizing algorithm may read them but
+// transient faults never corrupt them.
+type NodeID int
+
+// Weight is an edge weight. The paper assumes all weights are pairwise
+// distinct (w.l.o.g. per [34]); generators in this package enforce that.
+type Weight int64
+
+// Edge is an undirected edge between two nodes, optionally weighted.
+type Edge struct {
+	U, V NodeID
+	W    Weight
+}
+
+// Canonical returns the edge with endpoints ordered U < V, so that edges
+// compare structurally regardless of construction order.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e
+}
+
+// SameEndpoints reports whether two edges join the same pair of nodes,
+// ignoring the weight field (structures such as fundamental cycles carry
+// weightless edges).
+func SameEndpoints(a, b Edge) bool {
+	ac, bc := a.Canonical(), b.Canonical()
+	return ac.U == bc.U && ac.V == bc.V
+}
+
+// Other returns the endpoint of e that is not x. It panics if x is not an
+// endpoint of e.
+func (e Edge) Other(x NodeID) NodeID {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d not an endpoint of edge %v", x, e))
+}
+
+// Graph is a simple undirected graph. The zero value is an empty graph;
+// use New or a generator to obtain a usable instance.
+type Graph struct {
+	nodes []NodeID
+	adj   map[NodeID]map[NodeID]Weight
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[NodeID]map[NodeID]Weight)}
+}
+
+// AddNode inserts a node. Adding an existing node is a no-op.
+func (g *Graph) AddNode(id NodeID) {
+	if _, ok := g.adj[id]; ok {
+		return
+	}
+	g.adj[id] = make(map[NodeID]Weight)
+	g.nodes = append(g.nodes, id)
+	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i] < g.nodes[j] })
+}
+
+// AddEdge inserts an undirected edge with weight w, adding missing
+// endpoints. Self-loops are rejected; re-adding an edge overwrites its
+// weight.
+func (g *Graph) AddEdge(u, v NodeID, w Weight) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	g.AddNode(u)
+	g.AddNode(v)
+	g.adj[u][v] = w
+	g.adj[v][u] = w
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; for generators and tests.
+func (g *Graph) MustAddEdge(u, v NodeID, w Weight) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.nodes) }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	m := 0
+	for _, nbrs := range g.adj {
+		m += len(nbrs)
+	}
+	return m / 2
+}
+
+// Nodes returns the node identities in increasing order. The returned
+// slice is a copy: callers may mutate it freely.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// HasNode reports whether id is a node of g.
+func (g *Graph) HasNode(id NodeID) bool {
+	_, ok := g.adj[id]
+	return ok
+}
+
+// HasEdge reports whether {u,v} is an edge of g.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// EdgeWeight returns the weight of edge {u,v}; ok is false if the edge is
+// absent.
+func (g *Graph) EdgeWeight(u, v NodeID) (Weight, bool) {
+	w, ok := g.adj[u][v]
+	return w, ok
+}
+
+// Neighbors returns the neighbors of v in increasing ID order. The slice
+// is a copy.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	nbrs := g.adj[v]
+	out := make([]NodeID, 0, len(nbrs))
+	for u := range nbrs {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the degree of v in g.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum node degree in g (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nbrs := range g.adj {
+		if len(nbrs) > max {
+			max = len(nbrs)
+		}
+	}
+	return max
+}
+
+// Edges returns all edges, canonically oriented (U < V), sorted by
+// (U, V). The slice is a copy.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.M())
+	for _, u := range g.nodes {
+		for v, w := range g.adj[u] {
+			if u < v {
+				out = append(out, Edge{U: u, V: v, W: w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// EdgesByWeight returns all edges sorted by increasing weight, ties broken
+// by (U, V) — the standard distinct-weight reduction of [34].
+func (g *Graph) EdgesByWeight() []Edge {
+	out := g.Edges()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].W != out[j].W {
+			return out[i].W < out[j].W
+		}
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Connected reports whether g is connected (the paper assumes connected
+// networks). The empty graph is vacuously connected.
+func (g *Graph) Connected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	seen := make(map[NodeID]bool, len(g.nodes))
+	stack := []NodeID{g.nodes[0]}
+	seen[g.nodes[0]] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for u := range g.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return len(seen) == len(g.nodes)
+}
+
+// BFSDistances returns the hop distance from root to every node, or an
+// error if some node is unreachable.
+func (g *Graph) BFSDistances(root NodeID) (map[NodeID]int, error) {
+	if !g.HasNode(root) {
+		return nil, fmt.Errorf("graph: unknown root %d", root)
+	}
+	dist := map[NodeID]int{root: 0}
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if _, ok := dist[u]; !ok {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	if len(dist) != len(g.nodes) {
+		return nil, fmt.Errorf("graph: %d of %d nodes unreachable from %d",
+			len(g.nodes)-len(dist), len(g.nodes), root)
+	}
+	return dist, nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	for _, v := range g.nodes {
+		out.AddNode(v)
+	}
+	for _, e := range g.Edges() {
+		out.MustAddEdge(e.U, e.V, e.W)
+	}
+	return out
+}
+
+// DistinctWeights reports whether all edge weights are pairwise distinct.
+func (g *Graph) DistinctWeights() bool {
+	seen := make(map[Weight]bool, g.M())
+	for _, e := range g.Edges() {
+		if seen[e.W] {
+			return false
+		}
+		seen[e.W] = true
+	}
+	return true
+}
+
+// MinID returns the smallest node identity; it panics on an empty graph.
+// The substrate leader election (Instruction 1 of the paper's Algorithm 1)
+// elects this node.
+func (g *Graph) MinID() NodeID {
+	if len(g.nodes) == 0 {
+		panic("graph: MinID of empty graph")
+	}
+	return g.nodes[0]
+}

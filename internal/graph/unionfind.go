@@ -1,0 +1,60 @@
+package graph
+
+// UnionFind is a disjoint-set forest over node identities with union by
+// rank and path compression. It backs the sequential Kruskal reference
+// implementation and the virtual Borůvka fragment computation of
+// Section VI of the paper.
+type UnionFind struct {
+	parent map[NodeID]NodeID
+	rank   map[NodeID]int
+	sets   int
+}
+
+// NewUnionFind returns a union-find where every given node is a singleton.
+func NewUnionFind(nodes []NodeID) *UnionFind {
+	uf := &UnionFind{
+		parent: make(map[NodeID]NodeID, len(nodes)),
+		rank:   make(map[NodeID]int, len(nodes)),
+		sets:   len(nodes),
+	}
+	for _, v := range nodes {
+		uf.parent[v] = v
+	}
+	return uf
+}
+
+// Find returns the representative of v's set.
+func (uf *UnionFind) Find(v NodeID) NodeID {
+	root := v
+	for uf.parent[root] != root {
+		root = uf.parent[root]
+	}
+	for uf.parent[v] != root {
+		uf.parent[v], v = root, uf.parent[v]
+	}
+	return root
+}
+
+// Union merges the sets of u and v; it reports whether a merge happened
+// (false if they were already in the same set).
+func (uf *UnionFind) Union(u, v NodeID) bool {
+	ru, rv := uf.Find(u), uf.Find(v)
+	if ru == rv {
+		return false
+	}
+	if uf.rank[ru] < uf.rank[rv] {
+		ru, rv = rv, ru
+	}
+	uf.parent[rv] = ru
+	if uf.rank[ru] == uf.rank[rv] {
+		uf.rank[ru]++
+	}
+	uf.sets--
+	return true
+}
+
+// Sets returns the current number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// Same reports whether u and v are in the same set.
+func (uf *UnionFind) Same(u, v NodeID) bool { return uf.Find(u) == uf.Find(v) }

@@ -1,0 +1,52 @@
+package mdst
+
+import (
+	"fmt"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/runtime"
+	"silentspan/internal/trees"
+)
+
+// BaselineResult models the prior self-stabilizing MDST algorithm [16]
+// (Blin–Gradinariu–Rovedakis) for the comparison row of experiment E5:
+// an (OPT+1)-approximation that is *not* silent and stores Ω(n log n)
+// bits per node — each node keeps a full copy of the current tree to
+// evaluate improvements locally. The paper's contribution (Corollary
+// 8.1) is the exponential register shrink to O(log n) while gaining
+// silence; this baseline reproduces the memory profile being compared
+// against, with the same improvement semantics (degree of the final
+// tree is within +1 of optimal).
+type BaselineResult struct {
+	Tree *trees.Tree
+	// RegisterBits is the per-node memory: the full tree as a parent
+	// table (n entries of node identities) plus working fields.
+	RegisterBits int
+	// Rounds charges each improvement with a full tree broadcast (every
+	// node must refresh its tree copy) plus the improvement waves.
+	Rounds int
+	// Improvements is the number of improvement steps applied.
+	Improvements int
+}
+
+// BigMemoryMDST runs the [16]-style baseline: the same Fürer–
+// Raghavachari improvement loop, but with every node holding the entire
+// tree in its register, so each improvement costs a full re-broadcast.
+func BigMemoryMDST(g *graph.Graph, t0 *trees.Tree) (*BaselineResult, error) {
+	final, improvements, err := FurerRaghavachari(g, t0)
+	if err != nil {
+		return nil, fmt.Errorf("mdst: baseline: %w", err)
+	}
+	n := g.N()
+	res := &BaselineResult{
+		Tree:         final,
+		Improvements: improvements,
+		// n parent entries of ceil(log2 n) bits each, plus degree and
+		// phase bookkeeping: Ω(n log n).
+		RegisterBits: n*runtime.BitsForValue(n) + 3*runtime.BitsForValue(n),
+		// Each improvement re-broadcasts the tree (n rounds) and runs
+		// the improvement waves (2n rounds).
+		Rounds: (improvements + 1) * 3 * n,
+	}
+	return res, nil
+}

@@ -1,0 +1,119 @@
+package mdst
+
+import (
+	"fmt"
+	"math"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/trees"
+)
+
+// OptimalDegree returns Δ_min(G), the degree of a minimum-degree
+// spanning tree, by exhaustive enumeration of spanning edge subsets.
+// Deciding Δ_min(G) ≤ k is NP-hard (Hamiltonian path reduction, Section
+// II-B), so this is exponential and restricted to small instances; it is
+// the ground truth for the OPT+1 guarantee in the experiments.
+func OptimalDegree(g *graph.Graph) (int, error) {
+	n := g.N()
+	if n == 0 {
+		return 0, fmt.Errorf("mdst: empty graph")
+	}
+	if n == 1 {
+		return 0, nil
+	}
+	edges := g.Edges()
+	m := len(edges)
+	if m > 24 {
+		return 0, fmt.Errorf("mdst: %d edges too many for brute force", m)
+	}
+	best := math.MaxInt
+	for mask := 0; mask < 1<<m; mask++ {
+		if popcount(mask) != n-1 {
+			continue
+		}
+		uf := graph.NewUnionFind(g.Nodes())
+		deg := make(map[graph.NodeID]int, n)
+		for i := 0; i < m; i++ {
+			if mask>>i&1 == 1 {
+				uf.Union(edges[i].U, edges[i].V)
+				deg[edges[i].U]++
+				deg[edges[i].V]++
+			}
+		}
+		if uf.Sets() != 1 {
+			continue
+		}
+		max := 0
+		for _, d := range deg {
+			if d > max {
+				max = d
+			}
+		}
+		if max < best {
+			best = max
+		}
+	}
+	if best == math.MaxInt {
+		return 0, fmt.Errorf("mdst: graph not connected")
+	}
+	return best, nil
+}
+
+// GreedyLowDegreeTree returns a DFS-ish spanning tree biased toward low
+// degrees: grow from the root, always extending from the frontier node
+// of smallest current tree degree. A decent starting point and a
+// non-optimal comparator for the experiments.
+func GreedyLowDegreeTree(g *graph.Graph, root graph.NodeID) (*trees.Tree, error) {
+	if !g.HasNode(root) {
+		return nil, fmt.Errorf("mdst: unknown root %d", root)
+	}
+	t := trees.NewTree(root)
+	deg := map[graph.NodeID]int{}
+	for t.N() < g.N() {
+		// Pick the attachment (v in tree, u outside) minimizing
+		// (deg_T(v), deg_G(u), IDs).
+		type cand struct {
+			v, u graph.NodeID
+		}
+		best := cand{}
+		found := false
+		better := func(a, b cand) bool {
+			if deg[a.v] != deg[b.v] {
+				return deg[a.v] < deg[b.v]
+			}
+			if g.Degree(a.u) != g.Degree(b.u) {
+				return g.Degree(a.u) < g.Degree(b.u)
+			}
+			if a.v != b.v {
+				return a.v < b.v
+			}
+			return a.u < b.u
+		}
+		for _, v := range t.Nodes() {
+			for _, u := range g.Neighbors(v) {
+				if t.Has(u) {
+					continue
+				}
+				c := cand{v: v, u: u}
+				if !found || better(c, best) {
+					best, found = c, true
+				}
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("mdst: graph not connected")
+		}
+		t.AddChild(best.v, best.u)
+		deg[best.v]++
+		deg[best.u]++
+	}
+	return t, nil
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x > 0; x &= x - 1 {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,273 @@
+// Package mdst implements the MDST application of the paper's framework
+// (Section VIII, Corollary 8.1): minimum-degree spanning tree
+// approximation within +1 of optimal, stabilizing on FR-trees (trees
+// certified by a good/bad marking in the sense of Fürer and
+// Raghavachari, Definition 8.1).
+//
+// Since no compact proof-labeling scheme can exist for arbitrary
+// degree-(OPT+1) spanning trees unless NP = co-NP (Proposition 8.1), the
+// task's family is the set of FR-trees, which admit an O(log n)-bit
+// scheme (Lemma 8.1). Improvements are well-nested sequences of swaps
+// (Section VII) lowering the nest-decreasing potential
+// φ(T) = (n·Δ_T + N_T)·(1 − 1_FR(T)).
+package mdst
+
+import (
+	"fmt"
+	"sort"
+
+	"silentspan/internal/core"
+	"silentspan/internal/graph"
+	"silentspan/internal/trees"
+)
+
+// Marking is the good/bad marking computed by the Fürer–Raghavachari
+// scan (the inner while loop of Algorithm 4) for a tree of degree K.
+type Marking struct {
+	// K is the degree of the tree the marking certifies.
+	K int
+	// Good marks the good nodes; all others are bad.
+	Good map[graph.NodeID]bool
+	// Witness records, for every node promoted from bad to good, the
+	// non-tree edge whose fundamental cycle covered it.
+	Witness map[graph.NodeID]graph.Edge
+	// Frag maps every good node to its fragment identity (the smallest
+	// member ID of its component in the forest of good nodes).
+	Frag map[graph.NodeID]graph.NodeID
+	// Promoted is the degree-K node that became good, ending the scan
+	// (None if the scan exhausted all cross-fragment edges: T is FR).
+	Promoted graph.NodeID
+	// ScanSteps counts the promotion iterations, for round accounting.
+	ScanSteps int
+}
+
+// Mark runs the Fürer–Raghavachari scan on T: initially, nodes of degree
+// ≥ K−1 are bad and the others good; while some graph edge joins two
+// distinct fragments of good nodes (and every degree-K node is still
+// bad), all bad nodes on its fundamental cycle are marked good with that
+// edge as witness. The scan ends when no such edge remains — T is an
+// FR-tree, certified by the marking — or as soon as a degree-K node
+// becomes good — an improvement is available.
+func Mark(g *graph.Graph, t *trees.Tree) (*Marking, error) {
+	m := &Marking{
+		K:        t.MaxDegree(),
+		Good:     make(map[graph.NodeID]bool, t.N()),
+		Witness:  make(map[graph.NodeID]graph.Edge),
+		Frag:     make(map[graph.NodeID]graph.NodeID, t.N()),
+		Promoted: trees.None,
+	}
+	for _, v := range t.Nodes() {
+		if t.Degree(v) <= m.K-2 {
+			m.Good[v] = true
+		}
+	}
+	for {
+		if m.ScanSteps > t.N()+1 {
+			return nil, fmt.Errorf("mdst: scan did not converge")
+		}
+		m.recomputeFragments(t)
+		e, found := m.crossFragmentEdge(g, t)
+		if !found {
+			return m, nil // FR-tree
+		}
+		m.ScanSteps++
+		promotedAny := false
+		for _, x := range t.FundamentalCycle(e) {
+			if m.Good[x] {
+				continue
+			}
+			m.Good[x] = true
+			m.Witness[x] = e
+			promotedAny = true
+			if t.Degree(x) == m.K && m.Promoted == trees.None {
+				m.Promoted = x
+			}
+		}
+		if !promotedAny {
+			return nil, fmt.Errorf("mdst: cross-fragment edge %v promoted nothing", e)
+		}
+		if m.Promoted != trees.None {
+			m.recomputeFragments(t)
+			return m, nil // improvement available
+		}
+	}
+}
+
+// recomputeFragments labels each good node with the minimum member ID of
+// its component in the forest induced by good nodes on tree edges.
+func (m *Marking) recomputeFragments(t *trees.Tree) {
+	for k := range m.Frag {
+		delete(m.Frag, k)
+	}
+	uf := graph.NewUnionFind(t.Nodes())
+	for _, v := range t.Nodes() {
+		if !m.Good[v] {
+			continue
+		}
+		p := t.Parent(v)
+		if p != trees.None && m.Good[p] {
+			uf.Union(v, p)
+		}
+	}
+	minOf := make(map[graph.NodeID]graph.NodeID)
+	for _, v := range t.Nodes() {
+		if !m.Good[v] {
+			continue
+		}
+		r := uf.Find(v)
+		if cur, ok := minOf[r]; !ok || v < cur {
+			minOf[r] = v
+		}
+	}
+	for _, v := range t.Nodes() {
+		if m.Good[v] {
+			m.Frag[v] = minOf[uf.Find(v)]
+		}
+	}
+}
+
+// crossFragmentEdge returns the first graph edge (in canonical order)
+// joining good nodes of two distinct fragments.
+func (m *Marking) crossFragmentEdge(g *graph.Graph, t *trees.Tree) (graph.Edge, bool) {
+	for _, e := range g.Edges() {
+		if t.HasEdge(e.U, e.V) {
+			continue
+		}
+		if m.Good[e.U] && m.Good[e.V] && m.Frag[e.U] != m.Frag[e.V] {
+			return e, true
+		}
+	}
+	return graph.Edge{}, false
+}
+
+// IsFRTree reports whether T is an FR-tree of G: the scan exhausts all
+// cross-fragment edges without promoting a degree-K node.
+func IsFRTree(g *graph.Graph, t *trees.Tree) (bool, error) {
+	m, err := Mark(g, t)
+	if err != nil {
+		return false, err
+	}
+	return m.Promoted == trees.None, nil
+}
+
+// BuildNest constructs the well-nested improvement sequence that lowers
+// the degree of the promoted degree-K node (lines 11–13 of Algorithm 4):
+// before inserting a witness edge, any endpoint whose current degree is
+// K−1 is first improved recursively with its own witness (those inner
+// swaps happen in regions untouched by the outer cycle — the
+// well-nestedness of Section VII). Each swap removes a cycle edge
+// incident to its target, so the target's degree strictly drops.
+func BuildNest(g *graph.Graph, t *trees.Tree, m *Marking) ([]core.Swap, *trees.Tree, error) {
+	if m.Promoted == trees.None {
+		return nil, nil, fmt.Errorf("mdst: no promoted degree-%d node", m.K)
+	}
+	cur := t
+	var swaps []core.Swap
+	visiting := make(map[graph.NodeID]bool)
+	var reduce func(target graph.NodeID) error
+	reduce = func(target graph.NodeID) error {
+		if visiting[target] {
+			return fmt.Errorf("mdst: witness recursion revisits node %d", target)
+		}
+		visiting[target] = true
+		defer delete(visiting, target)
+		e, ok := m.Witness[target]
+		if !ok {
+			return fmt.Errorf("mdst: node %d has no witness", target)
+		}
+		// Inner improvements: endpoints of e must end below K−1.
+		for _, x := range []graph.NodeID{e.U, e.V} {
+			if cur.Degree(x) >= m.K-1 {
+				if err := reduce(x); err != nil {
+					return err
+				}
+			}
+		}
+		f, err := cycleEdgeAt(cur, e, target)
+		if err != nil {
+			return err
+		}
+		next, err := cur.Swap(e, f)
+		if err != nil {
+			return fmt.Errorf("mdst: swap +%v -%v: %w", e, f, err)
+		}
+		swaps = append(swaps, core.Swap{Add: e, Remove: f})
+		cur = next
+		return nil
+	}
+	if err := reduce(m.Promoted); err != nil {
+		return nil, nil, err
+	}
+	return swaps, cur, nil
+}
+
+// cycleEdgeAt returns a tree edge of the fundamental cycle of cur + e
+// incident to target, preferring the cycle neighbor of larger degree.
+func cycleEdgeAt(cur *trees.Tree, e graph.Edge, target graph.NodeID) (graph.Edge, error) {
+	path := cur.FundamentalCycle(e)
+	idx := -1
+	for i, x := range path {
+		if x == target {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return graph.Edge{}, fmt.Errorf("mdst: node %d not on the cycle of %v", target, e)
+	}
+	var candidates []graph.NodeID
+	if idx > 0 {
+		candidates = append(candidates, path[idx-1])
+	}
+	if idx+1 < len(path) {
+		candidates = append(candidates, path[idx+1])
+	}
+	if len(candidates) == 0 {
+		return graph.Edge{}, fmt.Errorf("mdst: degenerate cycle for %v", e)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		di, dj := cur.Degree(candidates[i]), cur.Degree(candidates[j])
+		if di != dj {
+			return di > dj
+		}
+		return candidates[i] < candidates[j]
+	})
+	return graph.Edge{U: target, V: candidates[0]}.Canonical(), nil
+}
+
+// FurerRaghavachari runs the full sequential Algorithm 4: repeat the
+// scan and apply improvement sequences until the tree is an FR-tree.
+// The result has degree at most OPT + 1 (Theorem 2.2 of [33]).
+func FurerRaghavachari(g *graph.Graph, t0 *trees.Tree) (*trees.Tree, int, error) {
+	t := t0.Clone()
+	improvements := 0
+	// n·Δ + N strictly decreases per improvement.
+	guard := g.N()*g.N() + g.N() + 1
+	for iter := 0; iter < guard; iter++ {
+		m, err := Mark(g, t)
+		if err != nil {
+			return nil, improvements, err
+		}
+		if m.Promoted == trees.None {
+			return t, improvements, nil
+		}
+		before := potentialCore(g, t)
+		_, next, err := BuildNest(g, t, m)
+		if err != nil {
+			return nil, improvements, err
+		}
+		after := potentialCore(g, next)
+		if after >= before {
+			return nil, improvements, fmt.Errorf("mdst: improvement did not decrease nΔ+N (%d -> %d)", before, after)
+		}
+		t = next
+		improvements++
+	}
+	return nil, improvements, fmt.Errorf("mdst: exceeded improvement guard")
+}
+
+// potentialCore is n·Δ_T + N_T, the magnitude part of the potential.
+func potentialCore(g *graph.Graph, t *trees.Tree) int {
+	d := t.MaxDegree()
+	return g.N()*d + t.DegreeCount(d)
+}

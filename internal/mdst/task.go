@@ -1,0 +1,101 @@
+package mdst
+
+import (
+	"fmt"
+
+	"silentspan/internal/core"
+	"silentspan/internal/graph"
+	"silentspan/internal/trees"
+)
+
+// Task packages the MDST application for the PLS-guided engines: the
+// family is FR-trees, the potential is the nest-decreasing
+//
+//	φ(T) = (n·Δ_T + N_T) · (1 − 1_FR(T))
+//
+// of Section VIII, and improvements are the well-nested sequences built
+// by the Fürer–Raghavachari scan (Algorithm 4 ≡ the Algorithm 3 loop).
+type Task struct{}
+
+var _ core.Task = Task{}
+
+// Name implements core.Task.
+func (Task) Name() string { return "mdst" }
+
+// Value implements core.Task: φ(T) = (nΔ_T + N_T)(1 − 1_FR(T)).
+func (Task) Value(g *graph.Graph, t *trees.Tree) (int, error) {
+	fr, err := IsFRTree(g, t)
+	if err != nil {
+		return 0, err
+	}
+	if fr {
+		return 0, nil
+	}
+	return potentialCore(g, t), nil
+}
+
+// MaxValue implements core.Task: Δ_T ≤ n−1 and N_T ≤ n.
+func (Task) MaxValue(g *graph.Graph) int { return g.N()*g.N() + g.N() }
+
+// Label implements core.Task: compute the marking and its Lemma 8.1
+// certificates. Construction is the scan itself — each promotion is one
+// cycle wave — plus the witness- and fragment-distance broadcasts.
+func (Task) Label(g *graph.Graph, t *trees.Tree) (core.LabelInfo, error) {
+	m, err := Mark(g, t)
+	if err != nil {
+		return core.LabelInfo{}, err
+	}
+	height := 0
+	for _, d := range t.Depths() {
+		if d > height {
+			height = d
+		}
+	}
+	rounds := (m.ScanSteps + 2) * (2*height + 2)
+	if m.Promoted != trees.None {
+		// Not an FR-tree: labels exist but certify nothing; the scan
+		// rounds are still charged.
+		return core.LabelInfo{MaxBits: labelBitsBound(g), Rounds: rounds}, nil
+	}
+	a, err := FromMarking(g, t, m)
+	if err != nil {
+		return core.LabelInfo{}, err
+	}
+	return core.LabelInfo{MaxBits: a.MaxLabelBits(g.N()), Rounds: rounds}, nil
+}
+
+func labelBitsBound(g *graph.Graph) int {
+	return Label{
+		K:           g.N() - 1,
+		Frag:        graph.NodeID(g.N()),
+		WitnessDist: g.N() - 1,
+		FragDist:    g.N() - 1,
+	}.EncodedBits(g.N())
+}
+
+// FindImprovement implements core.Task: run the scan; if a degree-K node
+// is promoted, emit the well-nested improvement sequence that lowers its
+// degree. Discovery rounds: the scan's cycle waves plus one tree wave
+// per emitted swap.
+func (Task) FindImprovement(g *graph.Graph, t *trees.Tree) ([]core.Swap, int, bool, error) {
+	m, err := Mark(g, t)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	height := 0
+	for _, d := range t.Depths() {
+		if d > height {
+			height = d
+		}
+	}
+	scanRounds := (m.ScanSteps + 1) * (2*height + 2)
+	if m.Promoted == trees.None {
+		return nil, scanRounds, false, nil
+	}
+	swaps, _, err := BuildNest(g, t, m)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("mdst: building improvement: %w", err)
+	}
+	rounds := scanRounds + len(swaps)*(2*height+2)
+	return swaps, rounds, true, nil
+}

@@ -1,0 +1,290 @@
+package mdst
+
+import (
+	"fmt"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/runtime"
+	"silentspan/internal/trees"
+)
+
+// Label is the per-node certificate of the FR-tree proof-labeling scheme
+// (Lemma 8.1): O(log n) bits per node.
+type Label struct {
+	// K is the certified tree degree.
+	K int
+	// Good is the node's marking.
+	Good bool
+	// Frag is the identity (minimum member ID) of the node's fragment in
+	// the forest of good nodes; meaningful only for good nodes.
+	Frag graph.NodeID
+	// WitnessDist is the tree distance toward some degree-K node,
+	// certifying that K is the actual maximum degree (a node with
+	// WitnessDist = 0 must itself have degree K).
+	WitnessDist int
+	// FragDist is the distance, inside the fragment, toward the node
+	// whose identity names the fragment, certifying that Frag identifies
+	// a member of this very fragment.
+	FragDist int
+}
+
+// EncodedBits returns the label width for an n-node network.
+func (l Label) EncodedBits(n int) int {
+	return runtime.BitsForValue(n) + 1 + runtime.BitsForValue(int(l.Frag)) +
+		runtime.BitsForValue(l.WitnessDist) + runtime.BitsForValue(l.FragDist)
+}
+
+// Assignment is the verifiable FR-tree configuration: parent pointers
+// (certified separately by the spanning-tree scheme) plus the labels.
+//
+// The verifier at node x checks, reading only x and its neighbors:
+//
+//	(F1) every neighbor certifies the same K, and deg_T(x) ≤ K;
+//	(F2) WitnessDist anchors K: zero implies deg_T(x) = K, positive
+//	     implies a tree neighbor one closer — so a degree-K node exists;
+//	(F3) marking legality (Definition 8.1 (1)–(2)): degree-K nodes are
+//	     bad, degree ≤ K−2 nodes are good;
+//	(F4) fragment naming: good tree neighbors share Frag; Frag ≤ own ID;
+//	     FragDist = 0 iff Frag is the node's own identity, else some good
+//	     tree neighbor with equal Frag is one closer — so Frag names a
+//	     member of this fragment and distinct fragments get distinct
+//	     names;
+//	(F5) Definition 8.1 (3): no graph edge joins good nodes of distinct
+//	     fragments — the detector whose firing witnesses φ(T) > 0.
+type Assignment struct {
+	Parent map[graph.NodeID]graph.NodeID
+	Labels map[graph.NodeID]Label
+}
+
+// FromMarking builds the legal labeling of a marking (the prover of
+// Lemma 8.1). It fails if the marking's scan found an improvement (a
+// promoted degree-K node): such trees are not FR-certifiable.
+func FromMarking(g *graph.Graph, t *trees.Tree, m *Marking) (Assignment, error) {
+	if m.Promoted != trees.None {
+		return Assignment{}, fmt.Errorf("mdst: tree is not an FR-tree (degree-%d node %d promoted)", m.K, m.Promoted)
+	}
+	a := Assignment{
+		Parent: t.ParentMap(),
+		Labels: make(map[graph.NodeID]Label, t.N()),
+	}
+	wd, err := distancesToDegreeK(t, m.K)
+	if err != nil {
+		return Assignment{}, err
+	}
+	fd := fragmentDistances(t, m)
+	for _, v := range t.Nodes() {
+		l := Label{K: m.K, Good: m.Good[v], WitnessDist: wd[v]}
+		if m.Good[v] {
+			l.Frag = m.Frag[v]
+			l.FragDist = fd[v]
+		}
+		a.Labels[v] = l
+	}
+	return a, nil
+}
+
+// distancesToDegreeK returns, per node, the tree distance to the nearest
+// degree-K node.
+func distancesToDegreeK(t *trees.Tree, k int) (map[graph.NodeID]int, error) {
+	dist := make(map[graph.NodeID]int, t.N())
+	var queue []graph.NodeID
+	for _, v := range t.Nodes() {
+		if t.Degree(v) == k {
+			dist[v] = 0
+			queue = append(queue, v)
+		}
+	}
+	if len(queue) == 0 {
+		return nil, fmt.Errorf("mdst: no node of degree %d", k)
+	}
+	adj := treeAdjacency(t)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if _, ok := dist[u]; !ok {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist, nil
+}
+
+// fragmentDistances returns, per good node, the in-fragment distance to
+// the fragment's naming member.
+func fragmentDistances(t *trees.Tree, m *Marking) map[graph.NodeID]int {
+	dist := make(map[graph.NodeID]int, t.N())
+	adj := treeAdjacency(t)
+	for _, v := range t.Nodes() {
+		if m.Good[v] && m.Frag[v] == v {
+			dist[v] = 0
+			queue := []graph.NodeID{v}
+			for len(queue) > 0 {
+				x := queue[0]
+				queue = queue[1:]
+				for _, u := range adj[x] {
+					if !m.Good[u] || m.Frag[u] != m.Frag[v] {
+						continue
+					}
+					if _, ok := dist[u]; !ok {
+						dist[u] = dist[x] + 1
+						queue = append(queue, u)
+					}
+				}
+			}
+		}
+	}
+	return dist
+}
+
+func treeAdjacency(t *trees.Tree) map[graph.NodeID][]graph.NodeID {
+	adj := make(map[graph.NodeID][]graph.NodeID, t.N())
+	for _, v := range t.Nodes() {
+		p := t.Parent(v)
+		if p != trees.None {
+			adj[v] = append(adj[v], p)
+			adj[p] = append(adj[p], v)
+		}
+	}
+	return adj
+}
+
+// degreeIn returns x's degree induced by the parent pointers, readable
+// locally: the parent edge plus neighbors pointing at x.
+func (a Assignment) degreeIn(g *graph.Graph, x graph.NodeID) int {
+	d := 0
+	if a.Parent[x] != trees.None {
+		d++
+	}
+	for _, u := range g.Neighbors(x) {
+		if a.Parent[u] == x {
+			d++
+		}
+	}
+	return d
+}
+
+// VerifyAt runs the Lemma 8.1 verifier at node x.
+func (a Assignment) VerifyAt(g *graph.Graph, x graph.NodeID) error {
+	lx, ok := a.Labels[x]
+	if !ok {
+		return fmt.Errorf("mdst: node %d unlabeled", x)
+	}
+	deg := a.degreeIn(g, x)
+	// (F1)
+	if deg > lx.K {
+		return fmt.Errorf("mdst: node %d has degree %d above certified K=%d", x, deg, lx.K)
+	}
+	for _, u := range g.Neighbors(x) {
+		lu, ok := a.Labels[u]
+		if !ok {
+			return fmt.Errorf("mdst: neighbor %d of %d unlabeled", u, x)
+		}
+		if lu.K != lx.K {
+			return fmt.Errorf("mdst: nodes %d and %d certify different degrees %d and %d", x, u, lx.K, lu.K)
+		}
+	}
+	// (F2)
+	if lx.WitnessDist < 0 || lx.WitnessDist > g.N() {
+		return fmt.Errorf("mdst: node %d has witness distance %d out of range", x, lx.WitnessDist)
+	}
+	if lx.WitnessDist == 0 {
+		if deg != lx.K {
+			return fmt.Errorf("mdst: node %d anchors K=%d but has degree %d", x, lx.K, deg)
+		}
+	} else {
+		found := false
+		for _, u := range a.treeNeighbors(g, x) {
+			if a.Labels[u].WitnessDist == lx.WitnessDist-1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("mdst: node %d has witness distance %d with no closer tree neighbor", x, lx.WitnessDist)
+		}
+	}
+	// (F3)
+	if deg == lx.K && lx.Good {
+		return fmt.Errorf("mdst: degree-%d node %d marked good (Def 8.1(1))", lx.K, x)
+	}
+	if deg <= lx.K-2 && !lx.Good {
+		return fmt.Errorf("mdst: node %d of degree %d ≤ K−2 marked bad (Def 8.1(2))", x, deg)
+	}
+	if !lx.Good {
+		return nil
+	}
+	// (F4)
+	if lx.Frag > x || lx.Frag <= 0 {
+		return fmt.Errorf("mdst: node %d names fragment %d above its own identity", x, lx.Frag)
+	}
+	if lx.FragDist == 0 {
+		if lx.Frag != x {
+			return fmt.Errorf("mdst: node %d has fragment distance 0 but names %d", x, lx.Frag)
+		}
+	} else {
+		found := false
+		for _, u := range a.treeNeighbors(g, x) {
+			lu := a.Labels[u]
+			if lu.Good && lu.Frag == lx.Frag && lu.FragDist == lx.FragDist-1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("mdst: node %d has fragment distance %d with no closer member", x, lx.FragDist)
+		}
+	}
+	for _, u := range a.treeNeighbors(g, x) {
+		lu := a.Labels[u]
+		if lu.Good && lu.Frag != lx.Frag {
+			return fmt.Errorf("mdst: adjacent good tree nodes %d and %d in different fragments", x, u)
+		}
+	}
+	// (F5)
+	for _, u := range g.Neighbors(x) {
+		lu := a.Labels[u]
+		if lu.Good && lu.Frag != lx.Frag {
+			return fmt.Errorf("mdst: graph edge {%d,%d} joins good nodes of fragments %d and %d (Def 8.1(3))",
+				x, u, lx.Frag, lu.Frag)
+		}
+	}
+	return nil
+}
+
+// treeNeighbors returns x's neighbors along tree edges (parent pointers),
+// the only neighbors the distance chains may follow.
+func (a Assignment) treeNeighbors(g *graph.Graph, x graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	if p := a.Parent[x]; p != trees.None && g.HasEdge(x, p) {
+		out = append(out, p)
+	}
+	for _, u := range g.Neighbors(x) {
+		if a.Parent[u] == x {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Verify runs the verifier at every node, returning the first rejection.
+func (a Assignment) Verify(g *graph.Graph) error {
+	for _, x := range g.Nodes() {
+		if err := a.VerifyAt(g, x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxLabelBits returns the widest label in the assignment.
+func (a Assignment) MaxLabelBits(n int) int {
+	max := 0
+	for _, l := range a.Labels {
+		if b := l.EncodedBits(n); b > max {
+			max = b
+		}
+	}
+	return max
+}

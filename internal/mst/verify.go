@@ -1,0 +1,138 @@
+package mst
+
+import (
+	"fmt"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/trees"
+)
+
+// Assignment is the verifiable MST configuration: the tree's parent
+// pointers plus every node's Borůvka-trace label — the proof-labeling
+// scheme for MST following the guidelines of Korman–Kutten [50] and
+// Korman–Kutten–Peleg [52] that Section VI builds on. Each node checks,
+// using only its own label and its neighbors' labels:
+//
+//	(V1) its level-1 fragment is itself;
+//	(V2) all labels have the same number of levels;
+//	(V3) tree neighbors in the same level-i fragment agree on the
+//	     chosen edge f_i and stay together at level i+1;
+//	(V4) if the node is an endpoint of f_i, the edge exists, is a tree
+//	     edge, leaves the fragment, and the two endpoint fragments merge
+//	     at level i+1;
+//	(V5) no incident graph edge leaving the level-i fragment is lighter
+//	     than f_i — the red-rule detector: exactly the local test whose
+//	     failure witnesses φ(T) > 0;
+//	(V6) the top level has no chosen edge and lower levels do.
+type Assignment struct {
+	Parent map[graph.NodeID]graph.NodeID
+	Levels map[graph.NodeID][]LevelLabel
+}
+
+// FromTrace builds the assignment of a computed trace (the prover).
+func FromTrace(t *trees.Tree, tr *Trace) Assignment {
+	return Assignment{Parent: t.ParentMap(), Levels: tr.Levels}
+}
+
+// VerifyAt runs the verifier at node x.
+func (a Assignment) VerifyAt(g *graph.Graph, x graph.NodeID) error {
+	lx, ok := a.Levels[x]
+	if !ok || len(lx) == 0 {
+		return fmt.Errorf("mst: node %d unlabeled", x)
+	}
+	k := len(lx)
+	// (V1)
+	if lx[0].Fragment != x {
+		return fmt.Errorf("mst: node %d has level-1 fragment %d, want itself", x, lx[0].Fragment)
+	}
+	// (V6)
+	for i, ll := range lx {
+		last := i == k-1
+		if last && ll.HasEdge {
+			return fmt.Errorf("mst: node %d has a chosen edge at the top level", x)
+		}
+		if !last && !ll.HasEdge {
+			return fmt.Errorf("mst: node %d lacks a chosen edge at level %d", x, i+1)
+		}
+	}
+	for _, u := range g.Neighbors(x) {
+		lu, ok := a.Levels[u]
+		if !ok {
+			return fmt.Errorf("mst: neighbor %d of %d unlabeled", u, x)
+		}
+		// (V2)
+		if len(lu) != k {
+			return fmt.Errorf("mst: node %d has %d levels but neighbor %d has %d", x, k, u, len(lu))
+		}
+		isTreeNeighbor := a.Parent[u] == x || a.Parent[x] == u
+		for i := 0; i < k; i++ {
+			sameFrag := lu[i].Fragment == lx[i].Fragment
+			// (V3)
+			if isTreeNeighbor && sameFrag {
+				if lx[i].HasEdge != lu[i].HasEdge || (lx[i].HasEdge && lx[i].Edge != lu[i].Edge) {
+					return fmt.Errorf("mst: nodes %d and %d share level-%d fragment %d but disagree on f_%d",
+						x, u, i+1, lx[i].Fragment, i+1)
+				}
+				if i+1 < k && lx[i+1].Fragment != lu[i+1].Fragment {
+					return fmt.Errorf("mst: nodes %d and %d share level-%d fragment but split at level %d",
+						x, u, i+1, i+2)
+				}
+			}
+			// (V5)
+			if !sameFrag {
+				w, _ := g.EdgeWeight(x, u)
+				inc := graph.Edge{U: x, V: u, W: w}
+				if !lx[i].HasEdge {
+					return fmt.Errorf("mst: node %d has outgoing edge %v at level %d but no chosen edge",
+						x, inc, i+1)
+				}
+				if lighter(inc, lx[i].Edge) {
+					return fmt.Errorf("mst: node %d sees edge %v lighter than f_%d = %v (red rule)",
+						x, inc, i+1, lx[i].Edge)
+				}
+			}
+		}
+	}
+	// (V4)
+	for i, ll := range lx {
+		if !ll.HasEdge {
+			continue
+		}
+		e := ll.Edge
+		if e.U != x && e.V != x {
+			continue // endpoint responsibility only
+		}
+		other := e.Other(x)
+		w, exists := g.EdgeWeight(x, other)
+		if !exists {
+			return fmt.Errorf("mst: node %d's f_%d = %v is not a graph edge", x, i+1, e)
+		}
+		if e.W != w {
+			return fmt.Errorf("mst: node %d's f_%d carries weight %d, want %d", x, i+1, e.W, w)
+		}
+		if a.Parent[x] != other && a.Parent[other] != x {
+			return fmt.Errorf("mst: node %d's f_%d = %v is not a tree edge", x, i+1, e)
+		}
+		lo := a.Levels[other]
+		if len(lo) != len(lx) {
+			continue // reported by (V2)
+		}
+		if lo[i].Fragment == ll.Fragment {
+			return fmt.Errorf("mst: node %d's f_%d = %v does not leave fragment %d", x, i+1, e, ll.Fragment)
+		}
+		if i+1 < len(lx) && lx[i+1].Fragment != lo[i+1].Fragment {
+			return fmt.Errorf("mst: endpoints of f_%d = %v do not merge at level %d", i+1, e, i+2)
+		}
+	}
+	return nil
+}
+
+// Verify runs the verifier at every node, returning the first rejection.
+func (a Assignment) Verify(g *graph.Graph) error {
+	for _, x := range g.Nodes() {
+		if err := a.VerifyAt(g, x); err != nil {
+			return err
+		}
+	}
+	return nil
+}

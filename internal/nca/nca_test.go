@@ -1,0 +1,354 @@
+package nca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/trees"
+)
+
+func randomTree(t *testing.T, rng *rand.Rand, n int) *trees.Tree {
+	t.Helper()
+	g := graph.RandomConnected(n, 0.15, rng)
+	tr, err := trees.RandomSpanningTree(g, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func build(t *testing.T, tr *trees.Tree) *Labeling {
+	t.Helper()
+	lb, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lb
+}
+
+func TestNCAMatchesStructuralOnFixedTrees(t *testing.T) {
+	cases := map[string]*trees.Tree{}
+	// Path (one long heavy path).
+	pathTree, err := trees.BFSTree(graph.Path(20), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases["path"] = pathTree
+	// Star (all light edges).
+	starTree, err := trees.BFSTree(graph.Star(15), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases["star"] = starTree
+	// Caterpillar, grid BFS.
+	catTree, err := trees.BFSTree(graph.Caterpillar(8, 3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases["caterpillar"] = catTree
+	gridTree, err := trees.BFSTree(graph.Grid(5, 5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases["grid"] = gridTree
+
+	for name, tr := range cases {
+		t.Run(name, func(t *testing.T) {
+			lb := build(t, tr)
+			nodes := tr.Nodes()
+			for _, u := range nodes {
+				for _, v := range nodes {
+					got, err := NCA(lb.Label(u), lb.Label(v))
+					if err != nil {
+						t.Fatalf("NCA(%d,%d): %v", u, v, err)
+					}
+					wantNode := tr.NCA(u, v)
+					gotNode, ok := lb.NodeOf(got)
+					if !ok {
+						t.Fatalf("NCA(%d,%d) produced unknown label %s", u, v, got)
+					}
+					if gotNode != wantNode {
+						t.Fatalf("NCA(%d,%d) = %d, want %d", u, v, gotNode, wantNode)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNCAMatchesStructuralRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		tr := randomTree(t, rng, 10+rng.Intn(60))
+		lb := build(t, tr)
+		nodes := tr.Nodes()
+		for q := 0; q < 300; q++ {
+			u := nodes[rng.Intn(len(nodes))]
+			v := nodes[rng.Intn(len(nodes))]
+			got, err := NCA(lb.Label(u), lb.Label(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotNode, ok := lb.NodeOf(got)
+			if !ok || gotNode != tr.NCA(u, v) {
+				t.Fatalf("trial %d: NCA(%d,%d) = %v (%v), want %d",
+					trial, u, v, gotNode, ok, tr.NCA(u, v))
+			}
+		}
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := randomTree(t, rng, 40)
+	lb := build(t, tr)
+	nodes := tr.Nodes()
+	for q := 0; q < 500; q++ {
+		u := nodes[rng.Intn(len(nodes))]
+		v := nodes[rng.Intn(len(nodes))]
+		got, err := IsAncestor(lb.Label(u), lb.Label(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tr.NCA(u, v) == u
+		if got != want {
+			t.Fatalf("IsAncestor(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+}
+
+func TestOnTreePathMatchesFundamentalCycle(t *testing.T) {
+	// The Section V predicate must identify exactly the nodes of the
+	// fundamental cycle of T + e.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomConnected(10+rng.Intn(40), 0.2, rng)
+		tr, err := trees.RandomSpanningTree(g, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := build(t, tr)
+		nte := tr.NonTreeEdges(g)
+		if len(nte) == 0 {
+			continue
+		}
+		e := nte[rng.Intn(len(nte))]
+		onCycle := map[graph.NodeID]bool{}
+		for _, x := range tr.FundamentalCycle(e) {
+			onCycle[x] = true
+		}
+		for _, x := range tr.Nodes() {
+			got, err := OnTreePath(lb.Label(x), lb.Label(e.U), lb.Label(e.V))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != onCycle[x] {
+				t.Fatalf("trial %d: OnTreePath(%d; %d,%d) = %v, want %v",
+					trial, x, e.U, e.V, got, onCycle[x])
+			}
+		}
+	}
+}
+
+func TestLabelsAreDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := randomTree(t, rng, 80)
+	lb := build(t, tr)
+	seen := map[string]graph.NodeID{}
+	for _, v := range tr.Nodes() {
+		key := lb.Label(v).String()
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("nodes %d and %d share label %s", prev, v, key)
+		}
+		seen[key] = v
+	}
+}
+
+// TestLabelSizeLogarithmic is the space bound of Lemma 5.1: max label
+// length must grow as O(log n). We check the measured constant stays
+// below 8*log2(n) + 16 across families and sizes, and that doubling n
+// adds only O(1) ~ a few bits (logarithmic growth shape).
+func TestLabelSizeLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{16, 32, 64, 128, 256} {
+		bound := int(8*math.Log2(float64(n))) + 16
+		// Worst families for label size: random trees, paths, stars.
+		tr := randomTree(t, rng, n)
+		lb := build(t, tr)
+		if got := lb.MaxLabelBits(); got > bound {
+			t.Errorf("n=%d random: max label %d bits > bound %d", n, got, bound)
+		}
+		pt, err := trees.BFSTree(graph.Path(n), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb = build(t, pt)
+		if got := lb.MaxLabelBits(); got > bound {
+			t.Errorf("n=%d path: max label %d bits > bound %d", n, got, bound)
+		}
+		st, err := trees.BFSTree(graph.Star(n), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb = build(t, st)
+		if got := lb.MaxLabelBits(); got > bound {
+			t.Errorf("n=%d star: max label %d bits > bound %d", n, got, bound)
+		}
+	}
+}
+
+func TestConstructionRoundsLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, n := range []int{20, 40, 80} {
+		tr := randomTree(t, rng, n)
+		lb := build(t, tr)
+		if r := lb.ConstructionRounds(); r <= 0 || r > 4*n {
+			t.Errorf("n=%d: construction rounds %d outside (0, 4n]", n, r)
+		}
+	}
+}
+
+func TestVerifierAcceptsProverOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomConnected(8+rng.Intn(40), 0.2, rng)
+		tr, err := trees.RandomSpanningTree(g, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := build(t, tr)
+		a := FromLabeling(lb)
+		if err := a.Verify(g); err != nil {
+			t.Fatalf("trial %d: prover output rejected: %v", trial, err)
+		}
+	}
+}
+
+func TestVerifierRejectsCorruptedLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := graph.RandomConnected(30, 0.2, rng)
+	tr, err := trees.RandomSpanningTree(g, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := build(t, tr)
+	nodes := tr.Nodes()
+	rejected := 0
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		a := FromLabeling(lb)
+		victim := nodes[rng.Intn(len(nodes))]
+		switch rng.Intn(4) {
+		case 0: // swap label with another node's
+			other := nodes[rng.Intn(len(nodes))]
+			if other == victim {
+				continue
+			}
+			a.Labels[victim], a.Labels[other] = a.Labels[other], a.Labels[victim]
+		case 1: // flip a bit
+			l := a.Labels[victim]
+			if l.Len() == 0 {
+				continue
+			}
+			i := rng.Intn(l.Len())
+			var flipped Label
+			for j := 0; j < l.Len(); j++ {
+				b := l.raw.Bit(j)
+				if j == i {
+					b = !b
+				}
+				flipped.raw = flipped.raw.AppendBit(b)
+			}
+			a.Labels[victim] = flipped
+		case 2: // corrupt W certificate
+			a.W[victim] += 1 + rng.Intn(5)
+		default: // corrupt S certificate
+			a.S[victim] += 1 + rng.Intn(5)
+		}
+		if err := a.Verify(g); err == nil {
+			t.Fatalf("trial %d: corruption at node %d accepted", trial, victim)
+		}
+		rejected++
+	}
+	if rejected == 0 {
+		t.Fatal("no corruption trials executed")
+	}
+}
+
+func TestVerifierRejectsForeignTreeLabels(t *testing.T) {
+	// Labels computed for one spanning tree must be rejected when the
+	// parent pointers encode a different spanning tree.
+	rng := rand.New(rand.NewSource(31))
+	g := graph.RandomConnected(25, 0.3, rng)
+	t1, err := trees.RandomSpanningTree(g, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t2 *trees.Tree
+	for {
+		t2, err = trees.RandomSpanningTree(g, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameTree(t1, t2) {
+			break
+		}
+	}
+	a := FromLabeling(build(t, t1))
+	a.Parent = t2.ParentMap()
+	a.Size = t2.SubtreeSizes()
+	if err := a.Verify(g); err == nil {
+		t.Fatal("labels of a different tree accepted")
+	}
+}
+
+func TestNCARejectsMalformedLabels(t *testing.T) {
+	good := build(t, mustPath(t, 5)).Label(3)
+	var junk Label
+	for i := 0; i < 7; i++ {
+		junk.raw = junk.raw.AppendBit(false)
+	}
+	if _, err := NCA(junk, good); err == nil {
+		t.Error("NCA accepted an all-zeros label")
+	}
+	if _, err := NCA(good, junk); err == nil {
+		t.Error("NCA accepted an all-zeros label as second arg")
+	}
+}
+
+func TestSingleNodeTree(t *testing.T) {
+	tr := trees.NewTree(1)
+	lb := build(t, tr)
+	l := lb.Label(1)
+	if l.Len() == 0 {
+		t.Fatal("empty label for singleton root")
+	}
+	m, err := NCA(l, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(l) {
+		t.Error("NCA(v,v) != v")
+	}
+}
+
+func mustPath(t *testing.T, n int) *trees.Tree {
+	t.Helper()
+	tr, err := trees.BFSTree(graph.Path(n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func sameTree(a, b *trees.Tree) bool {
+	am, bm := a.ParentMap(), b.ParentMap()
+	for v, p := range am {
+		if bm[v] != p {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,238 @@
+package nca
+
+import (
+	"fmt"
+	"sort"
+
+	"silentspan/internal/bits"
+	"silentspan/internal/graph"
+	"silentspan/internal/trees"
+)
+
+// Assignment is the verifiable configuration for the NCA labeling: the
+// tree's parent pointers, the (separately certified, cf. Lemma 4.1)
+// subtree sizes, the labels, and the two per-node certificates of the
+// proof-labeling scheme of Lemma 5.1:
+//
+//	W(v): the subtree size of the head of v's heavy path, propagated
+//	      unchanged down heavy edges;
+//	S(v): the cumulative off-path weight before v's position, i.e.
+//	      W(v) - size(v).
+//
+// With (W, S) and the locally readable subtree sizes, every node can
+// recompute its own Gilbert–Moore position code and each parent can
+// recompute its children's child codes, making the whole labeling
+// locally checkable with O(log n)-bit certificates.
+type Assignment struct {
+	Parent map[graph.NodeID]graph.NodeID
+	Size   map[graph.NodeID]int
+	Labels map[graph.NodeID]Label
+	W      map[graph.NodeID]int
+	S      map[graph.NodeID]int
+}
+
+// FromLabeling extracts the verifiable assignment of a labeling — the
+// prover of the scheme.
+func FromLabeling(lb *Labeling) Assignment {
+	t := lb.Tree()
+	a := Assignment{
+		Parent: t.ParentMap(),
+		Size:   t.SubtreeSizes(),
+		Labels: make(map[graph.NodeID]Label, t.N()),
+		W:      make(map[graph.NodeID]int, t.N()),
+		S:      make(map[graph.NodeID]int, t.N()),
+	}
+	for _, v := range t.Nodes() {
+		a.Labels[v] = lb.Label(v)
+		a.W[v] = lb.PathWeight(v)
+		a.S[v] = lb.CumWeight(v)
+	}
+	return a
+}
+
+// children returns the nodes whose parent pointer designates v, among
+// v's graph neighbors (all a node can legally see).
+func (a Assignment) children(g *graph.Graph, v graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	for _, u := range g.Neighbors(v) {
+		if a.Parent[u] == v {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// heavyChildOf returns v's heavy child per the canonical rule (largest
+// certified subtree size, ties broken by smallest ID) computed from the
+// locally readable children sizes; trees.None for leaves.
+func (a Assignment) heavyChildOf(g *graph.Graph, v graph.NodeID) graph.NodeID {
+	best := trees.None
+	bestSize := -1
+	for _, c := range a.children(g, v) {
+		if a.Size[c] > bestSize {
+			best, bestSize = c, a.Size[c]
+		}
+	}
+	return best
+}
+
+// offPathWeight returns w(v) = size(v) - size(heavy child of v), from
+// locally readable values.
+func (a Assignment) offPathWeight(g *graph.Graph, v graph.NodeID) int {
+	hc := a.heavyChildOf(g, v)
+	if hc == trees.None {
+		return a.Size[v]
+	}
+	return a.Size[v] - a.Size[hc]
+}
+
+// VerifyAt runs the Lemma 5.1 verifier at node v: using only v's own
+// fields and those of its graph neighbors, it checks that
+//
+//  1. v's label parses and its final position code equals the
+//     Gilbert–Moore codeword of the interval [S(v), S(v)+w(v)) in W(v);
+//  2. if v is the root, its certificates anchor (W = size = n, S = 0)
+//     and the label is a single stop segment;
+//  3. for each child c: the child's certificates follow the heavy/light
+//     rule, and the child's label extends v's label in the matching
+//     form — sharing v's prefix for the heavy child, or appending a
+//     continuation with exactly the child code that v recomputes from
+//     its children's sizes for a light child.
+//
+// Position-code correctness of the children is checked by the children
+// themselves via rule 1, so every label bit is certified at some node.
+func (a Assignment) VerifyAt(g *graph.Graph, v graph.NodeID) error {
+	lv, ok := a.Labels[v]
+	if !ok {
+		return fmt.Errorf("nca: node %d unlabeled", v)
+	}
+	segs, err := parse(lv)
+	if err != nil {
+		return fmt.Errorf("nca: node %d: %w", v, err)
+	}
+	last := segs[len(segs)-1]
+
+	// Rule 1: own position code.
+	w := a.offPathWeight(g, v)
+	if w <= 0 || a.W[v] <= 0 || a.S[v] < 0 || a.S[v]+w > a.W[v] {
+		return fmt.Errorf("nca: node %d has inconsistent weights S=%d w=%d W=%d",
+			v, a.S[v], w, a.W[v])
+	}
+	want := bits.GilbertMooreCodeword(uint64(a.S[v]), uint64(w), uint64(a.W[v]))
+	if !last.pos.Equal(want) {
+		return fmt.Errorf("nca: node %d position code %s, want %s", v, last.pos, want)
+	}
+
+	p := a.Parent[v]
+	if p == trees.None {
+		// Rule 2: root anchors.
+		if a.W[v] != a.Size[v] {
+			return fmt.Errorf("nca: root %d has W=%d, want size %d", v, a.W[v], a.Size[v])
+		}
+		if a.Size[v] != g.N() {
+			return fmt.Errorf("nca: root %d has size %d, want n=%d", v, a.Size[v], g.N())
+		}
+		if a.S[v] != 0 {
+			return fmt.Errorf("nca: root %d has S=%d, want 0", v, a.S[v])
+		}
+		if len(segs) != 1 {
+			return fmt.Errorf("nca: root %d label has %d segments, want 1", v, len(segs))
+		}
+	}
+
+	// Rule 3: children.
+	children := a.children(g, v)
+	hc := a.heavyChildOf(g, v)
+	light := make([]graph.NodeID, 0, len(children))
+	for _, c := range children {
+		if c != hc {
+			light = append(light, c)
+		}
+	}
+	var childCode *bits.AlphabeticCode
+	if len(light) > 0 {
+		ws := make([]uint64, len(light))
+		for i, c := range light {
+			if a.Size[c] <= 0 {
+				return fmt.Errorf("nca: node %d sees child %d with size %d", v, c, a.Size[c])
+			}
+			ws[i] = uint64(a.Size[c])
+		}
+		childCode, err = bits.NewAlphabeticCode(ws)
+		if err != nil {
+			return fmt.Errorf("nca: node %d child code: %w", v, err)
+		}
+	}
+	prefixBeforePos := lv.raw.Prefix(posBlockStart(lv, segs))
+	for i, c := range children {
+		lc, ok := a.Labels[c]
+		if !ok {
+			return fmt.Errorf("nca: child %d of %d unlabeled", c, v)
+		}
+		csegs, err := parse(lc)
+		if err != nil {
+			return fmt.Errorf("nca: child %d of %d: %w", c, v, err)
+		}
+		if c == hc {
+			// Heavy child: same W, S advanced by w(v), label shares the
+			// prefix before the final position block.
+			if a.W[c] != a.W[v] {
+				return fmt.Errorf("nca: heavy child %d has W=%d, want %d", c, a.W[c], a.W[v])
+			}
+			if a.S[c] != a.S[v]+w {
+				return fmt.Errorf("nca: heavy child %d has S=%d, want %d", c, a.S[c], a.S[v]+w)
+			}
+			if got := lc.raw.Prefix(posBlockStart(lc, csegs)); !got.Equal(prefixBeforePos) {
+				return fmt.Errorf("nca: heavy child %d label prefix %s, want %s", c, got, prefixBeforePos)
+			}
+			continue
+		}
+		// Light child: W resets to the child's size, S to 0, and the
+		// label is v's label with the stop bit replaced by a
+		// continuation carrying the child code v computes.
+		if a.W[c] != a.Size[c] {
+			return fmt.Errorf("nca: light child %d has W=%d, want size %d", c, a.W[c], a.Size[c])
+		}
+		if a.S[c] != 0 {
+			return fmt.Errorf("nca: light child %d has S=%d, want 0", c, a.S[c])
+		}
+		li := lightIndex(light, c)
+		cc := childCode.Code(li)
+		wantPrefix := lv.raw.Prefix(last.posEnd).AppendBit(true)
+		wantPrefix = bits.AppendGamma(wantPrefix, uint64(cc.Len())).Concat(cc)
+		if got := lc.raw.Prefix(posBlockStart(lc, csegs)); !got.Equal(wantPrefix) {
+			return fmt.Errorf("nca: light child %d label prefix %s, want %s", c, got, wantPrefix)
+		}
+		_ = i
+	}
+	return nil
+}
+
+// posBlockStart returns the bit offset where the final segment's
+// γ-length-prefixed position block begins.
+func posBlockStart(l Label, segs []segment) int {
+	if len(segs) == 1 {
+		return 0
+	}
+	return segs[len(segs)-2].end
+}
+
+func lightIndex(light []graph.NodeID, c graph.NodeID) int {
+	for i, x := range light {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Verify runs the verifier at every node, returning the first rejection.
+func (a Assignment) Verify(g *graph.Graph) error {
+	for _, v := range g.Nodes() {
+		if err := a.VerifyAt(g, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package pls
+
+import (
+	"silentspan/internal/graph"
+	"silentspan/internal/trees"
+)
+
+// The classic spanning-tree schemes of Section II-C, as the paper frames
+// them: the distance-based scheme (labels (ID, d)) known "for long"
+// [47], and the size-based scheme (labels (ID, s)). Both are the two
+// extreme prunings of the redundant malleable labeling: every label
+// (d, ⊥), respectively (⊥, s). Pruning a legal redundant labeling
+// uniformly in either direction trivially satisfies constraints C1 and
+// C2, so the same verifier covers all three schemes.
+
+// ProveDistance produces the distance-based labeling of a tree:
+// λ(v) = (root, d(v), ⊥).
+func ProveDistance(t *trees.Tree) Assignment {
+	a := Prove(t)
+	for v, l := range a.Labels {
+		a.Labels[v] = l.PruneS()
+	}
+	return a
+}
+
+// ProveSize produces the size-based labeling of a tree:
+// λ(v) = (root, ⊥, s(v)).
+func ProveSize(t *trees.Tree) Assignment {
+	a := Prove(t)
+	for v, l := range a.Labels {
+		a.Labels[v] = l.PruneD()
+	}
+	return a
+}
+
+// SchemeBits returns the label width of each scheme for an n-node
+// network — the space-complexity ledger of Section II-C: all three are
+// O(log n); the redundant scheme pays one extra integer for
+// malleability.
+func SchemeBits(n int) (distance, size, redundant int) {
+	full := FullLabel(graph.NodeID(n), n-1, n)
+	return full.PruneS().EncodedBits(n), full.PruneD().EncodedBits(n), full.EncodedBits(n)
+}

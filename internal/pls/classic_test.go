@@ -1,0 +1,97 @@
+package pls
+
+import (
+	"math/rand"
+	"testing"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/trees"
+)
+
+func TestDistanceSchemeAcceptsTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomConnected(rng.Intn(25)+4, 0.25, rng)
+		tr, err := trees.RandomSpanningTree(g, g.MinID(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := ProveDistance(tr)
+		if err := a.CheckPruningConstraints(); err != nil {
+			t.Fatalf("distance scheme violates pruning constraints: %v", err)
+		}
+		if err := a.Verify(g); err != nil {
+			t.Fatalf("distance labeling rejected: %v", err)
+		}
+	}
+}
+
+func TestSizeSchemeAcceptsTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomConnected(rng.Intn(25)+4, 0.25, rng)
+		tr, err := trees.RandomSpanningTree(g, g.MinID(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := ProveSize(tr)
+		if err := a.CheckPruningConstraints(); err != nil {
+			t.Fatalf("size scheme violates pruning constraints: %v", err)
+		}
+		if err := a.Verify(g); err != nil {
+			t.Fatalf("size labeling rejected: %v", err)
+		}
+	}
+}
+
+func TestDistanceSchemeRejectsCycles(t *testing.T) {
+	// The distance-only labels must still reject parent cycles: d
+	// strictly decreases parent-ward, impossible around a cycle.
+	g := graph.Ring(5)
+	parent := map[graph.NodeID]graph.NodeID{1: 2, 2: 3, 3: 4, 4: 5, 5: 1}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		labels := map[graph.NodeID]Label{}
+		for v := graph.NodeID(1); v <= 5; v++ {
+			labels[v] = Label{Root: graph.NodeID(rng.Intn(5) + 1), HasD: true, D: rng.Intn(5)}
+		}
+		a := Assignment{Parent: parent, Labels: labels}
+		if err := a.Verify(g); err == nil {
+			t.Fatalf("trial %d: distance labels accepted a cycle", trial)
+		}
+	}
+}
+
+func TestSizeSchemeRejectsCycles(t *testing.T) {
+	// Size-only labels reject cycles: s strictly increases parent-ward.
+	g := graph.Ring(5)
+	parent := map[graph.NodeID]graph.NodeID{1: 2, 2: 3, 3: 4, 4: 5, 5: 1}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		labels := map[graph.NodeID]Label{}
+		for v := graph.NodeID(1); v <= 5; v++ {
+			labels[v] = Label{Root: graph.NodeID(rng.Intn(5) + 1), HasS: true, S: rng.Intn(5) + 1}
+		}
+		a := Assignment{Parent: parent, Labels: labels}
+		if err := a.Verify(g); err == nil {
+			t.Fatalf("trial %d: size labels accepted a cycle", trial)
+		}
+	}
+}
+
+func TestSchemeBits(t *testing.T) {
+	d, s, r := SchemeBits(64)
+	if d <= 0 || s <= 0 || r <= 0 {
+		t.Fatal("non-positive widths")
+	}
+	if r <= d || r <= s {
+		t.Errorf("redundant scheme (%d bits) not wider than distance (%d) / size (%d)", r, d, s)
+	}
+	// All are O(log n): within 4*log2(64)+8.
+	bound := 4*6 + 8
+	for _, b := range []int{d, s, r} {
+		if b > bound {
+			t.Errorf("width %d exceeds O(log n) bound %d", b, bound)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package pls implements proof-labeling schemes (Section II-C of the
+// paper): prover–verifier pairs in which a prover assigns each node a
+// short label such that nodes can collectively verify a global property by
+// inspecting only their own label and their neighbors' labels. If the
+// property holds some labeling makes every node accept; if it fails, every
+// labeling makes at least one node reject.
+//
+// The package provides the classic distance-based and size-based schemes
+// for spanning trees, and the paper's novel *malleable* redundant scheme
+// (Definition 4.1 and Lemma 4.1): the triple (ID, d, s) labeling that
+// tolerates pruned entries (d,⊥) / (⊥,s) under constraints C1–C2, so that
+// a spanning tree can be transformed into a neighboring spanning tree
+// (T + e − f) without any verifier alarm along the way. That malleability
+// is what makes the edge-switching protocol of Section IV loop-free and
+// silent.
+package pls
+
+import (
+	"fmt"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/runtime"
+	"silentspan/internal/trees"
+)
+
+// Label is the redundant spanning-tree label (ID, d, s) of Section IV:
+// the root identity, the distance to the root, and the size of the node's
+// subtree. Either d or s (but never both) may be pruned to ⊥.
+type Label struct {
+	// Root is the claimed root identity (the ID component).
+	Root graph.NodeID
+	// HasD reports whether the distance component is present (not ⊥).
+	HasD bool
+	// D is the claimed hop distance to the root.
+	D int
+	// HasS reports whether the size component is present (not ⊥).
+	HasS bool
+	// S is the claimed size of the subtree rooted at this node.
+	S int
+}
+
+// FullLabel returns an unpruned label.
+func FullLabel(root graph.NodeID, d, s int) Label {
+	return Label{Root: root, HasD: true, D: d, HasS: true, S: s}
+}
+
+// PruneD returns the label with its distance component discarded: (⊥, s).
+func (l Label) PruneD() Label {
+	return Label{Root: l.Root, HasS: l.HasS, S: l.S}
+}
+
+// PruneS returns the label with its size component discarded: (d, ⊥).
+func (l Label) PruneS() Label {
+	return Label{Root: l.Root, HasD: l.HasD, D: l.D}
+}
+
+// Valid reports whether the label respects the structural rule of the
+// scheme: pruning may never produce (⊥, ⊥).
+func (l Label) Valid() bool { return l.HasD || l.HasS }
+
+// Equal reports label equality.
+func (l Label) Equal(o Label) bool { return l == o }
+
+// EncodedBits returns the label width for an n-node network with IDs in
+// {1..n}: the root ID, two presence flags, and the two bounded integers.
+func (l Label) EncodedBits(n int) int {
+	bits := runtime.BitsForValue(n) + 2
+	if l.HasD {
+		bits += runtime.BitsForValue(n)
+	}
+	if l.HasS {
+		bits += runtime.BitsForValue(n)
+	}
+	return bits
+}
+
+// String renders the label in the paper's (d, s) notation.
+func (l Label) String() string {
+	d, s := "⊥", "⊥"
+	if l.HasD {
+		d = fmt.Sprintf("%d", l.D)
+	}
+	if l.HasS {
+		s = fmt.Sprintf("%d", l.S)
+	}
+	return fmt.Sprintf("(root=%d, d=%s, s=%s)", l.Root, d, s)
+}
+
+// Assignment is a global configuration to verify: each node's parent
+// pointer (trees.None marking the claimed root) and its label. It is the
+// object the distributed algorithms expose to the verifier, and the one
+// tests manipulate directly.
+type Assignment struct {
+	Parent map[graph.NodeID]graph.NodeID
+	Labels map[graph.NodeID]Label
+}
+
+// Prove produces the legal redundant labeling of a tree: every node gets
+// (root, depth, subtree size) — the prover p of the scheme.
+func Prove(t *trees.Tree) Assignment {
+	depths := t.Depths()
+	sizes := t.SubtreeSizes()
+	labels := make(map[graph.NodeID]Label, t.N())
+	for _, v := range t.Nodes() {
+		labels[v] = FullLabel(t.Root(), depths[v], sizes[v])
+	}
+	return Assignment{Parent: t.ParentMap(), Labels: labels}
+}
+
+// VerifyAt runs the verifier of Lemma 4.1 at node v: it inspects only
+// v's own parent pointer and label, and the parent pointers and labels of
+// v's neighbors in g. It returns nil if v accepts and an error describing
+// the reason if v rejects.
+//
+// The checks implement the paper's verification table:
+//
+//	label of p(v):   (d',s')             (d',⊥)      (⊥,s')
+//	v = (d,s):       distance and size   distance    size
+//	v = (d,⊥):       no                  distance    no
+//	v = (⊥,s):       size                no          size
+//
+// plus the root-identity agreement between all neighbors, the root-node
+// sanity checks (ID matches, d = 0, s = n when present), and the ban on
+// (⊥,⊥) labels.
+func (a Assignment) VerifyAt(g *graph.Graph, v graph.NodeID) error {
+	lv, ok := a.Labels[v]
+	if !ok {
+		return fmt.Errorf("pls: node %d has no label", v)
+	}
+	if !lv.Valid() {
+		return fmt.Errorf("pls: node %d has the forbidden label (⊥,⊥)", v)
+	}
+	// Root identity must agree with every neighbor in G.
+	for _, u := range g.Neighbors(v) {
+		lu, ok := a.Labels[u]
+		if !ok {
+			return fmt.Errorf("pls: neighbor %d of %d has no label", u, v)
+		}
+		if lu.Root != lv.Root {
+			return fmt.Errorf("pls: node %d claims root %d but neighbor %d claims root %d",
+				v, lv.Root, u, lu.Root)
+		}
+	}
+	p := a.Parent[v]
+	if p == trees.None {
+		// v claims to be the root.
+		if lv.Root != v {
+			return fmt.Errorf("pls: node %d has parent ⊥ but root label %d", v, lv.Root)
+		}
+		if lv.HasD && lv.D != 0 {
+			return fmt.Errorf("pls: root %d has distance %d, want 0", v, lv.D)
+		}
+		if lv.HasS && lv.S != g.N() {
+			return fmt.Errorf("pls: root %d has size %d, want n=%d", v, lv.S, g.N())
+		}
+		if lv.HasS {
+			return a.checkSize(g, v, lv)
+		}
+		return nil
+	}
+	if !g.HasEdge(v, p) {
+		return fmt.Errorf("pls: node %d points to parent %d along a non-edge", v, p)
+	}
+	lp, ok := a.Labels[p]
+	if !ok {
+		return fmt.Errorf("pls: parent %d of %d has no label", p, v)
+	}
+	checkDistance := func() error {
+		if lv.D != lp.D+1 {
+			return fmt.Errorf("pls: node %d has distance %d but parent %d has %d",
+				v, lv.D, p, lp.D)
+		}
+		return nil
+	}
+	switch {
+	case lv.HasD && lv.HasS: // v = (d, s)
+		switch {
+		case lp.HasD && lp.HasS: // parent (d', s'): distance and size
+			if err := checkDistance(); err != nil {
+				return err
+			}
+			return a.checkSize(g, v, lv)
+		case lp.HasD: // parent (d', ⊥): distance
+			return checkDistance()
+		default: // parent (⊥, s'): size
+			return a.checkSize(g, v, lv)
+		}
+	case lv.HasD: // v = (d, ⊥)
+		switch {
+		case lp.HasD && lp.HasS: // C1 violated
+			return fmt.Errorf("pls: node %d pruned to (d,⊥) but parent %d is unpruned (C1)", v, p)
+		case lp.HasD:
+			return checkDistance()
+		default:
+			return fmt.Errorf("pls: node %d is (d,⊥) but parent %d is (⊥,s)", v, p)
+		}
+	default: // v = (⊥, s)
+		switch {
+		case lp.HasD && lp.HasS:
+			return a.checkSize(g, v, lv)
+		case lp.HasD: // C2 violated
+			return fmt.Errorf("pls: node %d is (⊥,s) but parent %d is (d,⊥) (C2)", v, p)
+		default:
+			return a.checkSize(g, v, lv)
+		}
+	}
+}
+
+// checkSize verifies s_v = 1 + sum of children's sizes, children being the
+// graph-neighbors of v whose parent pointer designates v. Children with a
+// pruned size make the check fail: in a legal pruning, constraint C1
+// forbids a child of the form (d,⊥) under a parent carrying a size.
+func (a Assignment) checkSize(g *graph.Graph, v graph.NodeID, lv Label) error {
+	sum := 1
+	for _, u := range g.Neighbors(v) {
+		if a.Parent[u] != v {
+			continue
+		}
+		lu, ok := a.Labels[u]
+		if !ok {
+			return fmt.Errorf("pls: child %d of %d has no label", u, v)
+		}
+		if !lu.HasS {
+			return fmt.Errorf("pls: node %d checks size but child %d has size ⊥", v, u)
+		}
+		sum += lu.S
+	}
+	if lv.S != sum {
+		return fmt.Errorf("pls: node %d has size %d but children sum to %d", v, lv.S, sum)
+	}
+	return nil
+}
+
+// Verify runs the verifier at every node and returns the first rejection
+// (nil means every node accepts — the configuration is certified legal).
+func (a Assignment) Verify(g *graph.Graph) error {
+	for _, v := range g.Nodes() {
+		if err := a.VerifyAt(g, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckPruningConstraints validates that a pruning of a legal labeling
+// respects the structural constraints of Section IV:
+//
+//	C1: λ'(v) = (d,⊥) implies λ'(p(v)) = (d',⊥)
+//	C2: λ'(v) = (⊥,s) implies λ'(p(v)) ∈ {(d',s'), (⊥,s')}
+//
+// and that no label is (⊥,⊥). Tests use it to generate legal prunings.
+func (a Assignment) CheckPruningConstraints() error {
+	for v, lv := range a.Labels {
+		if !lv.Valid() {
+			return fmt.Errorf("pls: node %d has (⊥,⊥)", v)
+		}
+		p := a.Parent[v]
+		if p == trees.None {
+			continue
+		}
+		lp, ok := a.Labels[p]
+		if !ok {
+			return fmt.Errorf("pls: parent %d of %d unlabeled", p, v)
+		}
+		if lv.HasD && !lv.HasS && lp.HasS {
+			return fmt.Errorf("pls: C1 violated at %d", v)
+		}
+		if !lv.HasD && lv.HasS && lp.HasD && !lp.HasS {
+			return fmt.Errorf("pls: C2 violated at %d", v)
+		}
+	}
+	return nil
+}

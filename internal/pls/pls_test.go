@@ -1,0 +1,306 @@
+package pls
+
+import (
+	"math/rand"
+	"testing"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/trees"
+)
+
+func proveTree(t *testing.T, g *graph.Graph, root graph.NodeID) (*trees.Tree, Assignment) {
+	t.Helper()
+	tr, err := trees.BFSTree(g, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, Prove(tr)
+}
+
+func TestLegalLabelingAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gs := []*graph.Graph{
+		graph.Path(12),
+		graph.Ring(9),
+		graph.Star(8),
+		graph.Complete(6),
+		graph.Grid(3, 5),
+		graph.RandomConnected(30, 0.15, rng),
+	}
+	for _, g := range gs {
+		_, a := proveTree(t, g, 1)
+		if err := a.Verify(g); err != nil {
+			t.Errorf("legal labeling rejected: %v", err)
+		}
+	}
+}
+
+func TestLabelHelpers(t *testing.T) {
+	l := FullLabel(3, 2, 5)
+	if !l.Valid() {
+		t.Error("full label invalid")
+	}
+	pd := l.PruneD()
+	if pd.HasD || !pd.HasS || pd.S != 5 {
+		t.Errorf("PruneD = %v", pd)
+	}
+	ps := l.PruneS()
+	if ps.HasS || !ps.HasD || ps.D != 2 {
+		t.Errorf("PruneS = %v", ps)
+	}
+	if pd.PruneS().Valid() {
+		t.Error("(⊥,⊥) claimed valid")
+	}
+	if l.String() == "" || pd.String() == "" {
+		t.Error("empty String()")
+	}
+	if l.EncodedBits(16) <= pd.EncodedBits(16) {
+		t.Error("pruning did not shrink encoding")
+	}
+}
+
+func TestWrongDistanceRejected(t *testing.T) {
+	g := graph.Path(6)
+	_, a := proveTree(t, g, 1)
+	l := a.Labels[4]
+	l.D += 3
+	a.Labels[4] = l
+	if err := a.Verify(g); err == nil {
+		t.Error("corrupted distance accepted")
+	}
+}
+
+func TestWrongSizeRejected(t *testing.T) {
+	g := graph.Grid(3, 3)
+	_, a := proveTree(t, g, 1)
+	l := a.Labels[5]
+	l.S++
+	a.Labels[5] = l
+	if err := a.Verify(g); err == nil {
+		t.Error("corrupted size accepted")
+	}
+}
+
+func TestWrongRootIDRejected(t *testing.T) {
+	g := graph.Ring(7)
+	_, a := proveTree(t, g, 1)
+	l := a.Labels[3]
+	l.Root = 99
+	a.Labels[3] = l
+	if err := a.Verify(g); err == nil {
+		t.Error("inconsistent root ID accepted")
+	}
+}
+
+func TestRootSanityChecks(t *testing.T) {
+	g := graph.Path(4)
+	_, a := proveTree(t, g, 1)
+	// Root claims wrong identity.
+	l := a.Labels[1]
+	l.Root = 2
+	for v := range a.Labels {
+		lv := a.Labels[v]
+		lv.Root = 2
+		a.Labels[v] = lv
+	}
+	_ = l
+	if err := a.Verify(g); err == nil {
+		t.Error("root with foreign ID accepted")
+	}
+	// Root with nonzero distance.
+	_, a = proveTree(t, g, 1)
+	l = a.Labels[1]
+	l.D = 1
+	a.Labels[1] = l
+	if err := a.Verify(g); err == nil {
+		t.Error("root with d != 0 accepted")
+	}
+	// Root with size != n.
+	_, a = proveTree(t, g, 1)
+	l = a.Labels[1]
+	l.S = g.N() - 1
+	a.Labels[1] = l
+	if err := a.Verify(g); err == nil {
+		t.Error("root with s != n accepted")
+	}
+}
+
+func TestCycleRejectedForAnyLabeling(t *testing.T) {
+	// Lemma 4.1 property (2): for ANY labeling of a non-tree H, at least
+	// one node rejects. Build a parent cycle and try many labelings.
+	g := graph.Ring(6)
+	parent := map[graph.NodeID]graph.NodeID{1: 2, 2: 3, 3: 4, 4: 5, 5: 6, 6: 1}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		labels := make(map[graph.NodeID]Label, 6)
+		for v := graph.NodeID(1); v <= 6; v++ {
+			labels[v] = randomLabel(rng, 6)
+		}
+		a := Assignment{Parent: parent, Labels: labels}
+		if err := a.Verify(g); err == nil {
+			t.Fatalf("trial %d: cycle accepted with labels %v", trial, labels)
+		}
+	}
+}
+
+func TestForestRejectedForAnyLabeling(t *testing.T) {
+	// Two "roots" in a connected graph: the root-ID agreement or the root
+	// identity check must fail under any labeling.
+	g := graph.Path(6)
+	parent := map[graph.NodeID]graph.NodeID{
+		1: trees.None, 2: 1, 3: 2, 4: trees.None, 5: 4, 6: 5,
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 500; trial++ {
+		labels := make(map[graph.NodeID]Label, 6)
+		for v := graph.NodeID(1); v <= 6; v++ {
+			labels[v] = randomLabel(rng, 6)
+		}
+		a := Assignment{Parent: parent, Labels: labels}
+		if err := a.Verify(g); err == nil {
+			t.Fatalf("trial %d: forest accepted", trial)
+		}
+	}
+}
+
+func TestRandomNonTreeAlwaysRejected(t *testing.T) {
+	// Randomized sweep: random parent assignments that fail to encode a
+	// spanning tree must be rejected under random labelings.
+	rng := rand.New(rand.NewSource(9))
+	g := graph.RandomConnected(10, 0.3, rng)
+	nodes := g.Nodes()
+	for trial := 0; trial < 1000; trial++ {
+		parent := make(map[graph.NodeID]graph.NodeID, len(nodes))
+		for _, v := range nodes {
+			nbrs := g.Neighbors(v)
+			if rng.Intn(4) == 0 {
+				parent[v] = trees.None
+			} else {
+				parent[v] = nbrs[rng.Intn(len(nbrs))]
+			}
+		}
+		if _, err := trees.FromParentMap(parent); err == nil {
+			continue // happens to be a tree; skip
+		}
+		labels := make(map[graph.NodeID]Label, len(nodes))
+		for _, v := range nodes {
+			labels[v] = randomLabel(rng, len(nodes))
+		}
+		a := Assignment{Parent: parent, Labels: labels}
+		if err := a.Verify(g); err == nil {
+			t.Fatalf("trial %d: non-tree accepted (parents %v)", trial, parent)
+		}
+	}
+}
+
+// TestMalleabilityPrunedLabelingsAccepted is Lemma 4.1 property (1): any
+// pruning of a legal redundant labeling respecting C1 and C2 is accepted
+// by every node.
+func TestMalleabilityPrunedLabelingsAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		g := graph.RandomConnected(rng.Intn(20)+4, 0.25, rng)
+		tr, a := proveTree(t, g, 1)
+		pruneLegally(rng, tr, &a)
+		if err := a.CheckPruningConstraints(); err != nil {
+			t.Fatalf("generator produced illegal pruning: %v", err)
+		}
+		if err := a.Verify(g); err != nil {
+			t.Fatalf("trial %d: legal pruning rejected: %v", trial, err)
+		}
+	}
+}
+
+// pruneLegally prunes the labeling while maintaining C1/C2: it prunes
+// sizes along a random root-to-node path (top-down, so C1 holds), and
+// prunes distances in the subtrees of a random node (so C2 holds) —
+// exactly the pruning pattern of the switching protocol (Fig. 1).
+func pruneLegally(rng *rand.Rand, tr *trees.Tree, a *Assignment) {
+	nodes := tr.Nodes()
+	// (d,⊥) along the path from the root to a random node.
+	target := nodes[rng.Intn(len(nodes))]
+	for _, v := range tr.PathToRoot(target) {
+		a.Labels[v] = a.Labels[v].PruneS()
+	}
+	// (⊥,s) inside the subtree of a random node, provided its parent kept
+	// a size or the node is inside an unpruned region: prune a whole
+	// subtree whose root's parent is NOT (d,⊥) to respect C2.
+	for attempts := 0; attempts < 10; attempts++ {
+		sub := nodes[rng.Intn(len(nodes))]
+		p := tr.Parent(sub)
+		if p == trees.None {
+			continue
+		}
+		if lp := a.Labels[p]; !lp.HasS {
+			continue // parent is (d,⊥): pruning d at sub would break C2
+		}
+		var prune func(v graph.NodeID)
+		prune = func(v graph.NodeID) {
+			if l := a.Labels[v]; l.HasS {
+				a.Labels[v] = l.PruneD()
+			}
+			for _, c := range tr.Children(v) {
+				prune(c)
+			}
+		}
+		prune(sub)
+		break
+	}
+}
+
+func TestC1C2ViolationsDetected(t *testing.T) {
+	g := graph.Path(5)
+	tr, a := proveTree(t, g, 1)
+	_ = tr
+	// C1 violation: node 3 is (d,⊥) but parent 2 keeps its size.
+	a.Labels[3] = a.Labels[3].PruneS()
+	if err := a.CheckPruningConstraints(); err == nil {
+		t.Error("C1 violation not detected by CheckPruningConstraints")
+	}
+	if err := a.Verify(g); err == nil {
+		t.Error("C1 violation accepted by verifier")
+	}
+	// C2 violation: parent (d,⊥), child (⊥,s).
+	_, a = proveTree(t, g, 1)
+	a.Labels[1] = a.Labels[1].PruneS()
+	a.Labels[2] = a.Labels[2].PruneS()
+	a.Labels[3] = a.Labels[3].PruneD()
+	if err := a.CheckPruningConstraints(); err == nil {
+		t.Error("C2 violation not detected")
+	}
+	if err := a.Verify(g); err == nil {
+		t.Error("C2 violation accepted by verifier")
+	}
+}
+
+func TestParentAlongNonEdgeRejected(t *testing.T) {
+	g := graph.Path(4)
+	_, a := proveTree(t, g, 1)
+	a.Parent[4] = 1 // 4-1 is not an edge of the path
+	if err := a.Verify(g); err == nil {
+		t.Error("parent along non-edge accepted")
+	}
+}
+
+func TestMissingLabelRejected(t *testing.T) {
+	g := graph.Path(3)
+	_, a := proveTree(t, g, 1)
+	delete(a.Labels, 2)
+	if err := a.Verify(g); err == nil {
+		t.Error("missing label accepted")
+	}
+}
+
+func randomLabel(rng *rand.Rand, n int) Label {
+	l := Label{Root: graph.NodeID(rng.Intn(n) + 1)}
+	switch rng.Intn(3) {
+	case 0:
+		l.HasD, l.D = true, rng.Intn(n)
+		l.HasS, l.S = true, rng.Intn(n)+1
+	case 1:
+		l.HasD, l.D = true, rng.Intn(n)
+	default:
+		l.HasS, l.S = true, rng.Intn(n)+1
+	}
+	return l
+}

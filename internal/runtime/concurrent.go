@@ -1,0 +1,182 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"silentspan/internal/graph"
+)
+
+// ConcurrentResult summarizes a run of the concurrent runner.
+type ConcurrentResult struct {
+	// Moves is the total number of state-changing steps taken.
+	Moves int
+	// Silent reports whether the network reached (and held) silence.
+	Silent bool
+}
+
+// RunConcurrent executes the algorithm with one goroutine per node,
+// modelling the asynchronous network directly: every node repeatedly
+// performs the atomic read-compute-write step of the state model against
+// a shared register file guarded per-node. It demonstrates that the
+// algorithms are scheduler-oblivious — the Go scheduler acts as an
+// arbitrary (unfair in practice) daemon — and gives the race detector a
+// real concurrent execution to check.
+//
+// The run stops when the network has been continuously silent for all
+// nodes over a full sweep, or when maxMoves is exceeded, or after
+// timeout. Round counting is not meaningful here (no global observer),
+// so only moves are reported.
+func RunConcurrent(net *Network, maxMoves int, timeout time.Duration) (ConcurrentResult, error) {
+	type register struct {
+		mu sync.Mutex
+		s  State
+	}
+	nodes := net.g.Nodes()
+	regs := make(map[graph.NodeID]*register, len(nodes))
+	for _, v := range nodes {
+		regs[v] = &register{s: net.states[v]}
+	}
+
+	var (
+		movesMu sync.Mutex
+		moves   int
+		stop    = make(chan struct{})
+		once    sync.Once
+		wg      sync.WaitGroup
+	)
+	halt := func() { once.Do(func() { close(stop) }) }
+
+	// readView snapshots node v's view. Locks are taken in ID order to
+	// avoid deadlock (ordered lock acquisition).
+	readView := func(v graph.NodeID) View {
+		nbrs := net.g.Neighbors(v)
+		all := make([]graph.NodeID, 0, len(nbrs)+1)
+		all = append(all, v)
+		all = append(all, nbrs...)
+		sortIDs(all)
+		for _, u := range all {
+			regs[u].mu.Lock()
+		}
+		peers := make(map[graph.NodeID]State, len(nbrs))
+		weights := make(map[graph.NodeID]graph.Weight, len(nbrs))
+		for _, u := range nbrs {
+			peers[u] = regs[u].s
+			w, _ := net.g.EdgeWeight(v, u)
+			weights[u] = w
+		}
+		view := View{
+			ID:        v,
+			N:         net.g.N(),
+			Neighbors: nbrs,
+			Self:      regs[v].s,
+			peers:     peers,
+			weights:   weights,
+		}
+		for i := len(all) - 1; i >= 0; i-- {
+			regs[all[i]].mu.Unlock()
+		}
+		return view
+	}
+
+	deadline := time.After(timeout)
+	for _, v := range nodes {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idleSweeps := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				view := readView(v)
+				next := net.alg.Step(view)
+				if next.Equal(view.Self) {
+					idleSweeps++
+					if idleSweeps > 3 {
+						// Yield and back off; silence is detected globally.
+						time.Sleep(100 * time.Microsecond)
+					}
+					continue
+				}
+				idleSweeps = 0
+				// Atomic step: re-read under lock and only commit if the
+				// view is unchanged (the state model's step is atomic;
+				// this realizes it optimistically).
+				regs[v].mu.Lock()
+				if regs[v].s == view.Self || (regs[v].s != nil && view.Self != nil && regs[v].s.Equal(view.Self)) {
+					regs[v].s = next
+					regs[v].mu.Unlock()
+					movesMu.Lock()
+					moves++
+					exceeded := moves > maxMoves
+					movesMu.Unlock()
+					if exceeded {
+						halt()
+						return
+					}
+				} else {
+					regs[v].mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	// Global silence detector.
+	silent := false
+	detect := time.NewTicker(2 * time.Millisecond)
+	defer detect.Stop()
+detectLoop:
+	for {
+		select {
+		case <-deadline:
+			break detectLoop
+		case <-stop:
+			break detectLoop
+		case <-detect.C:
+			allQuiet := true
+			for _, v := range nodes {
+				view := readView(v)
+				if !net.alg.Step(view).Equal(view.Self) {
+					allQuiet = false
+					break
+				}
+			}
+			if allQuiet {
+				silent = true
+				break detectLoop
+			}
+		}
+	}
+	halt()
+	wg.Wait()
+
+	// Copy final registers back into the network.
+	for _, v := range nodes {
+		regs[v].mu.Lock()
+		net.states[v] = regs[v].s
+		regs[v].mu.Unlock()
+	}
+	net.markAllDirty()
+
+	movesMu.Lock()
+	total := moves
+	movesMu.Unlock()
+	if total > maxMoves {
+		return ConcurrentResult{Moves: total, Silent: false},
+			fmt.Errorf("runtime: exceeded %d moves without silence", maxMoves)
+	}
+	return ConcurrentResult{Moves: total, Silent: silent}, nil
+}
+
+func sortIDs(ids []graph.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+
+	"silentspan/internal/graph"
+)
+
+// Monitor is an invariant checked after every applied step of a run. The
+// experiments use monitors to validate the paper's trajectory claims —
+// most importantly loop-freedom: during the edge-switching protocol of
+// Section IV the parent pointers must form a spanning tree in *every*
+// intermediate configuration, and the malleable verifier of Lemma 4.1
+// must never raise an alarm.
+type Monitor interface {
+	// Check inspects the network's current configuration and returns an
+	// error describing the violation, if any.
+	Check(net *Network) error
+}
+
+// MonitorFunc adapts a function to the Monitor interface.
+type MonitorFunc func(net *Network) error
+
+// Check implements Monitor.
+func (f MonitorFunc) Check(net *Network) error { return f(net) }
+
+// Corrupt injects transient faults: it overwrites the registers of count
+// distinct random nodes with arbitrary states drawn from the algorithm.
+// It returns the identities of the corrupted nodes. Node identities and
+// edge weights are constants and remain intact (Section II-A).
+func Corrupt(net *Network, count int, rng *rand.Rand) []graph.NodeID {
+	nodes := net.Graph().Nodes()
+	if count > len(nodes) {
+		count = len(nodes)
+	}
+	rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	victims := nodes[:count]
+	for _, v := range victims {
+		net.SetState(v, net.Algorithm().ArbitraryState(rng, net.view(v)))
+	}
+	return victims
+}
+
+// CorruptField overwrites the register of one specific node with the
+// given state — targeted corruption for regression tests.
+func CorruptField(net *Network, v graph.NodeID, s State) error {
+	if !net.Graph().HasNode(v) {
+		return fmt.Errorf("runtime: unknown node %d", v)
+	}
+	net.SetState(v, s)
+	return nil
+}
+
+// CheckSilentStable verifies the silence property (Section II-A): in a
+// silent configuration, re-examining every node must leave all registers
+// unchanged. It returns an error naming the first node that would move.
+func CheckSilentStable(net *Network) error {
+	if enabled := net.Enabled(); len(enabled) > 0 {
+		return fmt.Errorf("runtime: configuration not silent: node %d enabled", enabled[0])
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+// Package runtime implements the state model of self-stabilization used
+// by the paper (Section II-A): each process is a node of a connected graph
+// with a single-writer multiple-reader register; in one atomic step a node
+// (1) reads its own register and those of its neighbors, (2) applies the
+// transition function δ, and (3) writes its register. Which enabled node
+// steps is under the control of a scheduler; the package provides the
+// unfair scheduler the paper assumes, and friends.
+//
+// The package also provides the paper's round accounting (a round is the
+// shortest execution prefix in which every node enabled at its start has
+// stepped or become disabled), silence detection (no node enabled),
+// transient-fault injection, and invariant monitors used to validate
+// claims such as loop-freedom during edge switches (Section IV).
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"silentspan/internal/graph"
+)
+
+// State is the content of a node's register. Implementations must be
+// immutable value-like types: Step must return fresh states rather than
+// mutating shared ones.
+type State interface {
+	// Equal reports whether two register contents are identical. A node
+	// is enabled iff δ applied to its view yields a non-Equal state.
+	Equal(State) bool
+	// EncodedBits returns the exact size in bits of the register content
+	// under the natural encoding (IDs and distances as ceil(log2)-width
+	// integers, label bit strings at their real length). This backs the
+	// space-complexity experiments.
+	EncodedBits() int
+	// String renders the state for traces.
+	String() string
+}
+
+// View is everything a node may legally consult during one atomic step:
+// its incorruptible constants (identity, incident edge weights, the bound
+// on n), its own register, and its neighbors' registers.
+type View struct {
+	// ID is the node's own identity (incorruptible constant).
+	ID graph.NodeID
+	// N is the number of network nodes, known to all nodes (the classic
+	// assumption bounding distances and ID widths; the paper assumes
+	// IDs in {1..n^c} and O(log n)-bit weights).
+	N int
+	// Neighbors lists neighbor identities in increasing order.
+	Neighbors []graph.NodeID
+	// Self is the node's own register content.
+	Self State
+
+	peers   map[graph.NodeID]State
+	weights map[graph.NodeID]graph.Weight
+}
+
+// Peer returns the register content of neighbor u. It panics if u is not
+// a neighbor: reading a non-neighbor's register would violate the model.
+func (v View) Peer(u graph.NodeID) State {
+	s, ok := v.peers[u]
+	if !ok {
+		panic(fmt.Sprintf("runtime: node %d read non-neighbor %d", v.ID, u))
+	}
+	return s
+}
+
+// EdgeWeight returns the weight of the incident edge to neighbor u (an
+// incorruptible constant, per Section II-A).
+func (v View) EdgeWeight(u graph.NodeID) graph.Weight {
+	w, ok := v.weights[u]
+	if !ok {
+		panic(fmt.Sprintf("runtime: node %d has no edge to %d", v.ID, u))
+	}
+	return w
+}
+
+// Algorithm is a distributed algorithm in the state model: a transition
+// function δ plus a way to draw arbitrary initial register contents
+// (self-stabilizing algorithms must converge from any of them).
+type Algorithm interface {
+	// Step applies δ to the view and returns the node's next state. The
+	// node is enabled iff the result differs (Equal is false) from
+	// view.Self. Step must not mutate the view's states.
+	Step(v View) State
+	// ArbitraryState returns an arbitrary register content for the node:
+	// the adversarial initialization of the self-stabilization model.
+	// Implementations should cover the whole reachable state space and
+	// also plainly corrupt values.
+	ArbitraryState(rng *rand.Rand, v View) State
+	// Name identifies the algorithm in traces and benchmarks.
+	Name() string
+}
+
+// Network binds a graph, an algorithm, and the current register contents.
+type Network struct {
+	g      *graph.Graph
+	alg    Algorithm
+	states map[graph.NodeID]State
+
+	// enabledCache caches per-node enabledness; dirty nodes need
+	// recomputation (a node's enabledness only changes when it or a
+	// neighbor writes).
+	enabledCache map[graph.NodeID]bool
+	dirty        map[graph.NodeID]bool
+
+	monitors []Monitor
+	moves    int
+	rounds   int
+}
+
+// NewNetwork creates a network with every register content nil; call
+// InitArbitrary or SetState before running. It returns an error for
+// disconnected or empty graphs, which the model excludes.
+func NewNetwork(g *graph.Graph, alg Algorithm) (*Network, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("runtime: empty graph")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("runtime: graph not connected")
+	}
+	net := &Network{
+		g:            g,
+		alg:          alg,
+		states:       make(map[graph.NodeID]State, g.N()),
+		enabledCache: make(map[graph.NodeID]bool, g.N()),
+		dirty:        make(map[graph.NodeID]bool, g.N()),
+	}
+	net.markAllDirty()
+	return net, nil
+}
+
+func (net *Network) markAllDirty() {
+	for _, v := range net.g.Nodes() {
+		net.dirty[v] = true
+	}
+}
+
+// markDirtyAround invalidates the cached enabledness of v and neighbors.
+func (net *Network) markDirtyAround(v graph.NodeID) {
+	net.dirty[v] = true
+	for _, u := range net.g.Neighbors(v) {
+		net.dirty[u] = true
+	}
+}
+
+// Graph returns the underlying graph.
+func (net *Network) Graph() *graph.Graph { return net.g }
+
+// Algorithm returns the bound algorithm.
+func (net *Network) Algorithm() Algorithm { return net.alg }
+
+// State returns node v's current register content (nil if unset).
+func (net *Network) State(v graph.NodeID) State { return net.states[v] }
+
+// SetState writes node v's register directly (used for fault injection
+// and for preparing specific initial configurations).
+func (net *Network) SetState(v graph.NodeID, s State) {
+	if !net.g.HasNode(v) {
+		panic(fmt.Sprintf("runtime: unknown node %d", v))
+	}
+	net.states[v] = s
+	net.markDirtyAround(v)
+}
+
+// InitArbitrary fills every register with an arbitrary state drawn from
+// the algorithm — the adversarial initial configuration of the
+// self-stabilization model.
+func (net *Network) InitArbitrary(rng *rand.Rand) {
+	for _, v := range net.g.Nodes() {
+		net.states[v] = net.alg.ArbitraryState(rng, net.view(v))
+	}
+	net.markAllDirty()
+}
+
+// view builds node v's legal view of the system.
+func (net *Network) view(v graph.NodeID) View {
+	nbrs := net.g.Neighbors(v)
+	peers := make(map[graph.NodeID]State, len(nbrs))
+	weights := make(map[graph.NodeID]graph.Weight, len(nbrs))
+	for _, u := range nbrs {
+		peers[u] = net.states[u]
+		w, _ := net.g.EdgeWeight(v, u)
+		weights[u] = w
+	}
+	return View{
+		ID:        v,
+		N:         net.g.N(),
+		Neighbors: nbrs,
+		Self:      net.states[v],
+		peers:     peers,
+		weights:   weights,
+	}
+}
+
+// Enabled returns the identities of all currently enabled nodes, in
+// increasing order.
+func (net *Network) Enabled() []graph.NodeID {
+	var out []graph.NodeID
+	for _, v := range net.g.Nodes() {
+		if net.enabledOf(v) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (net *Network) enabledOf(v graph.NodeID) bool {
+	if net.dirty[v] {
+		next := net.alg.Step(net.view(v))
+		net.enabledCache[v] = !next.Equal(net.states[v])
+		delete(net.dirty, v)
+	}
+	return net.enabledCache[v]
+}
+
+// Silent reports whether the configuration is terminal: no node enabled.
+// A silent algorithm stabilizes to configurations where this stays true
+// (Section II-A).
+func (net *Network) Silent() bool { return len(net.Enabled()) == 0 }
+
+// Moves returns the number of individual steps taken so far.
+func (net *Network) Moves() int { return net.moves }
+
+// Rounds returns the number of completed rounds so far.
+func (net *Network) Rounds() int { return net.rounds }
+
+// MaxRegisterBits returns the maximum register size over all nodes under
+// the natural encoding — the space-complexity measure of the paper.
+func (net *Network) MaxRegisterBits() int {
+	max := 0
+	for _, s := range net.states {
+		if s == nil {
+			continue
+		}
+		if b := s.EncodedBits(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// AddMonitor registers an invariant checked after every applied step.
+func (net *Network) AddMonitor(m Monitor) { net.monitors = append(net.monitors, m) }
+
+// Result summarizes a run.
+type Result struct {
+	// Rounds is the number of rounds until silence (or until the cap).
+	Rounds int
+	// Moves is the number of individual node steps.
+	Moves int
+	// Silent reports whether the run reached a silent configuration.
+	Silent bool
+	// MaxRegisterBits is the largest register observed at the end.
+	MaxRegisterBits int
+}
+
+// Run drives the network under the given scheduler until silence or until
+// maxMoves steps have been taken. It returns an error if a monitor
+// rejects a configuration (an invariant violation) or if the scheduler
+// misbehaves.
+//
+// Rounds follow the paper's definition: at the start of a round the set X
+// of enabled nodes is recorded; the round completes once every node of X
+// has taken a step or has become disabled by its neighbors' actions.
+func (net *Network) Run(sched Scheduler, maxMoves int) (Result, error) {
+	pending := make(map[graph.NodeID]bool) // nodes of X not yet stepped/disabled
+	startRound := func() {
+		for _, v := range net.Enabled() {
+			pending[v] = true
+		}
+	}
+	startRound()
+	for net.moves < maxMoves {
+		enabled := net.Enabled()
+		if len(enabled) == 0 {
+			break
+		}
+		chosen := sched.Choose(enabled)
+		if len(chosen) == 0 {
+			return Result{}, fmt.Errorf("runtime: scheduler chose no node among %d enabled", len(enabled))
+		}
+		if err := net.applySimultaneous(chosen); err != nil {
+			return Result{}, err
+		}
+		for _, m := range net.monitors {
+			if err := m.Check(net); err != nil {
+				return Result{}, fmt.Errorf("runtime: invariant violated after move %d: %w", net.moves, err)
+			}
+		}
+		// Update round accounting.
+		for _, v := range chosen {
+			delete(pending, v)
+		}
+		for v := range pending {
+			if !net.enabledOf(v) {
+				delete(pending, v)
+			}
+		}
+		if len(pending) == 0 {
+			net.rounds++
+			startRound()
+		}
+	}
+	silent := net.Silent()
+	return Result{
+		Rounds:          net.rounds,
+		Moves:           net.moves,
+		Silent:          silent,
+		MaxRegisterBits: net.MaxRegisterBits(),
+	}, nil
+}
+
+// applySimultaneous performs one scheduler activation: all chosen nodes
+// read the same pre-configuration, then all write (composite atomicity).
+func (net *Network) applySimultaneous(chosen []graph.NodeID) error {
+	next := make(map[graph.NodeID]State, len(chosen))
+	for _, v := range chosen {
+		if !net.g.HasNode(v) {
+			return fmt.Errorf("runtime: scheduler chose unknown node %d", v)
+		}
+		next[v] = net.alg.Step(net.view(v))
+	}
+	for v, s := range next {
+		if !s.Equal(net.states[v]) {
+			net.moves++
+			net.states[v] = s
+			net.markDirtyAround(v)
+		}
+	}
+	return nil
+}
+
+// BitsForValue returns the number of bits needed to store any value in
+// {0..max}: the width used by EncodedBits implementations for bounded
+// integers such as IDs, distances and subtree sizes. BitsForValue(0) and
+// BitsForValue(1) are 1.
+func BitsForValue(max int) int {
+	if max < 0 {
+		panic("runtime: negative max")
+	}
+	b := 1
+	for v := 2; v <= max; v <<= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+package runtime
+
+import (
+	"math/rand"
+
+	"silentspan/internal/graph"
+)
+
+// Scheduler chooses which enabled nodes take the next step. The paper
+// proves its bounds under the *unfair* scheduler — the most liberal
+// adversary, only bounded to activate at least one enabled node — so an
+// algorithm correct here is correct under every weaker scheduler.
+type Scheduler interface {
+	// Choose returns a non-empty subset of the given enabled nodes (which
+	// are sorted by ID and non-empty).
+	Choose(enabled []graph.NodeID) []graph.NodeID
+}
+
+// SchedulerFunc adapts a function to the Scheduler interface.
+type SchedulerFunc func(enabled []graph.NodeID) []graph.NodeID
+
+// Choose implements Scheduler.
+func (f SchedulerFunc) Choose(enabled []graph.NodeID) []graph.NodeID { return f(enabled) }
+
+// Synchronous activates every enabled node simultaneously each step.
+// Under it, steps and rounds coincide.
+func Synchronous() Scheduler {
+	return SchedulerFunc(func(enabled []graph.NodeID) []graph.NodeID {
+		out := make([]graph.NodeID, len(enabled))
+		copy(out, enabled)
+		return out
+	})
+}
+
+// Central activates exactly one enabled node per step, the smallest ID —
+// a deterministic central daemon.
+func Central() Scheduler {
+	return SchedulerFunc(func(enabled []graph.NodeID) []graph.NodeID {
+		return []graph.NodeID{enabled[0]}
+	})
+}
+
+// RandomCentral activates one uniformly random enabled node per step.
+func RandomCentral(rng *rand.Rand) Scheduler {
+	return SchedulerFunc(func(enabled []graph.NodeID) []graph.NodeID {
+		return []graph.NodeID{enabled[rng.Intn(len(enabled))]}
+	})
+}
+
+// RandomSubset activates a uniformly random non-empty subset of the
+// enabled nodes — a distributed daemon.
+func RandomSubset(rng *rand.Rand) Scheduler {
+	return SchedulerFunc(func(enabled []graph.NodeID) []graph.NodeID {
+		var out []graph.NodeID
+		for _, v := range enabled {
+			if rng.Intn(2) == 0 {
+				out = append(out, v)
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, enabled[rng.Intn(len(enabled))])
+		}
+		return out
+	})
+}
+
+// adversarialUnfair is a hostile unfair scheduler: it keeps re-activating
+// the node it activated most recently for as long as that node stays
+// enabled, starving all others — the canonical unfairness pattern. When
+// the favorite becomes disabled it adopts the enabled node activated the
+// longest ago (never, if possible) as the new favorite.
+type adversarialUnfair struct {
+	lastActivated map[graph.NodeID]int
+	clock         int
+	favorite      graph.NodeID
+	hasFavorite   bool
+}
+
+// AdversarialUnfair returns the hostile unfair scheduler described above.
+// Silent algorithms must converge under it; non-silent or fairness-
+// dependent protocols typically livelock or starve.
+func AdversarialUnfair() Scheduler {
+	return &adversarialUnfair{lastActivated: make(map[graph.NodeID]int)}
+}
+
+// Choose implements Scheduler.
+func (s *adversarialUnfair) Choose(enabled []graph.NodeID) []graph.NodeID {
+	s.clock++
+	if s.hasFavorite {
+		for _, v := range enabled {
+			if v == s.favorite {
+				s.lastActivated[v] = s.clock
+				return []graph.NodeID{v}
+			}
+		}
+	}
+	// Favorite disabled: starve the freshest nodes; pick the stalest.
+	best := enabled[0]
+	for _, v := range enabled[1:] {
+		if s.lastActivated[v] < s.lastActivated[best] {
+			best = v
+		}
+	}
+	s.favorite, s.hasFavorite = best, true
+	s.lastActivated[best] = s.clock
+	return []graph.NodeID{best}
+}
+
+// RoundRobin cycles deterministically through node IDs, activating the
+// next enabled node at or after the cursor — a weakly fair daemon, useful
+// as a contrast to the unfair ones.
+type roundRobin struct {
+	cursor graph.NodeID
+}
+
+// RoundRobin returns a weakly fair round-robin central scheduler.
+func RoundRobin() Scheduler { return &roundRobin{} }
+
+// Choose implements Scheduler.
+func (s *roundRobin) Choose(enabled []graph.NodeID) []graph.NodeID {
+	for _, v := range enabled {
+		if v > s.cursor {
+			s.cursor = v
+			return []graph.NodeID{v}
+		}
+	}
+	s.cursor = enabled[0]
+	return []graph.NodeID{enabled[0]}
+}

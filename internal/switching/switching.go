@@ -1,0 +1,564 @@
+// Package switching implements the silent loop-free edge-switching
+// algorithm of Section IV of the paper: a self-stabilizing spanning tree
+// carrying the malleable redundant labels (ID, d, s) of Lemma 4.1, plus a
+// distributed protocol realizing T ← T + e − f one local switch at a
+// time, such that
+//
+//   - the parent pointers form a spanning tree in every intermediate
+//     configuration (loop-freedom), and
+//   - the malleable verifier never raises an alarm while a legal switch
+//     is in progress (malleability).
+//
+// A local switch moves the initiator v from its parent w to a new parent
+// w' (a neighbor across a non-tree edge, or the next node along a
+// fundamental cycle). Following Fig. 1(b) it proceeds in three phases:
+//
+//	prune:    the initiator's request is propagated to the root, which
+//	          prunes sizes top-down along the root paths to w and w'
+//	          (labels (d,s) → (d,⊥); top-down keeps constraint C1), while
+//	          the subtree of v prunes distances ((d,s) → (⊥,s); parent
+//	          first keeps constraint C2) and acknowledges bottom-up;
+//	switch:   v atomically sets parent(v) = w' and d(v) = d(w') + 1; the
+//	          guard "the new parent still carries its distance" certifies
+//	          w' is outside v's subtree, so the structure stays a tree —
+//	          even when several switches fire concurrently;
+//	relabel:  sizes are restored bottom-up along both root paths
+//	          (recomputed from children), distances top-down in v's
+//	          subtree; all control fields return to idle, and the system
+//	          is silent again.
+//
+// The register holds two identities, two bounded integers, two presence
+// bits and three small phase fields: O(log n) bits. A full local switch
+// takes O(depth) ⊆ O(n) rounds, matching Section IV.
+package switching
+
+import (
+	"fmt"
+	"math/rand"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/runtime"
+	"silentspan/internal/trees"
+)
+
+// SwPhase is the initiator's protocol phase.
+type SwPhase uint8
+
+// Initiator phases.
+const (
+	SwIdle SwPhase = iota + 1
+	SwReq          // switch requested; prune waves running
+	SwDone         // parent changed; restore waves running
+)
+
+// PrPhase is the ancestor size-prune control.
+type PrPhase uint8
+
+// Ancestor prune phases.
+const (
+	PrOff    PrPhase = iota + 1
+	PrReq            // on a root path of a pending switch; waiting to prune
+	PrPruned         // size discarded
+)
+
+// SubPhase is the subtree distance-prune control.
+type SubPhase uint8
+
+// Subtree prune phases.
+const (
+	SubOff   SubPhase = iota + 1
+	SubPrune          // distance discarded; waiting for descendants
+	SubAck            // whole subtree below is pruned and acknowledged
+)
+
+// State is the register of the switching algorithm.
+type State struct {
+	// Root, Parent, D, S are the malleable label of Lemma 4.1: root
+	// identity, parent pointer, distance (HasD=false encodes d=⊥) and
+	// subtree size (HasS=false encodes s=⊥).
+	Root   graph.NodeID
+	Parent graph.NodeID
+	HasD   bool
+	D      int
+	HasS   bool
+	S      int
+	// Sw / SwTarget drive a switch this node initiates.
+	Sw       SwPhase
+	SwTarget graph.NodeID
+	// Pr is the ancestor prune control; Sub the subtree prune control.
+	Pr  PrPhase
+	Sub SubPhase
+}
+
+// Equal implements runtime.State.
+func (s State) Equal(o runtime.State) bool {
+	os, ok := o.(State)
+	return ok && os == s
+}
+
+// EncodedBits implements runtime.State.
+func (s State) EncodedBits() int {
+	b := runtime.BitsForValue(int(s.Root)) + runtime.BitsForValue(int(s.Parent)) + 2
+	if s.HasD {
+		b += runtime.BitsForValue(s.D)
+	}
+	if s.HasS {
+		b += runtime.BitsForValue(s.S)
+	}
+	b += 2 + 2 + 2 // three phase fields
+	b += runtime.BitsForValue(int(s.SwTarget))
+	return b
+}
+
+// String implements runtime.State.
+func (s State) String() string {
+	d, sz := "⊥", "⊥"
+	if s.HasD {
+		d = fmt.Sprintf("%d", s.D)
+	}
+	if s.HasS {
+		sz = fmt.Sprintf("%d", s.S)
+	}
+	return fmt.Sprintf("(root=%d par=%d d=%s s=%s sw=%d tgt=%d pr=%d sub=%d)",
+		s.Root, s.Parent, d, sz, s.Sw, s.SwTarget, s.Pr, s.Sub)
+}
+
+// Idle reports whether all control fields are at rest.
+func (s State) Idle() bool { return s.Sw == SwIdle && s.Pr == PrOff && s.Sub == SubOff }
+
+// RegOf extracts the switching register from a runtime state. Task
+// algorithms embedding State in larger registers provide their own
+// accessor; the standalone algorithm uses this one.
+func RegOf(s runtime.State) (State, bool) {
+	if s == nil {
+		return State{}, false
+	}
+	r, ok := s.(State)
+	return r, ok
+}
+
+// Getter reads the switching register of a neighbor's runtime state.
+type Getter func(runtime.State) (State, bool)
+
+// SelfRoot is the full reset register of a node: a fresh singleton root
+// with exact labels and idle controls.
+func SelfRoot(id graph.NodeID) State {
+	return State{
+		Root: id, Parent: trees.None,
+		HasD: true, D: 0,
+		HasS: true, S: 1,
+		Sw: SwIdle, SwTarget: trees.None, Pr: PrOff, Sub: SubOff,
+	}
+}
+
+// StepReg evaluates the switching rules for one node and returns its next
+// register. get extracts the switching register from a neighbor's state;
+// task layers embedding State pass their own extractor so that the rules
+// read through composite registers. If the returned register equals self,
+// no switching rule is enabled and the task layer may evaluate its own
+// improvement rules.
+func StepReg(self State, v runtime.View, get Getter) State {
+	// ---- Layer 0: substrate consistency (tree construction/repair).
+	s := self
+	peer := func(u graph.NodeID) (State, bool) {
+		if u == trees.None {
+			return State{}, false
+		}
+		for _, nb := range v.Neighbors {
+			if nb == u {
+				return get(v.Peer(u))
+			}
+		}
+		return State{}, false
+	}
+
+	if next, acted := substrate(s, v, peer); acted {
+		return next
+	}
+
+	// ---- Layer 1: distance-chain coherence. The D field stays
+	// meaningful even while pruned (HasD=false hides it from the
+	// verifier, not from the protocol): enforcing D = D_parent + 1 with
+	// the n-1 cap on the raw fields erodes parent cycles made of pruned
+	// nodes, which no verifier-visible rule could otherwise detect.
+	if s.Parent != trees.None {
+		if p, ok := peer(s.Parent); ok && s.D != p.D+1 {
+			if p.D+1 > v.N-1 {
+				return SelfRoot(v.ID)
+			}
+			s.D = p.D + 1
+			return s
+		}
+	}
+
+	// ---- Layer 2: control-field sanitization.
+	if next, acted := sanitize(s, v, peer); acted {
+		return next
+	}
+
+	// ---- Layer 2: protocol forward rules.
+	if next, acted := protocol(s, v, peer); acted {
+		return next
+	}
+
+	// ---- Layer 3: label maintenance (sizes, distances) when quiet.
+	if next, acted := maintain(s, v, peer); acted {
+		return next
+	}
+	return s
+}
+
+// substrate enforces tree consistency: reset on structural nonsense and
+// adopt strictly smaller root identities (min-ID leader election). Any
+// substrate action clears the control fields.
+func substrate(s State, v runtime.View, peer func(graph.NodeID) (State, bool)) (State, bool) {
+	cap := v.N - 1
+	if s.Parent == trees.None {
+		if s.Root != v.ID || !s.HasD || s.D != 0 {
+			return SelfRoot(v.ID), true
+		}
+	} else {
+		p, ok := peer(s.Parent)
+		if !ok {
+			return SelfRoot(v.ID), true
+		}
+		if s.Root >= v.ID || s.Root <= 0 || p.Root != s.Root {
+			return SelfRoot(v.ID), true
+		}
+		if s.HasD && (s.D < 1 || s.D > cap) {
+			return SelfRoot(v.ID), true
+		}
+	}
+	// Adopt a strictly smaller root from any neighbor.
+	bestU, best := trees.None, s.Root
+	for _, u := range v.Neighbors {
+		p, ok := peer(u)
+		if !ok {
+			continue
+		}
+		if p.Root < best && p.HasD && p.D+1 <= cap {
+			bestU, best = u, p.Root
+		}
+	}
+	if bestU != trees.None {
+		p, _ := peer(bestU)
+		return State{
+			Root: best, Parent: bestU,
+			HasD: true, D: p.D + 1,
+			HasS: s.HasS, S: s.S,
+			Sw: SwIdle, SwTarget: trees.None, Pr: PrOff, Sub: SubOff,
+		}, true
+	}
+	return s, false
+}
+
+// seedPr reports whether node x is a prune seed: it is the old parent (w)
+// or the designated new parent (w') of a neighboring initiator with a
+// pending request.
+func seedPr(v runtime.View, peer func(graph.NodeID) (State, bool), x graph.NodeID) bool {
+	for _, u := range v.Neighbors {
+		p, ok := peer(u)
+		if !ok {
+			continue
+		}
+		if p.Sw == SwReq && (p.Parent == x || p.SwTarget == x) {
+			return true
+		}
+	}
+	return false
+}
+
+// childPrSupport reports whether some tree child keeps the prune request
+// alive below x.
+func childPrSupport(v runtime.View, peer func(graph.NodeID) (State, bool), x graph.NodeID) bool {
+	for _, u := range v.Neighbors {
+		p, ok := peer(u)
+		if !ok || p.Parent != x {
+			continue
+		}
+		if p.Pr != PrOff {
+			return true
+		}
+	}
+	return false
+}
+
+// sanitize clears control fields that have lost their justification —
+// the self-stabilization of the protocol layer itself after transient
+// faults corrupt control fields.
+func sanitize(s State, v runtime.View, peer func(graph.NodeID) (State, bool)) (State, bool) {
+	// Initiator sanity.
+	if s.Sw != SwIdle && s.Sw != SwReq && s.Sw != SwDone {
+		s.Sw, s.SwTarget = SwIdle, trees.None
+		return s, true
+	}
+	if s.Sw == SwIdle && s.SwTarget != trees.None {
+		s.SwTarget = trees.None
+		return s, true
+	}
+	if s.Sw == SwReq {
+		t, ok := peer(s.SwTarget)
+		bad := !ok || s.SwTarget == s.Parent || !s.HasD || !s.HasS ||
+			s.Parent == trees.None || t.Root != s.Root ||
+			// The target joined this initiator's own subtree-prune wave:
+			// it is a descendant, so the requested switch would create a
+			// cycle. Abort; the waves die out and the restores run.
+			t.Sub != SubOff || t.Parent == v.ID
+		if bad {
+			s.Sw, s.SwTarget = SwIdle, trees.None
+			return s, true
+		}
+	}
+	// Pr sanity: a pruned flag without a pruned size, or phases outside
+	// the enum, are garbage.
+	if s.Pr != PrOff && s.Pr != PrReq && s.Pr != PrPruned {
+		s.Pr = PrOff
+		return s, true
+	}
+	if s.Pr == PrPruned && s.HasS {
+		s.Pr = PrOff
+		return s, true
+	}
+	if s.Pr == PrReq && !s.HasS {
+		// The size is already gone; account for it.
+		s.Pr = PrPruned
+		return s, true
+	}
+	if s.Pr == PrReq && s.HasS {
+		// A request with no remaining justification dies out.
+		if !seedPr(v, peer, v.ID) && !childPrSupport(v, peer, v.ID) {
+			s.Pr = PrOff
+			return s, true
+		}
+	}
+	// Sub sanity.
+	if s.Sub != SubOff && s.Sub != SubPrune && s.Sub != SubAck {
+		s.Sub = SubOff
+		return s, true
+	}
+	if s.Sub != SubOff && s.HasD {
+		s.Sub = SubOff
+		return s, true
+	}
+	// A pruned size with no control context at all: restore directly
+	// (covers faults that cleared Pr but left HasS=false).
+	if !s.HasS && s.Pr == PrOff {
+		if next, ok := restoreSize(s, v, peer); ok {
+			return next, true
+		}
+	}
+	// A pruned distance with no control context: restore directly.
+	if !s.HasD && s.Sub == SubOff {
+		if next, ok := restoreDist(s, v, peer); ok {
+			return next, true
+		}
+	}
+	return s, false
+}
+
+// protocol evaluates the forward rules of the three phases.
+func protocol(s State, v runtime.View, peer func(graph.NodeID) (State, bool)) (State, bool) {
+	// (a) Ancestor prune request joins.
+	if s.Pr == PrOff && s.HasS &&
+		(seedPr(v, peer, v.ID) || childPrSupport(v, peer, v.ID)) {
+		s.Pr = PrReq
+		return s, true
+	}
+	// (b) Prune size top-down (C1: parent must already be (d,⊥)).
+	if s.Pr == PrReq && s.HasS {
+		parentPruned := s.Parent == trees.None
+		if !parentPruned {
+			if p, ok := peer(s.Parent); ok && !p.HasS {
+				parentPruned = true
+			}
+		}
+		if parentPruned {
+			s.HasS = false
+			s.Pr = PrPruned
+			return s, true
+		}
+	}
+	// (c) Subtree prune joins (C2: parent keeps its size, which both the
+	// initiator and a (⊥,s) node do).
+	if s.Sub == SubOff && s.HasD && s.Parent != trees.None {
+		if p, ok := peer(s.Parent); ok && (p.Sw == SwReq || p.Sub == SubPrune) {
+			s.Sub = SubPrune
+			s.HasD = false
+			return s, true
+		}
+	}
+	// (d) Subtree acknowledgement bottom-up.
+	if s.Sub == SubPrune && allChildren(v, peer, v.ID, func(c State) bool { return c.Sub == SubAck }) {
+		s.Sub = SubAck
+		return s, true
+	}
+	// (e) The switch itself.
+	if s.Sw == SwReq {
+		w, okW := peer(s.Parent)
+		t, okT := peer(s.SwTarget)
+		if okW && okT &&
+			s.HasD && s.HasS &&
+			!w.HasS && !t.HasS && // both root paths pruned down to w and w'
+			t.HasD && // w' still carries d ⇒ w' is outside v's subtree
+			t.Root == s.Root &&
+			allChildren(v, peer, v.ID, func(c State) bool { return c.Sub == SubAck }) {
+			s.Parent = s.SwTarget
+			s.D = t.D + 1
+			s.Sw = SwDone
+			return s, true
+		}
+	}
+	// (f) Size restore bottom-up.
+	if s.Pr == PrPruned && !s.HasS {
+		if next, ok := restoreSize(s, v, peer); ok {
+			return next, true
+		}
+	}
+	// (g) Distance restore top-down.
+	if s.Sub == SubAck && !s.HasD && s.Parent != trees.None {
+		if p, ok := peer(s.Parent); ok &&
+			p.HasD && p.Sub == SubOff && p.Sw != SwReq {
+			s.HasD = true
+			s.D = p.D + 1
+			s.Sub = SubOff
+			return s, true
+		}
+	}
+	// (h) Initiator completion.
+	if s.Sw == SwDone {
+		p, ok := peer(s.Parent)
+		if ok && p.HasS && s.HasD && s.HasS &&
+			allChildren(v, peer, v.ID, func(c State) bool { return c.Sub == SubOff }) {
+			s.Sw, s.SwTarget = SwIdle, trees.None
+			return s, true
+		}
+	}
+	return s, false
+}
+
+// restoreSize recomputes s from the children if the protocol context
+// permits: the prune request must be gone (no seeding initiator, no
+// active child request) and every child must carry a size.
+func restoreSize(s State, v runtime.View, peer func(graph.NodeID) (State, bool)) (State, bool) {
+	if seedPr(v, peer, v.ID) || childPrSupport(v, peer, v.ID) {
+		return s, false
+	}
+	sum := 1
+	for _, u := range v.Neighbors {
+		p, ok := peer(u)
+		if !ok || p.Parent != v.ID {
+			continue
+		}
+		if !p.HasS {
+			return s, false
+		}
+		sum += p.S
+	}
+	s.HasS = true
+	s.S = sum
+	s.Pr = PrOff
+	return s, true
+}
+
+// restoreDist recomputes d from the parent if available.
+func restoreDist(s State, v runtime.View, peer func(graph.NodeID) (State, bool)) (State, bool) {
+	if s.Parent == trees.None {
+		s.HasD, s.D = true, 0
+		return s, true
+	}
+	p, ok := peer(s.Parent)
+	if !ok || !p.HasD || p.Sub != SubOff || p.Sw == SwReq {
+		return s, false
+	}
+	s.HasD = true
+	s.D = p.D + 1
+	s.Sub = SubOff
+	return s, true
+}
+
+// maintain keeps distances and sizes at their exact values when the node
+// and its neighborhood are quiet — the steady-state convergecast and
+// broadcast of the labels.
+func maintain(s State, v runtime.View, peer func(graph.NodeID) (State, bool)) (State, bool) {
+	if !s.Idle() {
+		return s, false
+	}
+	// (The distance chain is maintained unconditionally in StepReg.)
+	// Size is one plus the children's sum.
+	if s.HasS {
+		sum := 1
+		complete := true
+		for _, u := range v.Neighbors {
+			p, ok := peer(u)
+			if !ok || p.Parent != v.ID {
+				continue
+			}
+			if !p.HasS {
+				complete = false
+				break
+			}
+			sum += p.S
+		}
+		if complete && s.S != sum {
+			s.S = sum
+			return s, true
+		}
+	}
+	return s, false
+}
+
+// allChildren reports whether pred holds for every neighbor whose parent
+// pointer designates x (vacuously true without children).
+func allChildren(v runtime.View, peer func(graph.NodeID) (State, bool), x graph.NodeID, pred func(State) bool) bool {
+	for _, u := range v.Neighbors {
+		p, ok := peer(u)
+		if !ok || p.Parent != x {
+			continue
+		}
+		if !pred(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Algorithm is the standalone switching algorithm (registers are bare
+// switching states). Task layers embed State instead and call StepReg.
+type Algorithm struct{}
+
+var _ runtime.Algorithm = Algorithm{}
+
+// Name implements runtime.Algorithm.
+func (Algorithm) Name() string { return "malleable-switching" }
+
+// Step implements runtime.Algorithm.
+func (Algorithm) Step(v runtime.View) runtime.State {
+	self, ok := RegOf(v.Self)
+	if !ok {
+		return SelfRoot(v.ID)
+	}
+	return StepReg(self, v, RegOf)
+}
+
+// ArbitraryState implements runtime.Algorithm.
+func (Algorithm) ArbitraryState(rng *rand.Rand, v runtime.View) runtime.State {
+	s := State{
+		Root: graph.NodeID(rng.Intn(2*v.N) + 1),
+		HasD: rng.Intn(4) != 0,
+		D:    rng.Intn(v.N + 1),
+		HasS: rng.Intn(4) != 0,
+		S:    rng.Intn(v.N+1) + 1,
+		Sw:   SwPhase(rng.Intn(4)),
+		Pr:   PrPhase(rng.Intn(4)),
+		Sub:  SubPhase(rng.Intn(4)),
+	}
+	if len(v.Neighbors) == 0 || rng.Intn(3) == 0 {
+		s.Parent = trees.None
+	} else {
+		s.Parent = v.Neighbors[rng.Intn(len(v.Neighbors))]
+	}
+	if len(v.Neighbors) > 0 && rng.Intn(2) == 0 {
+		s.SwTarget = v.Neighbors[rng.Intn(len(v.Neighbors))]
+	}
+	return s
+}

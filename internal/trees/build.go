@@ -1,0 +1,113 @@
+package trees
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"silentspan/internal/graph"
+)
+
+// BFSTree returns a breadth-first spanning tree of g rooted at root, with
+// neighbors explored in increasing ID order (deterministic). A BFS tree
+// realizes dist_T(v, root) = dist_G(v, root) for every v — the legality
+// predicate of the BFS task (Section III example).
+func BFSTree(g *graph.Graph, root graph.NodeID) (*Tree, error) {
+	if !g.HasNode(root) {
+		return nil, fmt.Errorf("trees: unknown root %d", root)
+	}
+	t := NewTree(root)
+	queue := []graph.NodeID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if !t.Has(u) {
+				t.AddChild(v, u)
+				queue = append(queue, u)
+			}
+		}
+	}
+	if t.N() != g.N() {
+		return nil, fmt.Errorf("trees: graph not connected: reached %d of %d nodes", t.N(), g.N())
+	}
+	return t, nil
+}
+
+// DFSTree returns a depth-first spanning tree of g rooted at root.
+// DFS trees tend to have long paths and small degree, useful as MDST
+// starting points and as adversarial inputs for BFS repair.
+func DFSTree(g *graph.Graph, root graph.NodeID) (*Tree, error) {
+	if !g.HasNode(root) {
+		return nil, fmt.Errorf("trees: unknown root %d", root)
+	}
+	t := NewTree(root)
+	var visit func(v graph.NodeID)
+	visit = func(v graph.NodeID) {
+		for _, u := range g.Neighbors(v) {
+			if !t.Has(u) {
+				t.AddChild(v, u)
+				visit(u)
+			}
+		}
+	}
+	visit(root)
+	if t.N() != g.N() {
+		return nil, fmt.Errorf("trees: graph not connected: reached %d of %d nodes", t.N(), g.N())
+	}
+	return t, nil
+}
+
+// RandomSpanningTree returns a uniformly-ish random spanning tree of g
+// (random edge order Kruskal), rooted at root. Deterministic given rng.
+// Random trees are the arbitrary initial configurations from which the
+// PLS-guided local search must converge.
+func RandomSpanningTree(g *graph.Graph, root graph.NodeID, rng *rand.Rand) (*Tree, error) {
+	if !g.HasNode(root) {
+		return nil, fmt.Errorf("trees: unknown root %d", root)
+	}
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	uf := graph.NewUnionFind(g.Nodes())
+	adj := make(map[graph.NodeID][]graph.NodeID, g.N())
+	for _, e := range edges {
+		if uf.Union(e.U, e.V) {
+			adj[e.U] = append(adj[e.U], e.V)
+			adj[e.V] = append(adj[e.V], e.U)
+		}
+	}
+	if uf.Sets() != 1 {
+		return nil, fmt.Errorf("trees: graph not connected (%d components)", uf.Sets())
+	}
+	t := NewTree(root)
+	stack := []graph.NodeID{root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nbrs := adj[v]
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		for _, u := range nbrs {
+			if !t.Has(u) {
+				t.AddChild(v, u)
+				stack = append(stack, u)
+			}
+		}
+	}
+	return t, nil
+}
+
+// IsBFSTree reports whether t realizes graph distances from its root:
+// for all v, depth_T(v) == dist_G(v, root).
+func IsBFSTree(t *Tree, g *graph.Graph) bool {
+	dist, err := g.BFSDistances(t.Root())
+	if err != nil {
+		return false
+	}
+	depth := t.Depths()
+	for v, d := range depth {
+		if dist[v] != d {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,208 @@
+package trees
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"silentspan/internal/graph"
+)
+
+// genTree derives a random connected graph and spanning tree from a seed.
+func genTree(seed int64, n int) (*graph.Graph, *Tree) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.RandomConnected(n, 0.25, rng)
+	t, err := RandomSpanningTree(g, g.MinID(), rng)
+	if err != nil {
+		panic(err)
+	}
+	return g, t
+}
+
+// TestQuickSwapPreservesSpanning: for any random tree and any valid
+// (e, f) pair, Swap yields a spanning tree with the same root.
+func TestQuickSwapPreservesSpanning(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 5
+		g, tr := genTree(seed, n)
+		nte := tr.NonTreeEdges(g)
+		if len(nte) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		e := nte[rng.Intn(len(nte))]
+		ces := tr.CycleEdges(e)
+		fEdge := ces[rng.Intn(len(ces))]
+		nt, err := tr.Swap(e, fEdge)
+		if err != nil {
+			return false
+		}
+		return nt.IsSpanningTreeOf(g) && nt.Root() == tr.Root() &&
+			nt.HasEdge(e.U, e.V) && !nt.HasEdge(fEdge.U, fEdge.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSubtreeSizesSumToN: sizes satisfy the malleable-label
+// equation s(v) = 1 + Σ children, and the root's size is n.
+func TestQuickSubtreeSizesSumToN(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		_, tr := genTree(seed, n)
+		sizes := tr.SubtreeSizes()
+		if sizes[tr.Root()] != tr.N() {
+			return false
+		}
+		for _, v := range tr.Nodes() {
+			sum := 1
+			for _, c := range tr.Children(v) {
+				sum += sizes[c]
+			}
+			if sizes[v] != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNCASymmetricAndOnPath: NCA(u,v) = NCA(v,u), lies on the tree
+// path of u and v, and is an ancestor of both.
+func TestQuickNCAProperties(t *testing.T) {
+	f := func(seed int64, nRaw, ui, vi uint8) bool {
+		n := int(nRaw%25) + 2
+		_, tr := genTree(seed, n)
+		nodes := tr.Nodes()
+		u := nodes[int(ui)%len(nodes)]
+		v := nodes[int(vi)%len(nodes)]
+		m := tr.NCA(u, v)
+		if tr.NCA(v, u) != m {
+			return false
+		}
+		onPath := false
+		for _, x := range tr.TreePath(u, v) {
+			if x == m {
+				onPath = true
+			}
+		}
+		if !onPath {
+			return false
+		}
+		isAnc := func(a, b graph.NodeID) bool {
+			for x := b; ; x = tr.Parent(x) {
+				if x == a {
+					return true
+				}
+				if x == tr.Root() {
+					return a == tr.Root()
+				}
+			}
+		}
+		return isAnc(m, u) && isAnc(m, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRerootPreservesEdges: rerooting keeps the undirected edge set
+// and rerooting back restores the original parents.
+func TestQuickRerootInvolution(t *testing.T) {
+	f := func(seed int64, nRaw, ri uint8) bool {
+		n := int(nRaw%20) + 2
+		_, tr := genTree(seed, n)
+		nodes := tr.Nodes()
+		r := nodes[int(ri)%len(nodes)]
+		rr := tr.Reroot(r)
+		if rr.N() != tr.N() || rr.Root() != r {
+			return false
+		}
+		// Same undirected edges.
+		edges := map[graph.Edge]bool{}
+		for _, e := range tr.Edges() {
+			edges[e] = true
+		}
+		for _, e := range rr.Edges() {
+			if !edges[e] {
+				return false
+			}
+		}
+		// Involution.
+		back := rr.Reroot(tr.Root())
+		for _, v := range tr.Nodes() {
+			if back.Parent(v) != tr.Parent(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFundamentalCycleEndpoints: the fundamental cycle of T + e
+// starts at e.U, ends at e.V, is simple, and all consecutive pairs are
+// tree edges.
+func TestQuickFundamentalCycle(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 5
+		g, tr := genTree(seed, n)
+		nte := tr.NonTreeEdges(g)
+		if len(nte) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed + 2))
+		e := nte[rng.Intn(len(nte))]
+		path := tr.FundamentalCycle(e)
+		if path[0] != e.U || path[len(path)-1] != e.V {
+			return false
+		}
+		seen := map[graph.NodeID]bool{}
+		for i, x := range path {
+			if seen[x] {
+				return false
+			}
+			seen[x] = true
+			if i+1 < len(path) && !tr.HasEdge(x, path[i+1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHeavyPathPartition: heavy paths partition the nodes, and
+// every node's head is on its own path at position 0.
+func TestQuickHeavyPathPartition(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		_, tr := genTree(seed, n)
+		d := Decompose(tr)
+		count := 0
+		for _, h := range d.Heads() {
+			path := d.Path(h)
+			count += len(path)
+			if d.Pos(h) != 0 || d.Head(h) != h {
+				return false
+			}
+			for i, x := range path {
+				if d.Head(x) != h || d.Pos(x) != i {
+					return false
+				}
+			}
+		}
+		return count == tr.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
