@@ -18,6 +18,7 @@ import (
 	"silentspan/internal/mdst"
 	"silentspan/internal/mst"
 	"silentspan/internal/nca"
+	"silentspan/internal/routing"
 	"silentspan/internal/runtime"
 	"silentspan/internal/switching"
 	"silentspan/internal/trees"
@@ -143,7 +144,68 @@ func BenchmarkE8Potential(b *testing.B) {
 	}
 }
 
+func BenchmarkE9Routing(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			var stretch float64
+			for i := 0; i < b.N; i++ {
+				tb, err := bench.E9Routing([]int{n}, 20_000, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stretch, _ = strconv.ParseFloat(tb.Rows[0][6], 64)
+			}
+			b.ReportMetric(stretch, "mean-stretch")
+		})
+	}
+}
+
+func BenchmarkE10Interplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E10Interplay(24, 3, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Micro-benchmarks for the primitives behind the tables. ---
+
+func BenchmarkRouteForwarding(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.RandomConnected(4096, 0.002, rng)
+	tr, err := trees.BFSTree(g, g.MinID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := routing.NewRouter(g, routing.Label(tr), routing.Options{})
+	pairs := routing.UniformPairs(g.Nodes(), 4096, rng)
+	b.ResetTimer()
+	hops := 0
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		d := r.Route(p.Src, p.Dst)
+		if !d.Delivered {
+			b.Fatalf("%d -> %d dropped: %v", p.Src, p.Dst, d.Reason)
+		}
+		hops += d.Hops
+	}
+	b.ReportMetric(float64(hops)/float64(b.N), "hops/packet")
+}
+
+func BenchmarkCoordLabeling(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	g := graph.RandomConnected(8192, 0.001, rng)
+	tr, err := trees.BFSTree(g, g.MinID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var bits int
+	for i := 0; i < b.N; i++ {
+		bits = routing.Label(tr).MaxLabelBits()
+	}
+	b.ReportMetric(float64(bits), "max-label-bits")
+}
 
 func BenchmarkNCAQuery(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))

@@ -1,6 +1,7 @@
 // Command ssbench regenerates every experiment table of the
-// reproduction (E1–E8, see DESIGN.md §5 and EXPERIMENTS.md): one table
-// per claim-level figure of the paper.
+// reproduction (E1–E10 plus the A-series ablations, see DESIGN.md §5):
+// one table per claim-level figure of the paper, plus the routing
+// serving-layer measurements (E9/E10/A5).
 //
 // Usage:
 //
@@ -36,6 +37,11 @@ func main() {
 	e7f := []int{1, 2, 4, 8, 16}
 	e7n, e8n := 32, 16
 	a1n := []int{16, 32, 64}
+	e9n := []int{100, 1000, 10000}
+	e9pkts := 100_000
+	a5n := []int{100, 1000}
+	a5pkts := 20_000
+	e10n, e10f := 32, 4
 	if *quick {
 		a1n = []int{12, 24}
 		e1n = []int{16, 32, 64}
@@ -46,6 +52,11 @@ func main() {
 		e6n = []int{5, 6, 7}
 		e7f = []int{1, 2, 4}
 		e7n, e8n = 20, 14
+		e9n = []int{100, 1000}
+		e9pkts = 10_000
+		a5n = []int{100}
+		a5pkts = 5_000
+		e10n = 24
 	}
 
 	experiments := []experiment{
@@ -57,10 +68,13 @@ func main() {
 		{"E6", func() (*bench.Table, error) { return bench.E6Verification(e6n, *seed) }},
 		{"E7", func() (*bench.Table, error) { return bench.E7FaultRecovery(e7n, e7f, *seed) }},
 		{"E8", func() (*bench.Table, error) { return bench.E8Potential(e8n, *seed) }},
+		{"E9", func() (*bench.Table, error) { return bench.E9Routing(e9n, e9pkts, *seed) }},
+		{"E10", func() (*bench.Table, error) { return bench.E10Interplay(e10n, e10f, *seed) }},
 		{"A1", func() (*bench.Table, error) { return bench.A1Malleability(a1n, *seed) }},
 		{"A2", func() (*bench.Table, error) { return bench.A2NCAEncoding(e2n, *seed) }},
 		{"A3", func() (*bench.Table, error) { return bench.A3Schedulers(e8n, *seed) }},
 		{"A4", func() (*bench.Table, error) { return bench.A4Families(*seed) }},
+		{"A5", func() (*bench.Table, error) { return bench.A5Shortcut(a5n, a5pkts, *seed) }},
 	}
 
 	failed := false

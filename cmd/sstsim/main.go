@@ -3,11 +3,21 @@
 // (adversarial) configuration; watch the system converge to a silent
 // legal configuration; optionally inject faults and watch it recover.
 //
+// The -route mode serves traffic over the stabilized tree instead:
+// label the tree with routing coordinates, drive a packet workload,
+// and report delivery, hops, and stretch. With -faults it runs the
+// fault-interplay experiment — corrupt registers under live traffic
+// and measure loops/drops during reconvergence — once per substrate
+// (BFS, MST, MDST).
+//
 // Usage examples:
 //
 //	sstsim -alg bfs -graph random:40:0.1 -sched adversarial -faults 5
 //	sstsim -alg mst -graph geometric:24:0.35
 //	sstsim -alg mdst -graph lollipop:6:8 -seed 7
+//	sstsim -route -graph random:10000:0.002 -packets 100000
+//	sstsim -route -workload hotspot -graph geometric:400:0.08
+//	sstsim -route -faults 4 -graph random:32:0.15
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"silentspan/internal/graph"
 	"silentspan/internal/mdst"
 	"silentspan/internal/mst"
+	"silentspan/internal/routing"
 	"silentspan/internal/runtime"
 	"silentspan/internal/spanning"
 	"silentspan/internal/switching"
@@ -36,6 +47,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	faults := flag.Int("faults", 0, "registers to corrupt after stabilization (rule-based algorithms)")
 	maxMoves := flag.Int("maxmoves", 10_000_000, "move budget")
+	route := flag.Bool("route", false, "serve traffic over the stabilized tree instead of just constructing it")
+	packets := flag.Int("packets", 100_000, "route mode: packets to drive")
+	workload := flag.String("workload", "uniform", "route mode: uniform | hotspot | allpairs")
 	flag.Parse()
 
 	g, err := parseGraph(*graphSpec, *seed)
@@ -45,6 +59,27 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 	fmt.Printf("graph: %s (n=%d, m=%d)\n", *graphSpec, g.N(), g.M())
 
+	if *route {
+		// Route mode fixes the substrate (spanning, benign start) and
+		// daemon (synchronous); reject construction-mode flags rather
+		// than silently ignoring them.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "alg", "sched", "maxmoves":
+				fatal(fmt.Errorf("-%s is a construction-mode flag and has no effect with -route", f.Name))
+			}
+		})
+		if *faults > 0 {
+			if *workload != "uniform" {
+				fatal(fmt.Errorf("-route -faults measures uniform batches; -workload %s is not supported there", *workload))
+			}
+			runRouteInterplay(g, *faults, *packets, *seed)
+		} else {
+			runRoute(g, *workload, *packets, rng)
+		}
+		return
+	}
+
 	switch *algName {
 	case "mst", "mdst":
 		runEngine(*algName, g, rng)
@@ -52,6 +87,83 @@ func main() {
 		runRules(*algName, g, *schedName, rng, *faults, *maxMoves)
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algName))
+	}
+}
+
+// runRoute stabilizes the spanning substrate from the post-reset
+// configuration, labels the tree with coordinates, and drives the
+// workload, printing the serving metrics.
+func runRoute(g *graph.Graph, workload string, packets int, rng *rand.Rand) {
+	net, err := runtime.NewNetwork(g, spanning.Algorithm{})
+	if err != nil {
+		fatal(err)
+	}
+	spanning.InitSelfRoot(net)
+	res, err := net.Run(runtime.Synchronous(), 200_000_000)
+	if err != nil {
+		fatal(err)
+	}
+	if !res.Silent {
+		fatal(fmt.Errorf("substrate not silent after %d moves", res.Moves))
+	}
+	tree, err := spanning.ExtractTree(net)
+	if err != nil {
+		fatal(err)
+	}
+	lab := routing.Label(tree)
+	fmt.Printf("substrate: silent in %d rounds (%d moves); root=%d height=%d; registers %d bits, coords ≤ %d bits\n",
+		res.Rounds, res.Moves, tree.Root(), height(tree), res.MaxRegisterBits, lab.MaxLabelBits())
+
+	var pairs []routing.Pair
+	switch workload {
+	case "uniform":
+		pairs = routing.UniformPairs(g.Nodes(), packets, rng)
+	case "hotspot":
+		pairs = routing.HotspotPairs(g.Nodes(), tree.Root(), packets, 0.8, rng)
+	case "allpairs":
+		pairs = routing.AllPairsSample(g.Nodes(), packets, rng)
+	default:
+		fatal(fmt.Errorf("unknown workload %q", workload))
+	}
+	r := routing.NewRouter(g, lab, routing.Options{})
+	stats, err := routing.Drive(r, pairs, routing.DriveOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("traffic (%s): %v\n", workload, stats)
+	if stats.ExactSources > 0 {
+		fmt.Printf("stretch sampled over %d sources (exact shortest paths via per-source BFS)\n", stats.ExactSources)
+	}
+}
+
+// runRouteInterplay corrupts registers under live traffic and reports
+// the reconvergence behaviour for each constrained-tree substrate. The
+// -packets budget sizes the pre/post measurement batches.
+func runRouteInterplay(g *graph.Graph, faults, packets int, seed int64) {
+	batch := packets
+	if batch > 100_000 {
+		batch = 100_000 // pre/post batches; the default -packets is fine
+	}
+	for _, sub := range []routing.Substrate{routing.SubstrateBFS, routing.SubstrateMST, routing.SubstrateMDST} {
+		rep, err := routing.RunInterplay(g, routing.InterplayConfig{
+			Substrate:    sub,
+			Faults:       faults,
+			BatchPackets: batch,
+			Seed:         seed,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("%s substrate: %w", sub, err))
+		}
+		fmt.Printf("\nsubstrate %s (height %d→%d, max-degree %d→%d):\n",
+			sub, rep.PreHeight, rep.PostHeight, rep.PreMaxDegree, rep.PostMaxDegree)
+		fmt.Printf("  pre-fault:  %v\n", rep.Pre)
+		fmt.Printf("  faults: %d registers corrupted under %d in-flight packets\n", faults, rep.InFlight.Sent)
+		fmt.Printf("  reconverge: %d moves over %d windows, %d register writes observed\n",
+			rep.ReconvergeMoves, rep.Windows, rep.TopologyWrites)
+		fmt.Printf("  in-flight:  delivered %d during repair + %d after, looped %d, dropped %d, stalled windows %d\n",
+			rep.InFlight.DeliveredDuring, rep.InFlight.DeliveredAfter,
+			rep.InFlight.Looped, rep.InFlight.Dropped, rep.InFlight.StallWindows)
+		fmt.Printf("  post-recovery: %v\n", rep.Post)
 	}
 }
 

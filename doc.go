@@ -5,8 +5,9 @@
 // minimum-degree (MDST via FR-trees) — that are simultaneously
 // space-optimal and polynomial-round, guided by proof-labeling schemes.
 //
-// See README.md for the architecture, DESIGN.md for the system inventory
-// and experiment index, and EXPERIMENTS.md for measured results against
-// the paper's claims. The library lives under internal/; the runnable
-// entry points are cmd/sstsim, cmd/ssbench, and the examples/ programs.
+// See README.md for the architecture and DESIGN.md for the system
+// inventory and experiment index; cmd/ssbench regenerates the measured
+// tables against the paper's claims. The library lives under internal/;
+// the runnable entry points are cmd/sstsim, cmd/ssbench, and the
+// examples/ programs.
 package silentspan

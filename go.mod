@@ -1,0 +1,3 @@
+module silentspan
+
+go 1.24

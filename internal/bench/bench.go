@@ -1,8 +1,8 @@
 // Package bench implements the experiment harness regenerating every
-// claim-level "figure" of the paper (see DESIGN.md §5 and
-// EXPERIMENTS.md): each E-function runs one experiment sweep and returns
-// a printable table. cmd/ssbench prints them all; the repository-root
-// benchmarks wrap them for `go test -bench`.
+// claim-level "figure" of the paper (see DESIGN.md §5): each E-function
+// runs one experiment sweep and returns a printable table. cmd/ssbench
+// prints them all; the repository-root benchmarks wrap them for
+// `go test -bench`.
 package bench
 
 import (

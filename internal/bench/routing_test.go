@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE9RoutingTable(t *testing.T) {
+	tb, err := E9Routing([]int{64, 256}, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[4] != "100.00%" {
+			t.Errorf("n=%s: delivery %s, want 100.00%%", row[0], row[4])
+		}
+		if !strings.HasPrefix(row[6], "1.") {
+			t.Errorf("n=%s: implausible mean stretch %s", row[0], row[6])
+		}
+	}
+}
+
+func TestA5ShortcutTable(t *testing.T) {
+	tb, err := A5Shortcut([]int{64}, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(tb.Rows))
+	}
+}
+
+func TestE10InterplayTable(t *testing.T) {
+	tb, err := E10Interplay(20, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 (bfs/mst/mdst)", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[8] != "100.0%" {
+			t.Errorf("substrate %s: post-recovery delivery %s, want 100.0%%", row[0], row[8])
+		}
+	}
+}

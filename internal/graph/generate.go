@@ -117,32 +117,69 @@ func Lollipop(k, tail int) *Graph {
 // RandomConnected returns a connected Erdős–Rényi-style graph: a random
 // spanning tree plus each remaining pair independently with probability p,
 // with pairwise distinct random weights. Deterministic given rng.
+//
+// The non-tree pairs are chosen by geometric skip-sampling, so the cost
+// is O(n + m) rather than the O(n²) of testing every pair — the
+// difference between milliseconds and half a minute at the 10k-node
+// scale of the routing experiments.
 func RandomConnected(n int, p float64, rng *rand.Rand) *Graph {
 	g := New()
-	g.AddNode(1)
+	// Nodes are always 1..n; adding them in increasing order up front
+	// keeps AddNode's sorted insert append-only (random insertion order
+	// through the permuted spanning tree below would cost Θ(n²) shifts).
+	for i := 1; i <= n; i++ {
+		g.AddNode(NodeID(i))
+	}
 	perm := rng.Perm(n)
 	ids := make([]NodeID, n)
 	for i, x := range perm {
 		ids[i] = NodeID(x + 1)
 	}
-	weights := distinctWeights(n*(n-1)/2, rng)
-	wi := 0
+	// Weights stay in the historical [1, n(n-1)/2 * 1000] range: wide
+	// enough for distinctness, small enough that tree-weight sums and
+	// O(log weight) label encodings behave.
+	maxW := int64(n) * int64(n-1) / 2 * 1000
+	if maxW < 1000 {
+		maxW = 1000
+	}
+	seen := make(map[Weight]bool, 2*n)
+	nextWeight := func() Weight {
+		for {
+			w := Weight(rng.Int63n(maxW) + 1)
+			if !seen[w] {
+				seen[w] = true
+				return w
+			}
+		}
+	}
 	// Random spanning tree: attach each node to a random earlier node.
 	for i := 1; i < n; i++ {
 		j := rng.Intn(i)
-		g.MustAddEdge(ids[i], ids[j], weights[wi])
-		wi++
+		g.MustAddEdge(ids[i], ids[j], nextWeight())
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			u, v := NodeID(i+1), NodeID(j+1)
-			if g.HasEdge(u, v) {
-				continue
-			}
-			if rng.Float64() < p {
-				g.MustAddEdge(u, v, weights[wi])
-				wi++
-			}
+	if p <= 0 {
+		return g
+	}
+	// Enumerate the pairs (i, j), i < j, as a linear index space and jump
+	// between selected pairs with geometrically distributed skips.
+	total := n * (n - 1) / 2
+	base := func(i int) int { return i*(n-1) - i*(i-1)/2 } // index of (i, i+1)
+	skip := func() int {
+		if p >= 1 {
+			return 1
+		}
+		u := rng.Float64()
+		return 1 + int(math.Log(1-u)/math.Log1p(-p))
+	}
+	row := 0
+	for k := skip() - 1; k < total; k += skip() {
+		for row+1 < n && k >= base(row+1) {
+			row++
+		}
+		i, j := row, row+1+(k-base(row))
+		u, v := NodeID(i+1), NodeID(j+1)
+		if !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, nextWeight())
 		}
 	}
 	return g
@@ -211,20 +248,6 @@ func HamiltonianWheel(n int, chords int, rng *rand.Rand) *Graph {
 		}
 	}
 	return g
-}
-
-// distinctWeights returns count pairwise distinct pseudo-random weights.
-func distinctWeights(count int, rng *rand.Rand) []Weight {
-	seen := make(map[Weight]bool, count)
-	out := make([]Weight, 0, count)
-	for len(out) < count {
-		w := Weight(rng.Int63n(int64(count)*1000) + 1)
-		if !seen[w] {
-			seen[w] = true
-			out = append(out, w)
-		}
-	}
-	return out
 }
 
 // components labels each node with a component representative.

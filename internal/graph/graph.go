@@ -5,8 +5,9 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // NodeID is a node identity, drawn from {1, ..., n^c} as in the paper.
@@ -58,11 +59,27 @@ func (e Edge) Other(x NodeID) NodeID {
 type Graph struct {
 	nodes []NodeID
 	adj   map[NodeID]map[NodeID]Weight
+	// nbr mirrors adj as sorted neighbor slices, maintained incrementally
+	// so that Neighbors — the hottest call of the runtime's view building
+	// and of the routing forwarding loop — needs no per-call sort.
+	nbr map[NodeID][]NodeID
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{adj: make(map[NodeID]map[NodeID]Weight)}
+	return &Graph{
+		adj: make(map[NodeID]map[NodeID]Weight),
+		nbr: make(map[NodeID][]NodeID),
+	}
+}
+
+// insertSorted inserts id into the sorted slice s if absent.
+func insertSorted(s []NodeID, id NodeID) []NodeID {
+	i, found := slices.BinarySearch(s, id)
+	if found {
+		return s
+	}
+	return slices.Insert(s, i, id)
 }
 
 // AddNode inserts a node. Adding an existing node is a no-op.
@@ -71,8 +88,7 @@ func (g *Graph) AddNode(id NodeID) {
 		return
 	}
 	g.adj[id] = make(map[NodeID]Weight)
-	g.nodes = append(g.nodes, id)
-	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i] < g.nodes[j] })
+	g.nodes = insertSorted(g.nodes, id)
 }
 
 // AddEdge inserts an undirected edge with weight w, adding missing
@@ -84,6 +100,10 @@ func (g *Graph) AddEdge(u, v NodeID, w Weight) error {
 	}
 	g.AddNode(u)
 	g.AddNode(v)
+	if _, ok := g.adj[u][v]; !ok {
+		g.nbr[u] = insertSorted(g.nbr[u], v)
+		g.nbr[v] = insertSorted(g.nbr[v], u)
+	}
 	g.adj[u][v] = w
 	g.adj[v][u] = w
 	return nil
@@ -138,13 +158,17 @@ func (g *Graph) EdgeWeight(u, v NodeID) (Weight, bool) {
 // Neighbors returns the neighbors of v in increasing ID order. The slice
 // is a copy.
 func (g *Graph) Neighbors(v NodeID) []NodeID {
-	nbrs := g.adj[v]
-	out := make([]NodeID, 0, len(nbrs))
-	for u := range nbrs {
-		out = append(out, u)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return slices.Clone(g.nbr[v])
+}
+
+// NeighborsShared returns the neighbors of v in increasing ID order
+// without copying. The slice is owned by the graph: callers must not
+// mutate it and must not hold it across AddEdge calls. It exists for the
+// per-step view building of the runtime and the per-hop forwarding
+// decisions of the router, where the defensive copy of Neighbors
+// dominates the profile.
+func (g *Graph) NeighborsShared(v NodeID) []NodeID {
+	return g.nbr[v]
 }
 
 // Degree returns the degree of v in g.
@@ -166,18 +190,12 @@ func (g *Graph) MaxDegree() int {
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.M())
 	for _, u := range g.nodes {
-		for v, w := range g.adj[u] {
+		for _, v := range g.nbr[u] {
 			if u < v {
-				out = append(out, Edge{U: u, V: v, W: w})
+				out = append(out, Edge{U: u, V: v, W: g.adj[u][v]})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
 	return out
 }
 
@@ -185,14 +203,15 @@ func (g *Graph) Edges() []Edge {
 // by (U, V) — the standard distinct-weight reduction of [34].
 func (g *Graph) EdgesByWeight() []Edge {
 	out := g.Edges()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].W != out[j].W {
-			return out[i].W < out[j].W
+	slices.SortFunc(out, func(a, b Edge) int {
+		switch {
+		case a.W != b.W:
+			return cmp.Compare(a.W, b.W)
+		case a.U != b.U:
+			return cmp.Compare(a.U, b.U)
+		default:
+			return cmp.Compare(a.V, b.V)
 		}
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
 	})
 	return out
 }
@@ -225,12 +244,13 @@ func (g *Graph) BFSDistances(root NodeID) (map[NodeID]int, error) {
 	if !g.HasNode(root) {
 		return nil, fmt.Errorf("graph: unknown root %d", root)
 	}
-	dist := map[NodeID]int{root: 0}
+	dist := make(map[NodeID]int, len(g.nodes))
+	dist[root] = 0
 	queue := []NodeID{root}
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.nbr[v] {
 			if _, ok := dist[u]; !ok {
 				dist[u] = dist[v] + 1
 				queue = append(queue, u)

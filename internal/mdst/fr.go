@@ -14,7 +14,7 @@ package mdst
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"silentspan/internal/core"
 	"silentspan/internal/graph"
@@ -225,12 +225,11 @@ func cycleEdgeAt(cur *trees.Tree, e graph.Edge, target graph.NodeID) (graph.Edge
 	if len(candidates) == 0 {
 		return graph.Edge{}, fmt.Errorf("mdst: degenerate cycle for %v", e)
 	}
-	sort.Slice(candidates, func(i, j int) bool {
-		di, dj := cur.Degree(candidates[i]), cur.Degree(candidates[j])
-		if di != dj {
-			return di > dj
+	slices.SortFunc(candidates, func(a, b graph.NodeID) int {
+		if da, db := cur.Degree(a), cur.Degree(b); da != db {
+			return db - da
 		}
-		return candidates[i] < candidates[j]
+		return int(a - b)
 	})
 	return graph.Edge{U: target, V: candidates[0]}.Canonical(), nil
 }

@@ -2,7 +2,7 @@ package mst
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"silentspan/internal/graph"
 	"silentspan/internal/runtime"
@@ -195,7 +195,7 @@ func (tr *Trace) Violation(g *graph.Graph) (graph.NodeID, int, bool) {
 	for x := range tr.Levels {
 		nodes = append(nodes, x)
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	slices.Sort(nodes)
 	for _, x := range nodes {
 		i := tr.NodePotential(g, x)
 		if i < tr.K && (!found || i < bestI) {

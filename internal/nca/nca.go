@@ -33,7 +33,7 @@ package nca
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"silentspan/internal/bits"
 	"silentspan/internal/graph"
@@ -312,7 +312,7 @@ func lightChildren(t *trees.Tree, d *trees.HeavyPathDecomposition, v graph.NodeI
 			out = append(out, c)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -2,7 +2,7 @@ package nca
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"silentspan/internal/bits"
 	"silentspan/internal/graph"
@@ -59,7 +59,7 @@ func (a Assignment) children(g *graph.Graph, v graph.NodeID) []graph.NodeID {
 			out = append(out, u)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -1,0 +1,337 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"silentspan/internal/bfs"
+	"silentspan/internal/core"
+	"silentspan/internal/graph"
+	"silentspan/internal/mdst"
+	"silentspan/internal/mst"
+	"silentspan/internal/runtime"
+	"silentspan/internal/switching"
+	"silentspan/internal/trees"
+)
+
+// Substrate selects which constrained-tree construction carries the
+// traffic.
+type Substrate int
+
+const (
+	// SubstrateBFS: the always-on PLS-guided BFS algorithm (latency-
+	// optimal tree; re-optimizes itself after faults).
+	SubstrateBFS Substrate = iota
+	// SubstrateMST: tree built by the distributed MST engine, held by
+	// the malleable switching protocol.
+	SubstrateMST
+	// SubstrateMDST: tree built by the distributed minimum-degree
+	// engine (load-optimal tree), held by the switching protocol.
+	SubstrateMDST
+)
+
+// String names the substrate.
+func (s Substrate) String() string {
+	switch s {
+	case SubstrateBFS:
+		return "bfs"
+	case SubstrateMST:
+		return "mst"
+	case SubstrateMDST:
+		return "mdst"
+	}
+	return fmt.Sprintf("substrate(%d)", int(s))
+}
+
+// ParseSubstrate parses "bfs" | "mst" | "mdst".
+func ParseSubstrate(name string) (Substrate, error) {
+	switch name {
+	case "bfs":
+		return SubstrateBFS, nil
+	case "mst":
+		return SubstrateMST, nil
+	case "mdst":
+		return SubstrateMDST, nil
+	}
+	return 0, fmt.Errorf("routing: unknown substrate %q", name)
+}
+
+// StabilizeSubstrate brings up a live network carrying a stabilized
+// tree of the given kind: the BFS substrate stabilizes the always-on
+// rule system from an arbitrary configuration; the MST/MDST substrates
+// run the PLS-guided engine and load the resulting tree into a
+// switching-protocol network (the silent configuration it stabilizes
+// to). The returned network is silent and its registers encode the
+// returned tree.
+func StabilizeSubstrate(g *graph.Graph, sub Substrate, sched runtime.Scheduler, maxMoves int, rng *rand.Rand) (*runtime.Network, *trees.Tree, error) {
+	if sched == nil {
+		sched = runtime.Central()
+	}
+	if maxMoves <= 0 {
+		maxMoves = 20_000_000
+	}
+	switch sub {
+	case SubstrateBFS:
+		net, err := runtime.NewNetwork(g, bfs.Algorithm{})
+		if err != nil {
+			return nil, nil, err
+		}
+		net.InitArbitrary(rng)
+		res, err := net.Run(sched, maxMoves)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !res.Silent {
+			return nil, nil, fmt.Errorf("routing: bfs substrate not silent after %d moves", res.Moves)
+		}
+		t, err := switching.ExtractTree(net, switching.RegOf)
+		if err != nil {
+			return nil, nil, err
+		}
+		return net, t, nil
+	case SubstrateMST, SubstrateMDST:
+		var task core.Task
+		if sub == SubstrateMST {
+			task = mst.Task{}
+		} else {
+			task = mdst.Task{}
+		}
+		t, _, err := core.RunDistributed(g, task, core.EngineOptions{Rng: rng, Scheduler: sched})
+		if err != nil {
+			return nil, nil, err
+		}
+		net, err := runtime.NewNetwork(g, switching.Algorithm{})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := switching.InitFromTree(net, t); err != nil {
+			return nil, nil, err
+		}
+		return net, t, nil
+	}
+	return nil, nil, fmt.Errorf("routing: unknown substrate %v", sub)
+}
+
+// LiveParents reads the raw parent pointers out of a network whose
+// registers are switching states — with no validation, because mid-
+// reconvergence they may encode anything.
+func LiveParents(net *runtime.Network) map[graph.NodeID]graph.NodeID {
+	out := make(map[graph.NodeID]graph.NodeID, net.Graph().N())
+	for _, v := range net.Graph().Nodes() {
+		if s, ok := switching.RegOf(net.State(v)); ok {
+			out[v] = s.Parent
+		}
+	}
+	return out
+}
+
+// InterplayConfig parameterizes one fault-interplay run. Zero values
+// take the documented defaults.
+type InterplayConfig struct {
+	Substrate Substrate
+	// Faults is the number of registers corrupted mid-traffic (default 3).
+	Faults int
+	// InFlight is the number of packets in flight when the faults hit
+	// (default 64).
+	InFlight int
+	// BatchPackets sizes the pre- and post-stabilization measurement
+	// batches (default 256).
+	BatchPackets int
+	// MovesPerWindow is the stabilization budget between routing windows
+	// (default 50): smaller values interleave routing and repair more
+	// finely.
+	MovesPerWindow int
+	// StepsPerWindow is each in-flight packet's hop budget per window
+	// (default 2).
+	StepsPerWindow int
+	// MaxWindows bounds the reconvergence loop (default 100000).
+	MaxWindows int
+	// StabilizeMoves caps each full stabilization (default 20,000,000).
+	StabilizeMoves int
+	// Seed drives all randomness (graph-independent).
+	Seed int64
+	// Scheduler defaults to a random-subset daemon derived from Seed.
+	Scheduler runtime.Scheduler
+}
+
+func (c *InterplayConfig) fill() {
+	if c.Faults == 0 {
+		c.Faults = 3
+	}
+	if c.InFlight == 0 {
+		c.InFlight = 64
+	}
+	if c.BatchPackets == 0 {
+		c.BatchPackets = 256
+	}
+	if c.MovesPerWindow == 0 {
+		c.MovesPerWindow = 50
+	}
+	if c.StepsPerWindow == 0 {
+		c.StepsPerWindow = 2
+	}
+	if c.MaxWindows == 0 {
+		c.MaxWindows = 100000
+	}
+	if c.StabilizeMoves == 0 {
+		c.StabilizeMoves = 20_000_000
+	}
+}
+
+// InFlightStats classifies the packets that were in flight when the
+// faults hit.
+type InFlightStats struct {
+	Sent int
+	// DeliveredDuring were delivered while the tree was still repairing;
+	// DeliveredAfter only once it had re-stabilized and been relabeled.
+	DeliveredDuring int
+	DeliveredAfter  int
+	// Looped revisited at least one node (delivered or not).
+	Looped int
+	// Dropped were lost to loops or TTL exhaustion.
+	Dropped int
+	// StallWindows totals the windows packets spent unable to progress.
+	StallWindows int
+}
+
+// Delivered is the total over both phases.
+func (s InFlightStats) Delivered() int { return s.DeliveredDuring + s.DeliveredAfter }
+
+// InterplayReport is the outcome of one fault-interplay run.
+type InterplayReport struct {
+	Substrate string
+	N, M      int
+
+	// Pre is the traffic measurement over the freshly stabilized tree.
+	Pre Stats
+	// InFlight classifies the packets caught by the corruption.
+	InFlight InFlightStats
+	// Post is the traffic measurement after re-stabilization.
+	Post Stats
+
+	// Restabilized reports whether silence was re-reached.
+	Restabilized bool
+	// ReconvergeMoves/Windows: repair cost while traffic was in flight.
+	ReconvergeMoves int
+	Windows         int
+	// TopologyWrites counts register writes observed by the state
+	// listener during reconvergence (the notification hook serving
+	// layers subscribe to).
+	TopologyWrites int
+
+	// Tree shape before corruption and after repair.
+	PreHeight, PostHeight       int
+	PreMaxDegree, PostMaxDegree int
+}
+
+// RunInterplay executes the full experiment on g: stabilize the
+// substrate, measure a traffic batch, corrupt registers under live
+// traffic, interleave repair with routing windows over the decaying
+// labeling, then re-measure once silent. The registered state listener
+// is what triggers labeling refreshes, exercising the topology-change
+// notification path end to end.
+func RunInterplay(g *graph.Graph, cfg InterplayConfig) (*InterplayReport, error) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = runtime.RandomSubset(rand.New(rand.NewSource(cfg.Seed + 1)))
+	}
+	rep := &InterplayReport{Substrate: cfg.Substrate.String(), N: g.N(), M: g.M()}
+
+	net, tree, err := StabilizeSubstrate(g, cfg.Substrate, cfg.Scheduler, cfg.StabilizeMoves, rng)
+	if err != nil {
+		return nil, err
+	}
+	ix := trees.NewIndex(tree)
+	rep.PreHeight, rep.PreMaxDegree = ix.Height(), tree.MaxDegree()
+
+	lab := Label(tree)
+	router := NewRouter(g, lab, Options{})
+	nodes := g.Nodes()
+
+	rep.Pre, err = Drive(router, UniformPairs(nodes, cfg.BatchPackets, rng), DriveOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	// Launch the in-flight packets, then let the faults hit.
+	packets := make([]*Packet, 0, cfg.InFlight)
+	for _, p := range UniformPairs(nodes, cfg.InFlight, rng) {
+		packets = append(packets, NewPacket(p.Src, p.Dst))
+	}
+	rep.InFlight.Sent = len(packets)
+
+	runtime.Corrupt(net, cfg.Faults, rng)
+	// The listener goes in after the injection so TopologyWrites counts
+	// only the repair's own register writes.
+	dirty := true // the corruption itself already decayed the labeling
+	net.AddStateListener(func(v graph.NodeID, old, new runtime.State) {
+		dirty = true
+		rep.TopologyWrites++
+	})
+
+	// Reconvergence: interleave repair windows with routing windows over
+	// whatever labeling the live registers currently support.
+	refresh := func() {
+		if dirty {
+			router.SetLabeling(LiveLabeling(g, LiveParents(net)))
+			dirty = false
+		}
+	}
+	refresh()
+	movesBefore := net.Moves()
+	for w := 0; w < cfg.MaxWindows && !net.Silent(); w++ {
+		rep.Windows++
+		if _, err := net.Run(cfg.Scheduler, net.Moves()+cfg.MovesPerWindow); err != nil {
+			return nil, fmt.Errorf("routing: reconvergence window %d: %w", w, err)
+		}
+		refresh()
+		for _, p := range packets {
+			if p.Done {
+				continue
+			}
+			before := p.Stalls
+			router.Advance(p, cfg.StepsPerWindow)
+			if p.Done && p.Delivered {
+				rep.InFlight.DeliveredDuring++
+			}
+			rep.InFlight.StallWindows += p.Stalls - before
+		}
+	}
+	rep.ReconvergeMoves = net.Moves() - movesBefore
+	rep.Restabilized = net.Silent()
+	if !rep.Restabilized {
+		return rep, fmt.Errorf("routing: %s substrate did not re-stabilize within %d windows", rep.Substrate, cfg.MaxWindows)
+	}
+
+	// Re-stabilized: validate the repaired tree, relabel, flush the
+	// remaining in-flight packets, and measure the recovered service.
+	tree2, err := switching.ExtractTree(net, switching.RegOf)
+	if err != nil {
+		return rep, fmt.Errorf("routing: repaired configuration: %w", err)
+	}
+	ix2 := trees.NewIndex(tree2)
+	rep.PostHeight, rep.PostMaxDegree = ix2.Height(), tree2.MaxDegree()
+	router.SetLabeling(Label(tree2))
+	deliveredTotal := 0
+	for _, p := range packets {
+		if !p.Done {
+			router.Advance(p, router.opt.MaxHops)
+		}
+		if p.Looped {
+			rep.InFlight.Looped++
+		}
+		if p.Delivered {
+			deliveredTotal++
+		} else {
+			rep.InFlight.Dropped++
+		}
+	}
+	rep.InFlight.DeliveredAfter = deliveredTotal - rep.InFlight.DeliveredDuring
+
+	rep.Post, err = Drive(router, UniformPairs(nodes, cfg.BatchPackets, rng), DriveOptions{})
+	if err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,119 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/runtime"
+	"silentspan/internal/switching"
+	"silentspan/internal/trees"
+)
+
+// The fault-interplay acceptance: after corrupting registers mid-
+// traffic, the substrate re-stabilizes and routing recovers to 100%
+// delivery, for each constrained-tree substrate (BFS / MST / MDST).
+func TestInterplayRecoversPerSubstrate(t *testing.T) {
+	for _, sub := range []Substrate{SubstrateBFS, SubstrateMST, SubstrateMDST} {
+		sub := sub
+		t.Run(sub.String(), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(20))
+			g := graph.RandomConnected(24, 0.15, rng)
+			rep, err := RunInterplay(g, InterplayConfig{
+				Substrate: sub,
+				Faults:    4,
+				Seed:      7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Pre.Delivered != rep.Pre.Sent {
+				t.Errorf("pre-fault delivery %d of %d", rep.Pre.Delivered, rep.Pre.Sent)
+			}
+			if !rep.Restabilized {
+				t.Fatal("substrate did not re-stabilize")
+			}
+			if rep.Post.Delivered != rep.Post.Sent {
+				t.Errorf("post-recovery delivery %d of %d, want 100%%", rep.Post.Delivered, rep.Post.Sent)
+			}
+			total := rep.InFlight.Delivered() + rep.InFlight.Dropped
+			if total != rep.InFlight.Sent {
+				t.Errorf("in-flight accounting: delivered %d + dropped %d != sent %d",
+					rep.InFlight.Delivered(), rep.InFlight.Dropped, rep.InFlight.Sent)
+			}
+			if rep.TopologyWrites == 0 {
+				t.Error("state listener observed no writes despite corruption + repair")
+			}
+			t.Logf("%s: pre %v", sub, rep.Pre)
+			t.Logf("%s: in-flight sent=%d during=%d after=%d looped=%d dropped=%d stalls=%d; reconverge %d moves / %d windows, %d writes",
+				sub, rep.InFlight.Sent, rep.InFlight.DeliveredDuring, rep.InFlight.DeliveredAfter,
+				rep.InFlight.Looped, rep.InFlight.Dropped, rep.InFlight.StallWindows,
+				rep.ReconvergeMoves, rep.Windows, rep.TopologyWrites)
+			t.Logf("%s: post %v (height %d->%d, maxdeg %d->%d)",
+				sub, rep.Post, rep.PreHeight, rep.PostHeight, rep.PreMaxDegree, rep.PostMaxDegree)
+		})
+	}
+}
+
+// Corruption that tears a parent pointer must actually degrade the
+// live labeling (otherwise the interplay experiment measures nothing),
+// while routing keeps working within the intact region.
+func TestLiveLabelingDegradesUnderCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := graph.RandomConnected(32, 0.12, rng)
+	net, tree, err := StabilizeSubstrate(g, SubstrateBFS, nil, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab := LiveLabeling(g, LiveParents(net)); !lab.Complete() {
+		t.Fatal("live labeling of a silent configuration not complete")
+	}
+
+	// Point a deep node's parent at a non-neighbor: it and its subtree
+	// fall out of the labeling.
+	ix := trees.NewIndex(tree)
+	var victim graph.NodeID
+	for _, v := range ix.BFSOrder() {
+		if ix.Depth(v) >= 2 {
+			victim = v
+			break
+		}
+	}
+	if victim == trees.None {
+		t.Skip("tree too shallow for the scenario")
+	}
+	s, _ := switching.RegOf(net.State(victim))
+	s.Parent = victim // self: never a graph edge
+	if err := runtime.CorruptField(net, victim, s); err != nil {
+		t.Fatal(err)
+	}
+
+	lab := LiveLabeling(g, LiveParents(net))
+	if lab.Complete() {
+		t.Fatal("labeling still complete after tearing a parent pointer")
+	}
+	if _, ok := lab.Coords(victim); ok {
+		t.Error("victim kept a coordinate")
+	}
+	// Routing between labeled nodes in the root's space still works.
+	r := NewRouter(g, lab, Options{})
+	delivered := 0
+	for _, u := range g.Nodes() {
+		if u == tree.Root() {
+			continue
+		}
+		if _, ok := lab.Coords(u); !ok {
+			continue
+		}
+		if rootOf, _ := lab.RootOf(u); rootOf != tree.Root() {
+			continue
+		}
+		if d := r.Route(u, tree.Root()); d.Delivered {
+			delivered++
+		}
+	}
+	if delivered == 0 {
+		t.Error("no labeled node could still reach the root")
+	}
+}

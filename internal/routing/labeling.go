@@ -1,0 +1,187 @@
+package routing
+
+import (
+	"fmt"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/trees"
+)
+
+// Labeling assigns tree coordinates to nodes. A labeling built from a
+// validated tree (Label) covers every node and has a single root; a
+// labeling built from raw parent pointers (LiveLabeling) may be partial
+// — nodes on parent cycles or pointing at non-neighbors carry no
+// coordinate — and may have several claimed roots, each defining its own
+// coordinate space.
+type Labeling struct {
+	coords map[graph.NodeID]Coords
+	rootOf map[graph.NodeID]graph.NodeID
+	n      int // nodes the labeling was built over
+}
+
+// Label builds the full coordinate labeling of a validated tree in
+// O(n): a top-down pass assigning each node its parent's coordinate
+// extended by its port (index within the parent's sorted children).
+func Label(t *trees.Tree) *Labeling {
+	ix := trees.NewIndex(t)
+	l := &Labeling{
+		coords: make(map[graph.NodeID]Coords, t.N()),
+		rootOf: make(map[graph.NodeID]graph.NodeID, t.N()),
+		n:      t.N(),
+	}
+	root := t.Root()
+	l.coords[root] = Coords{}
+	l.rootOf[root] = root
+	for _, v := range ix.BFSOrder() {
+		base := l.coords[v]
+		for port, c := range ix.Children(v) {
+			cc := make(Coords, len(base)+1)
+			copy(cc, base)
+			cc[len(base)] = Port(port)
+			l.coords[c] = cc
+			l.rootOf[c] = root
+		}
+	}
+	return l
+}
+
+// LiveLabeling builds the best labeling obtainable from raw parent
+// pointers read out of a live (possibly mid-reconvergence, possibly
+// corrupted) network. Pointers to non-neighbors are discarded; every
+// node whose parent pointer is trees.None becomes the root of its own
+// coordinate space; nodes that do not reach any root (parent cycles)
+// get no coordinate. This models what a serving layer actually has
+// while the self-stabilizing construction repairs itself underneath it.
+func LiveLabeling(g *graph.Graph, parent map[graph.NodeID]graph.NodeID) *Labeling {
+	nodes := g.Nodes()
+	l := &Labeling{
+		coords: make(map[graph.NodeID]Coords, len(nodes)),
+		rootOf: make(map[graph.NodeID]graph.NodeID, len(nodes)),
+		n:      len(nodes),
+	}
+	// Children lists from the credible pointers only.
+	children := make(map[graph.NodeID][]graph.NodeID, len(nodes))
+	var queue []graph.NodeID
+	for _, v := range nodes {
+		p, ok := parent[v]
+		if !ok {
+			continue
+		}
+		if p == trees.None {
+			l.coords[v] = Coords{}
+			l.rootOf[v] = v
+			queue = append(queue, v)
+			continue
+		}
+		if !g.HasEdge(v, p) {
+			continue // corrupted pointer: not even a neighbor
+		}
+		children[p] = append(children[p], v) // already in increasing v order
+	}
+	// Top-down from each claimed root; unreached nodes stay unlabeled.
+	for i := 0; i < len(queue); i++ {
+		v := queue[i]
+		base := l.coords[v]
+		for port, c := range children[v] {
+			cc := make(Coords, len(base)+1)
+			copy(cc, base)
+			cc[len(base)] = Port(port)
+			l.coords[c] = cc
+			l.rootOf[c] = l.rootOf[v]
+			queue = append(queue, c)
+		}
+	}
+	return l
+}
+
+// Coords returns v's coordinate; ok is false for unlabeled nodes.
+func (l *Labeling) Coords(v graph.NodeID) (Coords, bool) {
+	c, ok := l.coords[v]
+	return c, ok
+}
+
+// RootOf returns the root of the coordinate space v belongs to; ok is
+// false for unlabeled nodes.
+func (l *Labeling) RootOf(v graph.NodeID) (graph.NodeID, bool) {
+	r, ok := l.rootOf[v]
+	return r, ok
+}
+
+// Covered returns the number of labeled nodes.
+func (l *Labeling) Covered() int { return len(l.coords) }
+
+// Complete reports whether every node got a coordinate in one single
+// coordinate space — true exactly for labelings of validated trees.
+func (l *Labeling) Complete() bool {
+	if len(l.coords) != l.n {
+		return false
+	}
+	roots := make(map[graph.NodeID]bool, 1)
+	for _, r := range l.rootOf {
+		roots[r] = true
+	}
+	return len(roots) == 1
+}
+
+// TreeDist returns the tree distance between u and v. ok is false when
+// either node is unlabeled or they belong to different coordinate
+// spaces (in which case no tree route exists under this labeling).
+func (l *Labeling) TreeDist(u, v graph.NodeID) (int, bool) {
+	cu, okU := l.coords[u]
+	cv, okV := l.coords[v]
+	if !okU || !okV || l.rootOf[u] != l.rootOf[v] {
+		return 0, false
+	}
+	return cu.Dist(cv), true
+}
+
+// IsAncestor reports whether u is an ancestor of v under the labeling
+// (false when either is unlabeled or the spaces differ).
+func (l *Labeling) IsAncestor(u, v graph.NodeID) bool {
+	cu, okU := l.coords[u]
+	cv, okV := l.coords[v]
+	return okU && okV && l.rootOf[u] == l.rootOf[v] && cu.IsAncestorOf(cv)
+}
+
+// MaxLabelBits returns the largest encoded coordinate in bits — the
+// per-register space a node would pay to carry its label (the space
+// accounting next to the paper's O(log n)-bit registers).
+func (l *Labeling) MaxLabelBits() int {
+	max := 0
+	for _, c := range l.coords {
+		if b := c.EncodedBits(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// Verify checks a complete labeling against its tree: every node's
+// coordinate must be exactly its parent's coordinate extended by its
+// port, so depths, ports, and the whole root path are validated for
+// every node. It is used by tests as the labeler's ground-truth check.
+func (l *Labeling) Verify(t *trees.Tree) error {
+	if !l.Complete() {
+		return fmt.Errorf("routing: labeling covers %d of %d nodes", l.Covered(), l.n)
+	}
+	ix := trees.NewIndex(t)
+	for v, c := range l.coords {
+		if v == t.Root() {
+			if len(c) != 0 {
+				return fmt.Errorf("routing: root %d has non-empty coordinate %v", v, c)
+			}
+			continue
+		}
+		p := t.Parent(v)
+		port, ok := ix.PortOf(p, v)
+		if !ok {
+			return fmt.Errorf("routing: node %d is not a child of its parent %d", v, p)
+		}
+		pc := l.coords[p]
+		if len(c) != len(pc)+1 || !pc.IsAncestorOf(c) || c[len(c)-1] != Port(port) {
+			return fmt.Errorf("routing: node %d coordinate %v does not extend parent %d's %v by port %d",
+				v, c, p, pc, port)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package routing
+
+import (
+	"fmt"
+
+	"silentspan/internal/graph"
+)
+
+// DropReason classifies why a packet could not be delivered.
+type DropReason int
+
+const (
+	// DropNone: the packet was delivered.
+	DropNone DropReason = iota
+	// DropNoSourceCoord: the current node carries no coordinate.
+	DropNoSourceCoord
+	// DropNoDestCoord: the destination carries no coordinate, or lives
+	// in a different coordinate space (another claimed root).
+	DropNoDestCoord
+	// DropDeadEnd: no neighbor is strictly closer to the destination.
+	// Impossible over a complete labeling; observed on decayed ones.
+	DropDeadEnd
+	// DropLoop: the packet revisited the same node too many times —
+	// only possible when the labeling changed under an in-flight packet.
+	DropLoop
+	// DropTTL: the hop budget was exhausted.
+	DropTTL
+)
+
+// String names the reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropNone:
+		return "delivered"
+	case DropNoSourceCoord:
+		return "no-source-coord"
+	case DropNoDestCoord:
+		return "no-dest-coord"
+	case DropDeadEnd:
+		return "dead-end"
+	case DropLoop:
+		return "loop"
+	case DropTTL:
+		return "ttl"
+	}
+	return fmt.Sprintf("reason(%d)", int(r))
+}
+
+// Options configures a Router. The zero value is the production mode:
+// greedy shortcutting over every graph edge, default hop budget.
+type Options struct {
+	// TreeOnly restricts forwarding to tree edges (parent/child under
+	// the labeling): the packet follows the tree path exactly. Used by
+	// the stretch ablation, where it isolates the contribution of the
+	// non-tree shortcuts.
+	TreeOnly bool
+	// MaxHops is the per-packet hop budget; 0 means 2n+16.
+	MaxHops int
+	// RecordPaths makes Route keep the full node path of each delivery,
+	// for loop-freedom assertions in tests. Off in benchmarks.
+	RecordPaths bool
+}
+
+// Router forwards packets hop-by-hop over a graph using a coordinate
+// labeling: each hop moves to the neighbor strictly closest (in tree
+// distance computed from coordinates) to the destination. Over a
+// complete labeling the tree distance decreases at every hop, so
+// routing is loop-free and always delivers; over a decayed labeling
+// (mid-reconvergence) packets may stall, loop, or drop — which is
+// exactly what the fault-interplay experiments measure.
+type Router struct {
+	g   *graph.Graph
+	lab *Labeling
+	opt Options
+}
+
+// NewRouter builds a router over g with the given labeling.
+func NewRouter(g *graph.Graph, lab *Labeling, opt Options) *Router {
+	if opt.MaxHops == 0 {
+		opt.MaxHops = 2*g.N() + 16
+	}
+	return &Router{g: g, lab: lab, opt: opt}
+}
+
+// Labeling returns the router's current labeling.
+func (r *Router) Labeling() *Labeling { return r.lab }
+
+// SetLabeling swaps the labeling — the topology-change path: the
+// runtime's state listener fires, the serving layer re-extracts
+// coordinates, and in-flight packets continue over the new labels.
+func (r *Router) SetLabeling(lab *Labeling) { r.lab = lab }
+
+// NextHop makes one greedy forwarding decision at cur for a packet
+// destined to dst. ok is false when the packet cannot progress, with
+// the reason; a DropDeadEnd or coordinate failure is not necessarily
+// fatal for an in-flight packet (the labeling may heal), so callers
+// decide whether to stall or drop.
+func (r *Router) NextHop(cur, dst graph.NodeID) (graph.NodeID, DropReason, bool) {
+	lab := r.lab
+	cc, okC := lab.Coords(cur)
+	if !okC {
+		return 0, DropNoSourceCoord, false
+	}
+	cd, okD := lab.Coords(dst)
+	if !okD || lab.rootOf[cur] != lab.rootOf[dst] {
+		return 0, DropNoDestCoord, false
+	}
+	curDist := cc.Dist(cd)
+	best := graph.NodeID(0)
+	bestDist := curDist
+	space := lab.rootOf[cur]
+	for _, u := range r.g.NeighborsShared(cur) {
+		uc, ok := lab.coords[u]
+		if !ok || lab.rootOf[u] != space {
+			continue
+		}
+		if r.opt.TreeOnly && !treeNeighbors(cc, uc) {
+			continue
+		}
+		if d := uc.Dist(cd); d < bestDist {
+			best, bestDist = u, d
+		}
+	}
+	if bestDist >= curDist {
+		return 0, DropDeadEnd, false
+	}
+	return best, DropNone, true
+}
+
+// treeNeighbors reports whether the coordinates a and b label adjacent
+// tree nodes: one is the other's parent, i.e. one path extends the
+// other by exactly one port.
+func treeNeighbors(a, b Coords) bool {
+	if len(a) == len(b)+1 {
+		a, b = b, a
+	} else if len(b) != len(a)+1 {
+		return false
+	}
+	return a.IsAncestorOf(b)
+}
+
+// Delivery is the outcome of routing one packet.
+type Delivery struct {
+	Src, Dst  graph.NodeID
+	Delivered bool
+	Hops      int
+	Reason    DropReason
+	// Path is src..dst inclusive, only when Options.RecordPaths.
+	Path []graph.NodeID
+}
+
+// Route sends one packet from src to dst over the current labeling.
+// With a complete labeling the route is loop-free and delivers in at
+// most TreeDist(src, dst) hops; shortcuts can only shorten it.
+func (r *Router) Route(src, dst graph.NodeID) Delivery {
+	d := Delivery{Src: src, Dst: dst}
+	if r.opt.RecordPaths {
+		d.Path = append(d.Path, src)
+	}
+	cur := src
+	for cur != dst {
+		if d.Hops >= r.opt.MaxHops {
+			d.Reason = DropTTL
+			return d
+		}
+		next, reason, ok := r.NextHop(cur, dst)
+		if !ok {
+			d.Reason = reason
+			return d
+		}
+		cur = next
+		d.Hops++
+		if r.opt.RecordPaths {
+			d.Path = append(d.Path, cur)
+		}
+	}
+	d.Delivered = true
+	return d
+}
+
+// Packet is an in-flight packet for stepwise routing across labeling
+// refreshes (the fault-interplay experiments). Unlike Route, a Packet
+// survives labeling swaps between hops, so the monotone-distance
+// argument no longer holds: it tracks revisits to detect loops.
+type Packet struct {
+	Src, Dst graph.NodeID
+	Cur      graph.NodeID
+	Hops     int
+	// Stalls counts windows in which the packet could not progress
+	// (missing coordinates or dead ends on a decayed labeling).
+	Stalls int
+	// Looped reports whether the packet ever revisited a node.
+	Looped bool
+	// Done/Delivered/Reason: final outcome once Done.
+	Done      bool
+	Delivered bool
+	Reason    DropReason
+
+	visits map[graph.NodeID]int
+}
+
+// NewPacket starts a packet at src destined for dst.
+func NewPacket(src, dst graph.NodeID) *Packet {
+	return &Packet{Src: src, Dst: dst, Cur: src, visits: map[graph.NodeID]int{src: 1}}
+}
+
+// maxRevisits is how many times an in-flight packet may return to the
+// same node before it is declared caught in a loop and dropped.
+const maxRevisits = 4
+
+// Advance moves the packet up to steps hops over the router's current
+// labeling. A packet that cannot progress stalls (and may resume after
+// the labeling heals); a packet revisiting a node is marked looped and
+// dropped after maxRevisits visits; the router's hop budget is the TTL.
+func (r *Router) Advance(p *Packet, steps int) {
+	for i := 0; i < steps && !p.Done; i++ {
+		if p.Cur == p.Dst {
+			p.Done, p.Delivered = true, true
+			return
+		}
+		if p.Hops >= r.opt.MaxHops {
+			p.Done, p.Reason = true, DropTTL
+			return
+		}
+		next, _, ok := r.NextHop(p.Cur, p.Dst)
+		if !ok {
+			p.Stalls++
+			return
+		}
+		p.Cur = next
+		p.Hops++
+		p.visits[next]++
+		if p.visits[next] > 1 {
+			p.Looped = true
+			if p.visits[next] > maxRevisits {
+				p.Done, p.Reason = true, DropLoop
+				return
+			}
+		}
+	}
+	if !p.Done && p.Cur == p.Dst {
+		p.Done, p.Delivered = true, true
+	}
+}

@@ -1,0 +1,224 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/trees"
+)
+
+func assertLoopFree(t *testing.T, d Delivery) {
+	t.Helper()
+	seen := make(map[graph.NodeID]bool, len(d.Path))
+	for _, v := range d.Path {
+		if seen[v] {
+			t.Fatalf("route %d -> %d revisits node %d: %v", d.Src, d.Dst, v, d.Path)
+		}
+		seen[v] = true
+	}
+}
+
+// The acceptance property: routes along tree paths have stretch exactly
+// 1, and every delivered packet is loop-free.
+func TestTreePathRoutesHaveStretchOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// The graph IS a tree: every shortest path is the tree path, so
+	// hops must equal the exact graph distance — stretch exactly 1.
+	g := graph.RandomConnected(60, 0, rng)
+	tree, err := trees.BFSTree(g, g.MinID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := Label(tree)
+	r := NewRouter(g, lab, Options{RecordPaths: true})
+	for _, u := range g.Nodes() {
+		dist, err := g.BFSDistances(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range g.Nodes() {
+			if u == v {
+				continue
+			}
+			d := r.Route(u, v)
+			if !d.Delivered {
+				t.Fatalf("%d -> %d dropped: %v", u, v, d.Reason)
+			}
+			if d.Hops != dist[v] {
+				t.Errorf("%d -> %d: %d hops, shortest %d (stretch != 1)", u, v, d.Hops, dist[v])
+			}
+			assertLoopFree(t, d)
+		}
+	}
+}
+
+func TestTreeOnlyRoutingFollowsTreeDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.RandomConnected(50, 0.15, rng)
+	tree, err := trees.RandomSpanningTree(g, g.MinID(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := Label(tree)
+	r := NewRouter(g, lab, Options{TreeOnly: true, RecordPaths: true})
+	nodes := g.Nodes()
+	for i := 0; i < 300; i++ {
+		u := nodes[rng.Intn(len(nodes))]
+		v := nodes[rng.Intn(len(nodes))]
+		if u == v {
+			continue
+		}
+		d := r.Route(u, v)
+		if !d.Delivered {
+			t.Fatalf("%d -> %d dropped: %v", u, v, d.Reason)
+		}
+		want, _ := lab.TreeDist(u, v)
+		if d.Hops != want {
+			t.Errorf("%d -> %d: tree-only took %d hops, tree distance %d", u, v, d.Hops, want)
+		}
+		assertLoopFree(t, d)
+		// Every hop of a tree-only route must be a tree edge.
+		for i := 0; i+1 < len(d.Path); i++ {
+			if !tree.HasEdge(d.Path[i], d.Path[i+1]) {
+				t.Errorf("%d -> %d: hop %d-%d is not a tree edge", u, v, d.Path[i], d.Path[i+1])
+			}
+		}
+	}
+}
+
+func TestShortcutsNeverWorseThanTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := graph.RandomConnected(80, 0.1, rng)
+	tree, err := trees.BFSTree(g, g.MinID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := Label(tree)
+	treeR := NewRouter(g, lab, Options{TreeOnly: true})
+	cutR := NewRouter(g, lab, Options{RecordPaths: true})
+	nodes := g.Nodes()
+	improved := 0
+	for i := 0; i < 500; i++ {
+		u := nodes[rng.Intn(len(nodes))]
+		v := nodes[rng.Intn(len(nodes))]
+		if u == v {
+			continue
+		}
+		dt := treeR.Route(u, v)
+		dc := cutR.Route(u, v)
+		if !dt.Delivered || !dc.Delivered {
+			t.Fatalf("%d -> %d: tree=%v shortcut=%v", u, v, dt.Reason, dc.Reason)
+		}
+		if dc.Hops > dt.Hops {
+			t.Errorf("%d -> %d: shortcut route %d hops > tree route %d", u, v, dc.Hops, dt.Hops)
+		}
+		if dc.Hops < dt.Hops {
+			improved++
+		}
+		assertLoopFree(t, dc)
+	}
+	if improved == 0 {
+		t.Error("greedy shortcutting never improved on the tree path on a dense-ish random graph")
+	}
+}
+
+func TestFullDeliveryAcrossFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	families := map[string]*graph.Graph{
+		"random":    graph.RandomConnected(120, 0.05, rng),
+		"geometric": graph.RandomGeometric(100, 0.18, rng),
+		"grid":      graph.Grid(10, 12),
+		"lollipop":  graph.Lollipop(8, 20),
+		"star":      graph.Star(40),
+	}
+	for name, g := range families {
+		tree, err := trees.BFSTree(g, g.MinID())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lab := Label(tree)
+		r := NewRouter(g, lab, Options{})
+		stats, err := Drive(r, UniformPairs(g.Nodes(), 2000, rng), DriveOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if stats.Delivered != stats.Sent {
+			t.Errorf("%s: delivered %d of %d", name, stats.Delivered, stats.Sent)
+		}
+		if stats.MeanStretch < 1 && stats.StretchSamples > 0 {
+			t.Errorf("%s: mean stretch %.3f < 1", name, stats.MeanStretch)
+		}
+	}
+}
+
+func TestRouterRefusesAcrossCoordinateSpaces(t *testing.T) {
+	g := graph.Path(6)
+	parent := map[graph.NodeID]graph.NodeID{
+		1: trees.None, 2: 1, 3: 2,
+		4: trees.None, 5: 4, 6: 5, // second root: 4-5-6 island
+	}
+	lab := LiveLabeling(g, parent)
+	r := NewRouter(g, lab, Options{})
+	d := r.Route(1, 6)
+	if d.Delivered {
+		t.Fatal("delivered across disjoint coordinate spaces")
+	}
+	if d.Reason != DropNoDestCoord {
+		t.Errorf("reason = %v, want %v", d.Reason, DropNoDestCoord)
+	}
+	// Within one space, routing still works.
+	if d := r.Route(1, 3); !d.Delivered || d.Hops != 2 {
+		t.Errorf("1 -> 3: delivered=%v hops=%d, want delivered in 2", d.Delivered, d.Hops)
+	}
+}
+
+func TestHotspotAndAllPairsWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := graph.RandomConnected(60, 0.08, rng)
+	tree, err := trees.BFSTree(g, g.MinID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(g, Label(tree), Options{})
+
+	hot := HotspotPairs(g.Nodes(), tree.Root(), 1000, 0.8, rng)
+	toHub := 0
+	for _, p := range hot {
+		if p.Dst == tree.Root() {
+			toHub++
+		} else if p.Src != tree.Root() {
+			t.Fatalf("hotspot pair %v touches no hub", p)
+		}
+	}
+	if toHub < 700 || toHub > 900 {
+		t.Errorf("toHub fraction off: %d of 1000 at 0.8", toHub)
+	}
+	stats, err := Drive(r, hot, DriveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != stats.Sent {
+		t.Errorf("hotspot: delivered %d of %d", stats.Delivered, stats.Sent)
+	}
+
+	all := AllPairsSample(g.Nodes(), 1<<30, rng)
+	if want := g.N() * (g.N() - 1); len(all) != want {
+		t.Fatalf("all-pairs: %d pairs, want %d", len(all), want)
+	}
+	sample := AllPairsSample(g.Nodes(), 500, rng)
+	seen := map[Pair]bool{}
+	for _, p := range sample {
+		if p.Src == p.Dst || seen[p] {
+			t.Fatalf("bad sample pair %v", p)
+		}
+		seen[p] = true
+	}
+	stats, err = Drive(r, sample, DriveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != stats.Sent {
+		t.Errorf("all-pairs sample: delivered %d of %d", stats.Delivered, stats.Sent)
+	}
+}

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -49,13 +50,15 @@ func RunConcurrent(net *Network, maxMoves int, timeout time.Duration) (Concurren
 	halt := func() { once.Do(func() { close(stop) }) }
 
 	// readView snapshots node v's view. Locks are taken in ID order to
-	// avoid deadlock (ordered lock acquisition).
+	// avoid deadlock (ordered lock acquisition). The neighbor slice is
+	// the graph's shared one — safe across goroutines because the graph
+	// is never mutated during a run.
 	readView := func(v graph.NodeID) View {
-		nbrs := net.g.Neighbors(v)
+		nbrs := net.g.NeighborsShared(v)
 		all := make([]graph.NodeID, 0, len(nbrs)+1)
 		all = append(all, v)
 		all = append(all, nbrs...)
-		sortIDs(all)
+		slices.Sort(all)
 		for _, u := range all {
 			regs[u].mu.Lock()
 		}
@@ -155,11 +158,19 @@ detectLoop:
 	halt()
 	wg.Wait()
 
-	// Copy final registers back into the network.
+	// Copy final registers back into the network, notifying listeners
+	// of every register that changed over the run.
 	for _, v := range nodes {
 		regs[v].mu.Lock()
-		net.states[v] = regs[v].s
+		final := regs[v].s
 		regs[v].mu.Unlock()
+		old := net.states[v]
+		net.states[v] = final
+		changed := (old == nil) != (final == nil) ||
+			(final != nil && old != nil && !final.Equal(old))
+		if changed {
+			net.notify(v, old, final)
+		}
 	}
 	net.markAllDirty()
 
@@ -171,12 +182,4 @@ detectLoop:
 			fmt.Errorf("runtime: exceeded %d moves without silence", maxMoves)
 	}
 	return ConcurrentResult{Moves: total, Silent: silent}, nil
-}
-
-func sortIDs(ids []graph.NodeID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
 }

@@ -16,7 +16,7 @@ package runtime
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"silentspan/internal/graph"
 )
@@ -105,10 +105,22 @@ type Network struct {
 	enabledCache map[graph.NodeID]bool
 	dirty        map[graph.NodeID]bool
 
-	monitors []Monitor
-	moves    int
-	rounds   int
+	monitors  []Monitor
+	listeners []StateListener
+	moves     int
+	rounds    int
 }
+
+// StateListener observes register writes: it is invoked after node v's
+// register changes from old to new — both for algorithm steps applied
+// by Run and for direct SetState writes (fault injection). Serving
+// layers built on top of the trees use it as a topology-change
+// notification: a write to a parent pointer means the routing substrate
+// may have changed and derived structures (coordinate labelings,
+// caches) must be refreshed. Listeners must not mutate the network.
+// RunConcurrent operates on a private register file and emits no
+// notifications until its final copy-back through the network.
+type StateListener func(v graph.NodeID, old, new State)
 
 // NewNetwork creates a network with every register content nil; call
 // InitArbitrary or SetState before running. It returns an error for
@@ -140,7 +152,7 @@ func (net *Network) markAllDirty() {
 // markDirtyAround invalidates the cached enabledness of v and neighbors.
 func (net *Network) markDirtyAround(v graph.NodeID) {
 	net.dirty[v] = true
-	for _, u := range net.g.Neighbors(v) {
+	for _, u := range net.g.NeighborsShared(v) {
 		net.dirty[u] = true
 	}
 }
@@ -160,8 +172,25 @@ func (net *Network) SetState(v graph.NodeID, s State) {
 	if !net.g.HasNode(v) {
 		panic(fmt.Sprintf("runtime: unknown node %d", v))
 	}
+	old := net.states[v]
 	net.states[v] = s
 	net.markDirtyAround(v)
+	changed := (old == nil) != (s == nil) ||
+		(old != nil && s != nil && !s.Equal(old))
+	if changed {
+		net.notify(v, old, s)
+	}
+}
+
+// AddStateListener registers a write observer (see StateListener).
+func (net *Network) AddStateListener(l StateListener) {
+	net.listeners = append(net.listeners, l)
+}
+
+func (net *Network) notify(v graph.NodeID, old, new State) {
+	for _, l := range net.listeners {
+		l(v, old, new)
+	}
 }
 
 // InitArbitrary fills every register with an arbitrary state drawn from
@@ -174,9 +203,11 @@ func (net *Network) InitArbitrary(rng *rand.Rand) {
 	net.markAllDirty()
 }
 
-// view builds node v's legal view of the system.
+// view builds node v's legal view of the system. The neighbor slice is
+// the graph's shared one: algorithms receive it read-only via
+// View.Neighbors and must not mutate it (runtime.Algorithm contract).
 func (net *Network) view(v graph.NodeID) View {
-	nbrs := net.g.Neighbors(v)
+	nbrs := net.g.NeighborsShared(v)
 	peers := make(map[graph.NodeID]State, len(nbrs))
 	weights := make(map[graph.NodeID]graph.Weight, len(nbrs))
 	for _, u := range nbrs {
@@ -203,7 +234,7 @@ func (net *Network) Enabled() []graph.NodeID {
 			out = append(out, v)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -326,8 +357,10 @@ func (net *Network) applySimultaneous(chosen []graph.NodeID) error {
 	for v, s := range next {
 		if !s.Equal(net.states[v]) {
 			net.moves++
+			old := net.states[v]
 			net.states[v] = s
 			net.markDirtyAround(v)
+			net.notify(v, old, s)
 		}
 	}
 	return nil

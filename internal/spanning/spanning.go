@@ -186,6 +186,18 @@ func (Algorithm) ArbitraryState(rng *rand.Rand, v runtime.View) runtime.State {
 	return s
 }
 
+// InitSelfRoot writes the post-reset configuration: every node is its
+// own root. This is the benign initial configuration (the state R0
+// resets to), from which the substrate stabilizes in O(diameter)
+// synchronous rounds — no fake root identities to erode, so it is the
+// right starting point for large-scale serving experiments, where a
+// fully adversarial start costs Θ(n) rounds of distance-cap erosion.
+func InitSelfRoot(net *runtime.Network) {
+	for _, v := range net.Graph().Nodes() {
+		net.SetState(v, selfRoot(v))
+	}
+}
+
 // ExtractTree reads the stabilized parent pointers out of the network and
 // validates that they form a spanning tree.
 func ExtractTree(net *runtime.Network) (*trees.Tree, error) {

@@ -1,7 +1,7 @@
 package trees
 
 import (
-	"sort"
+	"slices"
 
 	"silentspan/internal/graph"
 )
@@ -47,7 +47,7 @@ func Decompose(t *Tree) *HeavyPathDecomposition {
 		}
 	}
 	for v, cs := range children {
-		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		slices.Sort(cs)
 		children[v] = cs
 	}
 	for _, v := range t.Nodes() {
@@ -101,7 +101,7 @@ func (d *HeavyPathDecomposition) Heads() []graph.NodeID {
 	for h := range d.paths {
 		out = append(out, h)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -1,0 +1,70 @@
+package trees
+
+import (
+	"math/rand"
+	"testing"
+
+	"silentspan/internal/graph"
+)
+
+func TestIndexMatchesTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomConnected(80, 0.1, rng)
+	tr, err := RandomSpanningTree(g, g.MinID(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(tr)
+
+	depths := tr.Depths()
+	height := 0
+	for _, d := range depths {
+		if d > height {
+			height = d
+		}
+	}
+	if ix.Height() != height {
+		t.Errorf("Height() = %d, want %d", ix.Height(), height)
+	}
+	if len(ix.BFSOrder()) != tr.N() {
+		t.Fatalf("BFSOrder covers %d of %d nodes", len(ix.BFSOrder()), tr.N())
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, v := range ix.BFSOrder() {
+		if seen[v] {
+			t.Fatalf("BFSOrder repeats node %d", v)
+		}
+		seen[v] = true
+		if ix.Depth(v) != depths[v] {
+			t.Errorf("Depth(%d) = %d, want %d", v, ix.Depth(v), depths[v])
+		}
+		want := tr.Children(v)
+		got := ix.Children(v)
+		if len(got) != len(want) {
+			t.Fatalf("Children(%d): %v, want %v", v, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Children(%d): %v, want %v", v, got, want)
+			}
+		}
+		for port, c := range want {
+			gotPort, ok := ix.PortOf(v, c)
+			if !ok || gotPort != port {
+				t.Errorf("PortOf(%d, %d) = %d,%v, want %d", v, c, gotPort, ok, port)
+			}
+		}
+		if _, ok := ix.PortOf(v, v); ok {
+			t.Errorf("PortOf(%d, %d) accepted a non-child", v, v)
+		}
+	}
+	// Depths must be non-decreasing along the BFS order.
+	last := 0
+	for _, v := range ix.BFSOrder() {
+		if d := ix.Depth(v); d < last {
+			t.Fatalf("BFS order not by depth at node %d", v)
+		} else {
+			last = d
+		}
+	}
+}

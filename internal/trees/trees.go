@@ -9,7 +9,7 @@ package trees
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"silentspan/internal/graph"
 )
@@ -100,7 +100,7 @@ func (t *Tree) Nodes() []graph.NodeID {
 	for v := range t.parent {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -124,7 +124,7 @@ func (t *Tree) Children(v graph.NodeID) []graph.NodeID {
 			out = append(out, c)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -204,7 +204,7 @@ func (t *Tree) SubtreeSizes() map[graph.NodeID]int {
 	// Process in decreasing depth order.
 	nodes := t.Nodes()
 	depth := t.Depths()
-	sort.Slice(nodes, func(i, j int) bool { return depth[nodes[i]] > depth[nodes[j]] })
+	slices.SortFunc(nodes, func(a, b graph.NodeID) int { return depth[b] - depth[a] })
 	for _, v := range nodes {
 		s := 1
 		for _, c := range t.Children(v) {
@@ -373,11 +373,11 @@ func (t *Tree) Edges() []graph.Edge {
 			out = append(out, graph.Edge{U: v, V: p}.Canonical())
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
+	slices.SortFunc(out, func(a, b graph.Edge) int {
+		if a.U != b.U {
+			return int(a.U - b.U)
 		}
-		return out[i].V < out[j].V
+		return int(a.V - b.V)
 	})
 	return out
 }
