@@ -20,6 +20,7 @@ import (
 	"silentspan/internal/nca"
 	"silentspan/internal/routing"
 	"silentspan/internal/runtime"
+	"silentspan/internal/spanning"
 	"silentspan/internal/switching"
 	"silentspan/internal/trees"
 )
@@ -322,6 +323,117 @@ func BenchmarkSequentialEngineMST(b *testing.B) {
 		if _, _, err := core.RunSequential(g, t0, mst.Task{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineBFSStabilization measures raw engine throughput on the
+// serving-scale path: the spanning (BFS) substrate from the post-reset
+// configuration to silence under the synchronous daemon. This is the
+// benchmark behind the PR-over-PR engine comparison in BENCH_pr*.json:
+// it isolates the simulation engine (view building, enabled-set
+// maintenance, scheduler hand-off) from algorithmic round counts.
+func BenchmarkEngineBFSStabilization(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			g := graph.RandomConnected(n, 8/float64(n), rng)
+			g.Dense() // build the index snapshot with the rest of the fixture
+			b.ResetTimer()
+			var moves int
+			for i := 0; i < b.N; i++ {
+				net, err := runtime.NewNetwork(g, spanning.Algorithm{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				spanning.InitSelfRoot(net)
+				res, err := net.Run(runtime.Synchronous(), 200_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Silent {
+					b.Fatal("not silent")
+				}
+				moves = res.Moves
+			}
+			b.ReportMetric(float64(moves), "moves")
+		})
+	}
+}
+
+// BenchmarkEngineBFSCentral is the central-daemon variant: one node per
+// activation, so any per-activation work that scans all nodes turns the
+// run quadratic. It is the benchmark that the incremental enabled-set
+// exists for.
+func BenchmarkEngineBFSCentral(b *testing.B) {
+	for _, n := range []int{1000, 4000} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			g := graph.RandomConnected(n, 8/float64(n), rng)
+			g.Dense() // build the index snapshot with the rest of the fixture
+			b.ResetTimer()
+			var moves int
+			for i := 0; i < b.N; i++ {
+				net, err := runtime.NewNetwork(g, spanning.Algorithm{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				spanning.InitSelfRoot(net)
+				res, err := net.Run(runtime.Central(), 200_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Silent {
+					b.Fatal("not silent")
+				}
+				moves = res.Moves
+			}
+			b.ReportMetric(float64(moves), "moves")
+		})
+	}
+}
+
+// BenchmarkScaleBFSRouting is the 100k-node serving-scale run: stabilize
+// the BFS substrate, label the tree with routing coordinates, and drive
+// a packet batch — the full stack at a size the map-backed engine could
+// not touch. It must complete in single-digit seconds per iteration.
+func BenchmarkScaleBFSRouting(b *testing.B) {
+	sizes := []int{100_000}
+	if !testing.Short() {
+		sizes = append(sizes, 300_000)
+	}
+	for _, n := range sizes {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			g := graph.RandomConnected(n, 8/float64(n), rng)
+			g.Dense() // build the index snapshot with the rest of the fixture
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net, err := runtime.NewNetwork(g, spanning.Algorithm{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				spanning.InitSelfRoot(net)
+				res, err := net.Run(runtime.Synchronous(), 2_000_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Silent {
+					b.Fatal("not silent")
+				}
+				tr, err := spanning.ExtractTree(net)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := routing.NewRouter(g, routing.Label(tr), routing.Options{})
+				stats, err := routing.Drive(r, routing.UniformPairs(g.Nodes(), 10_000, rng), routing.DriveOptions{MaxExactSources: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Delivered != stats.Sent {
+					b.Fatalf("delivered %d of %d", stats.Delivered, stats.Sent)
+				}
+			}
+		})
 	}
 }
 

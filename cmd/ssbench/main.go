@@ -20,7 +20,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "smaller sweeps (seconds instead of minutes)")
 	seed := flag.Int64("seed", 1, "base random seed")
-	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	only := flag.String("only", "", "run a single experiment (E1..E11, A1..A5)")
 	flag.Parse()
 
 	type experiment struct {
@@ -42,6 +42,8 @@ func main() {
 	a5n := []int{100, 1000}
 	a5pkts := 20_000
 	e10n, e10f := 32, 4
+	e11n := []int{100_000, 300_000, 1_000_000}
+	e11pkts := 50_000
 	if *quick {
 		a1n = []int{12, 24}
 		e1n = []int{16, 32, 64}
@@ -57,6 +59,8 @@ func main() {
 		a5n = []int{100}
 		a5pkts = 5_000
 		e10n = 24
+		e11n = []int{100_000}
+		e11pkts = 10_000
 	}
 
 	experiments := []experiment{
@@ -70,6 +74,7 @@ func main() {
 		{"E8", func() (*bench.Table, error) { return bench.E8Potential(e8n, *seed) }},
 		{"E9", func() (*bench.Table, error) { return bench.E9Routing(e9n, e9pkts, *seed) }},
 		{"E10", func() (*bench.Table, error) { return bench.E10Interplay(e10n, e10f, *seed) }},
+		{"E11", func() (*bench.Table, error) { return bench.E11Scale(e11n, e11pkts, *seed) }},
 		{"A1", func() (*bench.Table, error) { return bench.A1Malleability(a1n, *seed) }},
 		{"A2", func() (*bench.Table, error) { return bench.A2NCAEncoding(e2n, *seed) }},
 		{"A3", func() (*bench.Table, error) { return bench.A3Schedulers(e8n, *seed) }},

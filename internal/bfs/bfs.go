@@ -75,8 +75,8 @@ func improvement(s switching.State, v runtime.View) (graph.NodeID, bool) {
 	}
 	best := trees.None
 	bestD := s.D - 1 // require strict improvement: d(target)+1 < d(u)
-	for _, u := range v.Neighbors {
-		p, ok := switching.RegOf(v.Peer(u))
+	for j, u := range v.Neighbors {
+		p, ok := switching.RegOf(v.PeerAt(j))
 		if !ok {
 			continue
 		}

@@ -1,0 +1,88 @@
+package graph
+
+import "slices"
+
+// Dense is an immutable, index-addressed snapshot of a graph: node
+// identities are mapped once to the contiguous indices 0..n-1 (in
+// increasing ID order) and the adjacency is laid out in CSR form —
+// one shared arc array per field, sliced per node. It exists for the
+// hot layers above the graph (the simulation engine's register file,
+// the router's forwarding loop), where per-call maps and defensive
+// copies dominate the profile: every accessor below returns shared
+// read-only slices and performs no allocation.
+//
+// A Dense is a snapshot: it reflects the graph at the time Dense() was
+// called and is detached from later mutations (Graph.Dense caches and
+// invalidates on AddNode/AddEdge). Indices are stable only within one
+// snapshot.
+type Dense struct {
+	ids    []NodeID // ids[i] is the identity of index i; sorted ascending
+	off    []int32  // CSR offsets: arcs of index i live in [off[i], off[i+1])
+	nbrIDs []NodeID // neighbor identities, sorted ascending per node
+	nbrIdx []int32  // dense indices parallel to nbrIDs
+	wts    []Weight // incident edge weights parallel to nbrIDs
+}
+
+// Dense returns the dense snapshot of g, building it on first use and
+// caching it until the next mutation. The returned value and every
+// slice reachable from it are shared and read-only.
+func (g *Graph) Dense() *Dense {
+	if g.dense != nil {
+		return g.dense
+	}
+	n := len(g.nodes)
+	d := &Dense{
+		ids: slices.Clone(g.nodes), // detach from in-place inserts
+		off: make([]int32, n+1),
+	}
+	arcs := 0
+	for _, v := range g.nodes {
+		arcs += len(g.nbr[v])
+	}
+	d.nbrIDs = make([]NodeID, 0, arcs)
+	d.nbrIdx = make([]int32, 0, arcs)
+	d.wts = make([]Weight, 0, arcs)
+	for i, v := range g.nodes {
+		for _, u := range g.nbr[v] {
+			j, _ := slices.BinarySearch(g.nodes, u)
+			d.nbrIDs = append(d.nbrIDs, u)
+			d.nbrIdx = append(d.nbrIdx, int32(j))
+			d.wts = append(d.wts, g.adj[v][u])
+		}
+		d.off[i+1] = int32(len(d.nbrIDs))
+	}
+	g.dense = d
+	return d
+}
+
+// N returns the number of nodes in the snapshot.
+func (d *Dense) N() int { return len(d.ids) }
+
+// IDs returns the identities in increasing order, indexed by dense
+// index. The slice is shared and read-only.
+func (d *Dense) IDs() []NodeID { return d.ids }
+
+// ID returns the identity of dense index i.
+func (d *Dense) ID(i int) NodeID { return d.ids[i] }
+
+// IndexOf returns the dense index of identity v; ok is false if v is
+// not a node of the snapshot.
+func (d *Dense) IndexOf(v NodeID) (int, bool) {
+	return slices.BinarySearch(d.ids, v)
+}
+
+// Degree returns the degree of dense index i.
+func (d *Dense) Degree(i int) int { return int(d.off[i+1] - d.off[i]) }
+
+// NeighborIDs returns the neighbor identities of dense index i in
+// increasing order. The slice is shared and read-only.
+func (d *Dense) NeighborIDs(i int) []NodeID { return d.nbrIDs[d.off[i]:d.off[i+1]] }
+
+// NeighborIndices returns the dense indices of the neighbors of index
+// i, parallel to NeighborIDs(i) (and therefore ascending). The slice is
+// shared and read-only.
+func (d *Dense) NeighborIndices(i int) []int32 { return d.nbrIdx[d.off[i]:d.off[i+1]] }
+
+// Weights returns the incident edge weights of dense index i, parallel
+// to NeighborIDs(i). The slice is shared and read-only.
+func (d *Dense) Weights(i int) []Weight { return d.wts[d.off[i]:d.off[i+1]] }

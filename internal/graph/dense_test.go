@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestDenseMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomConnected(60, 0.1, rng)
+	d := g.Dense()
+	if d.N() != g.N() {
+		t.Fatalf("dense has %d nodes, graph %d", d.N(), g.N())
+	}
+	if !slices.IsSorted(d.IDs()) {
+		t.Fatal("dense ids not sorted")
+	}
+	for i := 0; i < d.N(); i++ {
+		v := d.ID(i)
+		if j, ok := d.IndexOf(v); !ok || j != i {
+			t.Fatalf("IndexOf(ID(%d)) = %d,%v", i, j, ok)
+		}
+		if got, want := d.NeighborIDs(i), g.NeighborsShared(v); !slices.Equal(got, want) {
+			t.Fatalf("node %d: dense neighbors %v, graph %v", v, got, want)
+		}
+		if d.Degree(i) != g.Degree(v) {
+			t.Fatalf("node %d: dense degree %d, graph %d", v, d.Degree(i), g.Degree(v))
+		}
+		idxs := d.NeighborIndices(i)
+		wts := d.Weights(i)
+		for k, u := range d.NeighborIDs(i) {
+			if d.ID(int(idxs[k])) != u {
+				t.Fatalf("node %d: neighbor index %d resolves to %d, want %d",
+					v, idxs[k], d.ID(int(idxs[k])), u)
+			}
+			if w, _ := g.EdgeWeight(v, u); w != wts[k] {
+				t.Fatalf("edge {%d,%d}: dense weight %d, graph %d", v, u, wts[k], w)
+			}
+		}
+	}
+	if _, ok := d.IndexOf(NodeID(10_000)); ok {
+		t.Fatal("IndexOf accepted a non-node")
+	}
+}
+
+func TestDenseCacheInvalidation(t *testing.T) {
+	g := New()
+	g.MustAddEdge(1, 2, 10)
+	d1 := g.Dense()
+	if d1 != g.Dense() {
+		t.Fatal("snapshot not cached between mutations")
+	}
+	g.MustAddEdge(2, 3, 11)
+	d2 := g.Dense()
+	if d1 == d2 {
+		t.Fatal("snapshot not invalidated by AddEdge")
+	}
+	if d1.N() != 2 || d2.N() != 3 {
+		t.Fatalf("snapshots sized %d and %d, want 2 and 3", d1.N(), d2.N())
+	}
+	// The old snapshot stays internally consistent.
+	if i, ok := d1.IndexOf(2); !ok || !slices.Equal(d1.NeighborIDs(i), []NodeID{1}) {
+		t.Fatal("stale snapshot corrupted by later mutation")
+	}
+	g.AddNode(4)
+	if g.Dense() == d2 {
+		t.Fatal("snapshot not invalidated by AddNode")
+	}
+}

@@ -63,6 +63,8 @@ type Graph struct {
 	// so that Neighbors — the hottest call of the runtime's view building
 	// and of the routing forwarding loop — needs no per-call sort.
 	nbr map[NodeID][]NodeID
+	// dense caches the CSR snapshot of Dense(); mutations invalidate it.
+	dense *Dense
 }
 
 // New returns an empty graph.
@@ -89,6 +91,7 @@ func (g *Graph) AddNode(id NodeID) {
 	}
 	g.adj[id] = make(map[NodeID]Weight)
 	g.nodes = insertSorted(g.nodes, id)
+	g.dense = nil
 }
 
 // AddEdge inserts an undirected edge with weight w, adding missing
@@ -106,6 +109,7 @@ func (g *Graph) AddEdge(u, v NodeID, w Weight) error {
 	}
 	g.adj[u][v] = w
 	g.adj[v][u] = w
+	g.dense = nil
 	return nil
 }
 
@@ -217,25 +221,30 @@ func (g *Graph) EdgesByWeight() []Edge {
 }
 
 // Connected reports whether g is connected (the paper assumes connected
-// networks). The empty graph is vacuously connected.
+// networks). The empty graph is vacuously connected. The traversal runs
+// over the dense snapshot — index-addressed, no map per visit — since
+// every NewNetwork pays this check.
 func (g *Graph) Connected() bool {
 	if len(g.nodes) == 0 {
 		return true
 	}
-	seen := make(map[NodeID]bool, len(g.nodes))
-	stack := []NodeID{g.nodes[0]}
-	seen[g.nodes[0]] = true
+	d := g.Dense()
+	seen := make([]bool, d.N())
+	stack := make([]int32, 1, 64)
+	seen[0] = true
+	count := 1
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for u := range g.adj[v] {
+		for _, u := range d.NeighborIndices(int(v)) {
 			if !seen[u] {
 				seen[u] = true
+				count++
 				stack = append(stack, u)
 			}
 		}
 	}
-	return len(seen) == len(g.nodes)
+	return count == len(g.nodes)
 }
 
 // BFSDistances returns the hop distance from root to every node, or an

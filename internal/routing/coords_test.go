@@ -137,7 +137,7 @@ func TestLiveLabelingOnBrokenPointers(t *testing.T) {
 		5: 4,
 		6: trees.None, // second claimed root
 	}
-	lab := LiveLabeling(g, parent)
+	lab := LiveLabeling(g, ParentsFromMap(g, parent))
 	if lab.Complete() {
 		t.Fatal("broken labeling reported complete")
 	}
@@ -172,7 +172,7 @@ func TestLiveLabelingIgnoresNonNeighborParents(t *testing.T) {
 		3: 1, // 3 claims parent 1, but {1,3} is not an edge
 		4: 3,
 	}
-	lab := LiveLabeling(g, parent)
+	lab := LiveLabeling(g, ParentsFromMap(g, parent))
 	if _, ok := lab.Coords(3); ok {
 		t.Error("node 3 with non-neighbor parent got a coordinate")
 	}

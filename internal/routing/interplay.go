@@ -114,15 +114,25 @@ func StabilizeSubstrate(g *graph.Graph, sub Substrate, sched runtime.Scheduler, 
 
 // LiveParents reads the raw parent pointers out of a network whose
 // registers are switching states — with no validation, because mid-
-// reconvergence they may encode anything.
-func LiveParents(net *runtime.Network) map[graph.NodeID]graph.NodeID {
-	out := make(map[graph.NodeID]graph.NodeID, net.Graph().N())
-	for _, v := range net.Graph().Nodes() {
-		if s, ok := switching.RegOf(net.State(v)); ok {
-			out[v] = s.Parent
+// reconvergence they may encode anything. The result is indexed by the
+// network's dense index (see LiveLabeling); registers holding no
+// credible switching state read as NoParent. buf is reused when it has
+// capacity, so the per-window refresh of the reconvergence loop
+// allocates nothing after the first read.
+func LiveParents(net *runtime.Network, buf []graph.NodeID) []graph.NodeID {
+	n := net.Dense().N()
+	if cap(buf) < n {
+		buf = make([]graph.NodeID, n)
+	}
+	buf = buf[:n]
+	for i := 0; i < n; i++ {
+		if s, ok := switching.RegOf(net.StateAt(i)); ok {
+			buf[i] = s.Parent
+		} else {
+			buf[i] = NoParent
 		}
 	}
-	return out
+	return buf
 }
 
 // InterplayConfig parameterizes one fault-interplay run. Zero values
@@ -271,10 +281,13 @@ func RunInterplay(g *graph.Graph, cfg InterplayConfig) (*InterplayReport, error)
 	})
 
 	// Reconvergence: interleave repair windows with routing windows over
-	// whatever labeling the live registers currently support.
+	// whatever labeling the live registers currently support. The parent
+	// buffer is reused across refreshes — the dense read path.
+	var parentBuf []graph.NodeID
 	refresh := func() {
 		if dirty {
-			router.SetLabeling(LiveLabeling(g, LiveParents(net)))
+			parentBuf = LiveParents(net, parentBuf)
+			router.SetLabeling(LiveLabeling(g, parentBuf))
 			dirty = false
 		}
 	}

@@ -66,7 +66,7 @@ func TestLiveLabelingDegradesUnderCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lab := LiveLabeling(g, LiveParents(net)); !lab.Complete() {
+	if lab := LiveLabeling(g, LiveParents(net, nil)); !lab.Complete() {
 		t.Fatal("live labeling of a silent configuration not complete")
 	}
 
@@ -89,7 +89,7 @@ func TestLiveLabelingDegradesUnderCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	lab := LiveLabeling(g, LiveParents(net))
+	lab := LiveLabeling(g, LiveParents(net, nil))
 	if lab.Complete() {
 		t.Fatal("labeling still complete after tearing a parent pointer")
 	}

@@ -2,6 +2,7 @@ package routing
 
 import (
 	"fmt"
+	"slices"
 
 	"silentspan/internal/graph"
 	"silentspan/internal/trees"
@@ -13,33 +14,66 @@ import (
 // — nodes on parent cycles or pointing at non-neighbors carry no
 // coordinate — and may have several claimed roots, each defining its own
 // coordinate space.
+//
+// Internally a Labeling is array-backed over the same contiguous index
+// space as graph.Dense: ids holds the covered identities in increasing
+// order, and coords/root/has are parallel to it. The router detects
+// when a labeling's index space coincides with its graph's dense
+// snapshot and then forwards entirely index-addressed, with no per-hop
+// map lookups (see Router.NextHop).
 type Labeling struct {
-	coords map[graph.NodeID]Coords
-	rootOf map[graph.NodeID]graph.NodeID
-	n      int // nodes the labeling was built over
+	ids  []graph.NodeID // sorted; the labeling's index space
+	crds []Coords       // crds[i] is the coordinate of ids[i], valid iff has[i]
+	root []graph.NodeID // root[i] is the coordinate space of ids[i]
+	has  []bool
+	n    int // labeled nodes
+}
+
+// newLabeling returns an unlabeled labeling over the given sorted
+// identity space (shared, read-only).
+func newLabeling(ids []graph.NodeID) *Labeling {
+	return &Labeling{
+		ids:  ids,
+		crds: make([]Coords, len(ids)),
+		root: make([]graph.NodeID, len(ids)),
+		has:  make([]bool, len(ids)),
+	}
+}
+
+// indexOf returns v's index in the labeling's identity space.
+func (l *Labeling) indexOf(v graph.NodeID) (int, bool) {
+	return slices.BinarySearch(l.ids, v)
+}
+
+// setAt labels index i with coordinate c in root r's space.
+func (l *Labeling) setAt(i int, c Coords, r graph.NodeID) {
+	if !l.has[i] {
+		l.has[i] = true
+		l.n++
+	}
+	l.crds[i] = c
+	l.root[i] = r
 }
 
 // Label builds the full coordinate labeling of a validated tree in
-// O(n): a top-down pass assigning each node its parent's coordinate
-// extended by its port (index within the parent's sorted children).
+// O(n log n): a top-down pass assigning each node its parent's
+// coordinate extended by its port (index within the parent's sorted
+// children).
 func Label(t *trees.Tree) *Labeling {
 	ix := trees.NewIndex(t)
-	l := &Labeling{
-		coords: make(map[graph.NodeID]Coords, t.N()),
-		rootOf: make(map[graph.NodeID]graph.NodeID, t.N()),
-		n:      t.N(),
-	}
+	l := newLabeling(t.Nodes()) // Nodes returns a fresh sorted slice
 	root := t.Root()
-	l.coords[root] = Coords{}
-	l.rootOf[root] = root
+	ri, _ := l.indexOf(root)
+	l.setAt(ri, Coords{}, root)
 	for _, v := range ix.BFSOrder() {
-		base := l.coords[v]
+		vi, _ := l.indexOf(v)
+		base := l.crds[vi]
 		for port, c := range ix.Children(v) {
 			cc := make(Coords, len(base)+1)
 			copy(cc, base)
 			cc[len(base)] = Port(port)
-			l.coords[c] = cc
-			l.rootOf[c] = root
+			ci, _ := l.indexOf(c)
+			l.setAt(ci, cc, root)
 		}
 	}
 	return l
@@ -52,95 +86,153 @@ func Label(t *trees.Tree) *Labeling {
 // coordinate space; nodes that do not reach any root (parent cycles)
 // get no coordinate. This models what a serving layer actually has
 // while the self-stabilizing construction repairs itself underneath it.
-func LiveLabeling(g *graph.Graph, parent map[graph.NodeID]graph.NodeID) *Labeling {
-	nodes := g.Nodes()
-	l := &Labeling{
-		coords: make(map[graph.NodeID]Coords, len(nodes)),
-		rootOf: make(map[graph.NodeID]graph.NodeID, len(nodes)),
-		n:      len(nodes),
+//
+// The pass is entirely index-addressed over the graph's dense snapshot:
+// parents is indexed by dense index (use LiveParents to read one out of
+// a network) with NoParent marking nodes that carry no credible parent
+// pointer. The labeling's index space is the snapshot's, so a router
+// over the same graph forwards over it without any identity lookups.
+func LiveLabeling(g *graph.Graph, parents []graph.NodeID) *Labeling {
+	d := g.Dense()
+	n := d.N()
+	if len(parents) != n {
+		panic(fmt.Sprintf("routing: %d parent entries for %d nodes", len(parents), n))
 	}
-	// Children lists from the credible pointers only.
-	children := make(map[graph.NodeID][]graph.NodeID, len(nodes))
-	var queue []graph.NodeID
-	for _, v := range nodes {
-		p, ok := parent[v]
-		if !ok {
+	l := newLabeling(d.IDs())
+	// Children lists from the credible pointers only, in increasing
+	// child order (one counting pass, then a fill pass — no per-node
+	// append growth).
+	childCount := make([]int32, n+1)
+	childIdx := make([]int32, n) // parent index of each child, or -1
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		childIdx[i] = -1
+		p := parents[i]
+		if p == NoParent {
 			continue
 		}
 		if p == trees.None {
-			l.coords[v] = Coords{}
-			l.rootOf[v] = v
-			queue = append(queue, v)
+			l.setAt(i, Coords{}, d.ID(i))
+			queue = append(queue, int32(i))
 			continue
 		}
-		if !g.HasEdge(v, p) {
+		pi, ok := d.IndexOf(p)
+		if !ok || !hasNeighborIndex(d, i, int32(pi)) {
 			continue // corrupted pointer: not even a neighbor
 		}
-		children[p] = append(children[p], v) // already in increasing v order
+		childIdx[i] = int32(pi)
+		childCount[pi+1]++
+	}
+	for i := 1; i <= n; i++ {
+		childCount[i] += childCount[i-1]
+	}
+	children := make([]int32, childCount[n])
+	fill := make([]int32, n)
+	copy(fill, childCount[:n])
+	for i := 0; i < n; i++ { // ascending i => ascending child ID per parent
+		if pi := childIdx[i]; pi >= 0 {
+			children[fill[pi]] = int32(i)
+			fill[pi]++
+		}
 	}
 	// Top-down from each claimed root; unreached nodes stay unlabeled.
-	for i := 0; i < len(queue); i++ {
-		v := queue[i]
-		base := l.coords[v]
-		for port, c := range children[v] {
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		base := l.crds[v]
+		space := l.root[v]
+		for port, c := range children[childCount[v]:fill[v]] {
 			cc := make(Coords, len(base)+1)
 			copy(cc, base)
 			cc[len(base)] = Port(port)
-			l.coords[c] = cc
-			l.rootOf[c] = l.rootOf[v]
+			l.setAt(int(c), cc, space)
 			queue = append(queue, c)
 		}
 	}
 	return l
 }
 
+// hasNeighborIndex reports whether dense index j is a neighbor of dense
+// index i.
+func hasNeighborIndex(d *graph.Dense, i int, j int32) bool {
+	_, ok := slices.BinarySearch(d.NeighborIndices(i), j)
+	return ok
+}
+
+// NoParent marks a dense index whose register carries no credible
+// parent pointer at all (a foreign or corrupted state), as opposed to
+// trees.None, which is a genuine "I am a root" claim.
+const NoParent = graph.NodeID(-1)
+
+// ParentsFromMap converts an identity-keyed parent map into the dense
+// parent slice LiveLabeling consumes: absent nodes become NoParent.
+func ParentsFromMap(g *graph.Graph, parent map[graph.NodeID]graph.NodeID) []graph.NodeID {
+	d := g.Dense()
+	out := make([]graph.NodeID, d.N())
+	for i := range out {
+		p, ok := parent[d.ID(i)]
+		if !ok {
+			p = NoParent
+		}
+		out[i] = p
+	}
+	return out
+}
+
 // Coords returns v's coordinate; ok is false for unlabeled nodes.
 func (l *Labeling) Coords(v graph.NodeID) (Coords, bool) {
-	c, ok := l.coords[v]
-	return c, ok
+	i, ok := l.indexOf(v)
+	if !ok || !l.has[i] {
+		return nil, false
+	}
+	return l.crds[i], true
 }
 
 // RootOf returns the root of the coordinate space v belongs to; ok is
 // false for unlabeled nodes.
 func (l *Labeling) RootOf(v graph.NodeID) (graph.NodeID, bool) {
-	r, ok := l.rootOf[v]
-	return r, ok
+	i, ok := l.indexOf(v)
+	if !ok || !l.has[i] {
+		return 0, false
+	}
+	return l.root[i], true
 }
 
 // Covered returns the number of labeled nodes.
-func (l *Labeling) Covered() int { return len(l.coords) }
+func (l *Labeling) Covered() int { return l.n }
 
 // Complete reports whether every node got a coordinate in one single
 // coordinate space — true exactly for labelings of validated trees.
 func (l *Labeling) Complete() bool {
-	if len(l.coords) != l.n {
+	if l.n != len(l.ids) {
 		return false
 	}
-	roots := make(map[graph.NodeID]bool, 1)
-	for _, r := range l.rootOf {
-		roots[r] = true
+	for i := range l.root {
+		if l.root[i] != l.root[0] {
+			return false
+		}
 	}
-	return len(roots) == 1
+	return true
 }
 
 // TreeDist returns the tree distance between u and v. ok is false when
 // either node is unlabeled or they belong to different coordinate
 // spaces (in which case no tree route exists under this labeling).
 func (l *Labeling) TreeDist(u, v graph.NodeID) (int, bool) {
-	cu, okU := l.coords[u]
-	cv, okV := l.coords[v]
-	if !okU || !okV || l.rootOf[u] != l.rootOf[v] {
+	ui, okU := l.indexOf(u)
+	vi, okV := l.indexOf(v)
+	if !okU || !okV || !l.has[ui] || !l.has[vi] || l.root[ui] != l.root[vi] {
 		return 0, false
 	}
-	return cu.Dist(cv), true
+	return l.crds[ui].Dist(l.crds[vi]), true
 }
 
 // IsAncestor reports whether u is an ancestor of v under the labeling
 // (false when either is unlabeled or the spaces differ).
 func (l *Labeling) IsAncestor(u, v graph.NodeID) bool {
-	cu, okU := l.coords[u]
-	cv, okV := l.coords[v]
-	return okU && okV && l.rootOf[u] == l.rootOf[v] && cu.IsAncestorOf(cv)
+	ui, okU := l.indexOf(u)
+	vi, okV := l.indexOf(v)
+	return okU && okV && l.has[ui] && l.has[vi] &&
+		l.root[ui] == l.root[vi] && l.crds[ui].IsAncestorOf(l.crds[vi])
 }
 
 // MaxLabelBits returns the largest encoded coordinate in bits — the
@@ -148,7 +240,10 @@ func (l *Labeling) IsAncestor(u, v graph.NodeID) bool {
 // accounting next to the paper's O(log n)-bit registers).
 func (l *Labeling) MaxLabelBits() int {
 	max := 0
-	for _, c := range l.coords {
+	for i, c := range l.crds {
+		if !l.has[i] {
+			continue
+		}
 		if b := c.EncodedBits(); b > max {
 			max = b
 		}
@@ -162,10 +257,11 @@ func (l *Labeling) MaxLabelBits() int {
 // every node. It is used by tests as the labeler's ground-truth check.
 func (l *Labeling) Verify(t *trees.Tree) error {
 	if !l.Complete() {
-		return fmt.Errorf("routing: labeling covers %d of %d nodes", l.Covered(), l.n)
+		return fmt.Errorf("routing: labeling covers %d of %d nodes", l.Covered(), len(l.ids))
 	}
 	ix := trees.NewIndex(t)
-	for v, c := range l.coords {
+	for i, v := range l.ids {
+		c := l.crds[i]
 		if v == t.Root() {
 			if len(c) != 0 {
 				return fmt.Errorf("routing: root %d has non-empty coordinate %v", v, c)
@@ -177,7 +273,7 @@ func (l *Labeling) Verify(t *trees.Tree) error {
 		if !ok {
 			return fmt.Errorf("routing: node %d is not a child of its parent %d", v, p)
 		}
-		pc := l.coords[p]
+		pc, _ := l.Coords(p)
 		if len(c) != len(pc)+1 || !pc.IsAncestorOf(c) || c[len(c)-1] != Port(port) {
 			return fmt.Errorf("routing: node %d coordinate %v does not extend parent %d's %v by port %d",
 				v, c, p, pc, port)

@@ -2,6 +2,7 @@ package routing
 
 import (
 	"fmt"
+	"slices"
 
 	"silentspan/internal/graph"
 )
@@ -70,8 +71,16 @@ type Options struct {
 // exactly what the fault-interplay experiments measure.
 type Router struct {
 	g   *graph.Graph
+	d   *graph.Dense
 	lab *Labeling
 	opt Options
+	// aligned reports that the labeling's index space is exactly the
+	// graph's dense snapshot, so forwarding can address coordinates by
+	// neighbor index with no identity lookups. True for every labeling
+	// built over this graph (Label of a spanning tree, LiveLabeling);
+	// false only for labelings of foreign node sets, which fall back to
+	// per-identity binary searches.
+	aligned bool
 }
 
 // NewRouter builds a router over g with the given labeling.
@@ -79,7 +88,9 @@ func NewRouter(g *graph.Graph, lab *Labeling, opt Options) *Router {
 	if opt.MaxHops == 0 {
 		opt.MaxHops = 2*g.N() + 16
 	}
-	return &Router{g: g, lab: lab, opt: opt}
+	r := &Router{g: g, d: g.Dense(), opt: opt}
+	r.SetLabeling(lab)
+	return r
 }
 
 // Labeling returns the router's current labeling.
@@ -87,8 +98,24 @@ func (r *Router) Labeling() *Labeling { return r.lab }
 
 // SetLabeling swaps the labeling — the topology-change path: the
 // runtime's state listener fires, the serving layer re-extracts
-// coordinates, and in-flight packets continue over the new labels.
-func (r *Router) SetLabeling(lab *Labeling) { r.lab = lab }
+// coordinates, and in-flight packets continue over the new labels. The
+// dense snapshot is refreshed alongside, so adjacency mutated since the
+// router was built is picked up with the new labels.
+func (r *Router) SetLabeling(lab *Labeling) {
+	r.d = r.g.Dense()
+	r.lab = lab
+	r.aligned = sameIDSpace(r.d.IDs(), lab.ids)
+}
+
+// sameIDSpace reports whether the two sorted identity slices are
+// identical (cheap alias check first; labelings built from the graph's
+// own dense snapshot share the slice).
+func sameIDSpace(a, b []graph.NodeID) bool {
+	if len(a) == len(b) && len(a) > 0 && &a[0] == &b[0] {
+		return true
+	}
+	return slices.Equal(a, b)
+}
 
 // NextHop makes one greedy forwarding decision at cur for a packet
 // destined to dst. ok is false when the packet cannot progress, with
@@ -97,28 +124,49 @@ func (r *Router) SetLabeling(lab *Labeling) { r.lab = lab }
 // decide whether to stall or drop.
 func (r *Router) NextHop(cur, dst graph.NodeID) (graph.NodeID, DropReason, bool) {
 	lab := r.lab
-	cc, okC := lab.Coords(cur)
-	if !okC {
+	ci, okC := lab.indexOf(cur)
+	if !okC || !lab.has[ci] {
 		return 0, DropNoSourceCoord, false
 	}
-	cd, okD := lab.Coords(dst)
-	if !okD || lab.rootOf[cur] != lab.rootOf[dst] {
+	cc := lab.crds[ci]
+	di, okD := lab.indexOf(dst)
+	if !okD || !lab.has[di] || lab.root[ci] != lab.root[di] {
 		return 0, DropNoDestCoord, false
 	}
+	cd := lab.crds[di]
 	curDist := cc.Dist(cd)
 	best := graph.NodeID(0)
 	bestDist := curDist
-	space := lab.rootOf[cur]
-	for _, u := range r.g.NeighborsShared(cur) {
-		uc, ok := lab.coords[u]
-		if !ok || lab.rootOf[u] != space {
-			continue
+	space := lab.root[ci]
+	if r.aligned {
+		// Fast path: the labeling index IS the dense index, so neighbor
+		// coordinates are addressed directly.
+		ids := r.d.NeighborIDs(ci)
+		for k, ui := range r.d.NeighborIndices(ci) {
+			if !lab.has[ui] || lab.root[ui] != space {
+				continue
+			}
+			uc := lab.crds[ui]
+			if r.opt.TreeOnly && !treeNeighbors(cc, uc) {
+				continue
+			}
+			if d := uc.Dist(cd); d < bestDist {
+				best, bestDist = ids[k], d
+			}
 		}
-		if r.opt.TreeOnly && !treeNeighbors(cc, uc) {
-			continue
-		}
-		if d := uc.Dist(cd); d < bestDist {
-			best, bestDist = u, d
+	} else {
+		for _, u := range r.g.NeighborsShared(cur) {
+			ui, ok := lab.indexOf(u)
+			if !ok || !lab.has[ui] || lab.root[ui] != space {
+				continue
+			}
+			uc := lab.crds[ui]
+			if r.opt.TreeOnly && !treeNeighbors(cc, uc) {
+				continue
+			}
+			if d := uc.Dist(cd); d < bestDist {
+				best, bestDist = u, d
+			}
 		}
 	}
 	if bestDist >= curDist {

@@ -158,7 +158,7 @@ func TestRouterRefusesAcrossCoordinateSpaces(t *testing.T) {
 		1: trees.None, 2: 1, 3: 2,
 		4: trees.None, 5: 4, 6: 5, // second root: 4-5-6 island
 	}
-	lab := LiveLabeling(g, parent)
+	lab := LiveLabeling(g, ParentsFromMap(g, parent))
 	r := NewRouter(g, lab, Options{})
 	d := r.Route(1, 6)
 	if d.Delivered {

@@ -2,11 +2,8 @@ package runtime
 
 import (
 	"fmt"
-	"slices"
 	"sync"
 	"time"
-
-	"silentspan/internal/graph"
 )
 
 // ConcurrentResult summarizes a run of the concurrent runner.
@@ -20,25 +17,25 @@ type ConcurrentResult struct {
 // RunConcurrent executes the algorithm with one goroutine per node,
 // modelling the asynchronous network directly: every node repeatedly
 // performs the atomic read-compute-write step of the state model against
-// a shared register file guarded per-node. It demonstrates that the
-// algorithms are scheduler-oblivious — the Go scheduler acts as an
+// a private dense register file guarded per-index. It demonstrates that
+// the algorithms are scheduler-oblivious — the Go scheduler acts as an
 // arbitrary (unfair in practice) daemon — and gives the race detector a
 // real concurrent execution to check.
+//
+// Unlike the sequential engine's live views, concurrent views must be
+// snapshots (a neighbor may write between the read and the compute), so
+// each goroutine owns one reusable peer buffer filled under the locks.
 //
 // The run stops when the network has been continuously silent for all
 // nodes over a full sweep, or when maxMoves is exceeded, or after
 // timeout. Round counting is not meaningful here (no global observer),
 // so only moves are reported.
 func RunConcurrent(net *Network, maxMoves int, timeout time.Duration) (ConcurrentResult, error) {
-	type register struct {
-		mu sync.Mutex
-		s  State
-	}
-	nodes := net.g.Nodes()
-	regs := make(map[graph.NodeID]*register, len(nodes))
-	for _, v := range nodes {
-		regs[v] = &register{s: net.states[v]}
-	}
+	d := net.d
+	n := d.N()
+	regs := make([]State, n)
+	copy(regs, net.states)
+	mus := make([]sync.Mutex, n)
 
 	var (
 		movesMu sync.Mutex
@@ -49,46 +46,53 @@ func RunConcurrent(net *Network, maxMoves int, timeout time.Duration) (Concurren
 	)
 	halt := func() { once.Do(func() { close(stop) }) }
 
-	// readView snapshots node v's view. Locks are taken in ID order to
-	// avoid deadlock (ordered lock acquisition). The neighbor slice is
-	// the graph's shared one — safe across goroutines because the graph
-	// is never mutated during a run.
-	readView := func(v graph.NodeID) View {
-		nbrs := net.g.NeighborsShared(v)
-		all := make([]graph.NodeID, 0, len(nbrs)+1)
-		all = append(all, v)
-		all = append(all, nbrs...)
-		slices.Sort(all)
-		for _, u := range all {
-			regs[u].mu.Lock()
+	// readView snapshots the view at dense index i into the caller's
+	// peer buffer. Locks are taken in index order to avoid deadlock
+	// (ordered lock acquisition); neighbor indices are ascending, so the
+	// own index is merged in place.
+	readView := func(i int, peers []State) View {
+		nbrIdx := d.NeighborIndices(i)
+		peers = peers[:0]
+		locked := func(j int32) {
+			mus[j].Lock()
 		}
-		peers := make(map[graph.NodeID]State, len(nbrs))
-		weights := make(map[graph.NodeID]graph.Weight, len(nbrs))
-		for _, u := range nbrs {
-			peers[u] = regs[u].s
-			w, _ := net.g.EdgeWeight(v, u)
-			weights[u] = w
+		ii := int32(i)
+		merged := false
+		for _, j := range nbrIdx {
+			if !merged && ii < j {
+				locked(ii)
+				merged = true
+			}
+			locked(j)
 		}
-		view := View{
-			ID:        v,
-			N:         net.g.N(),
-			Neighbors: nbrs,
-			Self:      regs[v].s,
+		if !merged {
+			locked(ii)
+		}
+		for _, j := range nbrIdx {
+			peers = append(peers, regs[j])
+		}
+		self := regs[i]
+		for k := len(nbrIdx) - 1; k >= 0; k-- {
+			mus[nbrIdx[k]].Unlock()
+		}
+		mus[i].Unlock()
+		return View{
+			ID:        d.ID(i),
+			N:         n,
+			Neighbors: d.NeighborIDs(i),
+			Self:      self,
+			weights:   d.Weights(i),
 			peers:     peers,
-			weights:   weights,
 		}
-		for i := len(all) - 1; i >= 0; i-- {
-			regs[all[i]].mu.Unlock()
-		}
-		return view
 	}
 
 	deadline := time.After(timeout)
-	for _, v := range nodes {
-		v := v
+	for i := 0; i < n; i++ {
+		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			peerBuf := make([]State, 0, d.Degree(i))
 			idleSweeps := 0
 			for {
 				select {
@@ -96,7 +100,8 @@ func RunConcurrent(net *Network, maxMoves int, timeout time.Duration) (Concurren
 					return
 				default:
 				}
-				view := readView(v)
+				view := readView(i, peerBuf)
+				peerBuf = view.peers[:0]
 				next := net.alg.Step(view)
 				if next.Equal(view.Self) {
 					idleSweeps++
@@ -110,10 +115,10 @@ func RunConcurrent(net *Network, maxMoves int, timeout time.Duration) (Concurren
 				// Atomic step: re-read under lock and only commit if the
 				// view is unchanged (the state model's step is atomic;
 				// this realizes it optimistically).
-				regs[v].mu.Lock()
-				if regs[v].s == view.Self || (regs[v].s != nil && view.Self != nil && regs[v].s.Equal(view.Self)) {
-					regs[v].s = next
-					regs[v].mu.Unlock()
+				mus[i].Lock()
+				if regs[i] == view.Self || (regs[i] != nil && view.Self != nil && regs[i].Equal(view.Self)) {
+					regs[i] = next
+					mus[i].Unlock()
 					movesMu.Lock()
 					moves++
 					exceeded := moves > maxMoves
@@ -123,7 +128,7 @@ func RunConcurrent(net *Network, maxMoves int, timeout time.Duration) (Concurren
 						return
 					}
 				} else {
-					regs[v].mu.Unlock()
+					mus[i].Unlock()
 				}
 			}
 		}()
@@ -133,6 +138,7 @@ func RunConcurrent(net *Network, maxMoves int, timeout time.Duration) (Concurren
 	silent := false
 	detect := time.NewTicker(2 * time.Millisecond)
 	defer detect.Stop()
+	detectBuf := make([]State, 0, 64)
 detectLoop:
 	for {
 		select {
@@ -142,8 +148,9 @@ detectLoop:
 			break detectLoop
 		case <-detect.C:
 			allQuiet := true
-			for _, v := range nodes {
-				view := readView(v)
+			for i := 0; i < n; i++ {
+				view := readView(i, detectBuf)
+				detectBuf = view.peers[:0]
 				if !net.alg.Step(view).Equal(view.Self) {
 					allQuiet = false
 					break
@@ -160,16 +167,16 @@ detectLoop:
 
 	// Copy final registers back into the network, notifying listeners
 	// of every register that changed over the run.
-	for _, v := range nodes {
-		regs[v].mu.Lock()
-		final := regs[v].s
-		regs[v].mu.Unlock()
-		old := net.states[v]
-		net.states[v] = final
+	for i := 0; i < n; i++ {
+		mus[i].Lock()
+		final := regs[i]
+		mus[i].Unlock()
+		old := net.states[i]
+		net.states[i] = final
 		changed := (old == nil) != (final == nil) ||
 			(final != nil && old != nil && !final.Equal(old))
 		if changed {
-			net.notify(v, old, final)
+			net.notify(d.ID(i), old, final)
 		}
 	}
 	net.markAllDirty()

@@ -1,0 +1,177 @@
+package runtime
+
+import (
+	"math/bits"
+	"slices"
+
+	"silentspan/internal/graph"
+)
+
+// EnabledSet is the incrementally maintained set of enabled nodes that
+// the engine hands to schedulers. It replaces the per-activation O(n)
+// scan-sort-allocate of the map-backed engine: the Network updates
+// membership only around register writers (a node's enabledness can
+// only change when it or a neighbor writes), and schedulers read the
+// set through the ordered accessors below.
+//
+// Internally the set is a bitset over dense node indices plus a Fenwick
+// tree of per-word popcounts, so all ordered queries — minimum, k-th
+// smallest, successor — cost O(log n) and never touch disabled nodes.
+// Because dense indices increase with node identity, index order and
+// identity order coincide: "k-th smallest index" is "k-th smallest ID",
+// which is exactly the order the old sorted enabled slice exposed.
+//
+// The set is owned by the Network; schedulers must treat it as
+// read-only and must not retain it across activations.
+type EnabledSet struct {
+	ids   []graph.NodeID // dense index -> identity (shared with graph.Dense)
+	words []uint64       // bit i set <=> index i enabled
+	fen   []int32        // Fenwick tree (1-based) over word popcounts
+	count int
+}
+
+// newEnabledSet returns an empty set over the given identity mapping.
+func newEnabledSet(ids []graph.NodeID) *EnabledSet {
+	nw := (len(ids) + 63) / 64
+	return &EnabledSet{
+		ids:   ids,
+		words: make([]uint64, nw),
+		fen:   make([]int32, nw+1),
+	}
+}
+
+// Len returns the number of enabled nodes in O(1).
+func (s *EnabledSet) Len() int { return s.count }
+
+// contains reports membership of dense index i.
+func (s *EnabledSet) contains(i int) bool {
+	return s.words[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+// add inserts dense index i; no-op if present.
+func (s *EnabledSet) add(i int) {
+	w := i >> 6
+	bit := uint64(1) << (uint(i) & 63)
+	if s.words[w]&bit != 0 {
+		return
+	}
+	s.words[w] |= bit
+	s.count++
+	for f := w + 1; f < len(s.fen); f += f & -f {
+		s.fen[f]++
+	}
+}
+
+// remove deletes dense index i; no-op if absent.
+func (s *EnabledSet) remove(i int) {
+	w := i >> 6
+	bit := uint64(1) << (uint(i) & 63)
+	if s.words[w]&bit == 0 {
+		return
+	}
+	s.words[w] &^= bit
+	s.count--
+	for f := w + 1; f < len(s.fen); f += f & -f {
+		s.fen[f]--
+	}
+}
+
+// selectIndex returns the dense index of the k-th smallest member
+// (0-based). It panics if k is out of range.
+func (s *EnabledSet) selectIndex(k int) int {
+	if k < 0 || k >= s.count {
+		panic("runtime: enabled-set select out of range")
+	}
+	// Fenwick descent to the word holding the k-th bit.
+	w, rem := 0, int32(k)
+	half := 1
+	for half < len(s.fen)-1 {
+		half <<= 1
+	}
+	for ; half > 0; half >>= 1 {
+		if next := w + half; next < len(s.fen) && s.fen[next] <= rem {
+			w = next
+			rem -= s.fen[next]
+		}
+	}
+	// w is now the count of whole words before the target word.
+	word := s.words[w]
+	for r := rem; r > 0; r-- {
+		word &= word - 1 // clear lowest set bit
+	}
+	return w<<6 + bits.TrailingZeros64(word)
+}
+
+// rankBelow returns how many members have dense index < i.
+func (s *EnabledSet) rankBelow(i int) int {
+	w := i >> 6
+	r := 0
+	for f := w; f > 0; f &= f - 1 {
+		r += int(s.fen[f])
+	}
+	return r + bits.OnesCount64(s.words[w]&(1<<(uint(i)&63)-1))
+}
+
+// MinID returns the smallest enabled identity. It panics on an empty
+// set (schedulers are only invoked with at least one enabled node).
+func (s *EnabledSet) MinID() graph.NodeID { return s.ids[s.selectIndex(0)] }
+
+// IDAt returns the k-th smallest enabled identity (0-based) — the
+// element the old engine exposed as enabled[k].
+func (s *EnabledSet) IDAt(k int) graph.NodeID { return s.ids[s.selectIndex(k)] }
+
+// ContainsID reports whether identity v is enabled.
+func (s *EnabledSet) ContainsID(v graph.NodeID) bool {
+	i, ok := indexOfID(s.ids, v)
+	return ok && s.contains(i)
+}
+
+// NextIDAfter returns the smallest enabled identity strictly greater
+// than v; ok is false when none exists. v need not be a node.
+func (s *EnabledSet) NextIDAfter(v graph.NodeID) (graph.NodeID, bool) {
+	i, exact := indexOfID(s.ids, v)
+	if exact {
+		i++
+	}
+	if i >= len(s.ids) {
+		return 0, false
+	}
+	r := s.rankBelow(i)
+	if r >= s.count {
+		return 0, false
+	}
+	return s.ids[s.selectIndex(r)], true
+}
+
+// AppendIDs appends every enabled identity in increasing order to buf
+// and returns the extended slice. It allocates only when buf lacks
+// capacity.
+func (s *EnabledSet) AppendIDs(buf []graph.NodeID) []graph.NodeID {
+	for w, word := range s.words {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			buf = append(buf, s.ids[i])
+			word &= word - 1
+		}
+	}
+	return buf
+}
+
+// ForEachID calls fn on every enabled identity in increasing order
+// until fn returns false.
+func (s *EnabledSet) ForEachID(fn func(graph.NodeID) bool) {
+	for w, word := range s.words {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			if !fn(s.ids[i]) {
+				return
+			}
+			word &= word - 1
+		}
+	}
+}
+
+// indexOfID is the shared identity -> dense index binary search.
+func indexOfID(ids []graph.NodeID, v graph.NodeID) (int, bool) {
+	return slices.BinarySearch(ids, v)
+}

@@ -1,0 +1,124 @@
+package runtime
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"silentspan/internal/graph"
+)
+
+// TestEnabledSetAgainstSortedSlice drives the set with random adds and
+// removes and checks every ordered accessor against a plain sorted
+// slice oracle.
+func TestEnabledSetAgainstSortedSlice(t *testing.T) {
+	const n = 300
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(2*i + 3) // sparse identities
+	}
+	es := newEnabledSet(ids)
+	member := make([]bool, n)
+	rng := rand.New(rand.NewSource(11))
+
+	oracle := func() []graph.NodeID {
+		var out []graph.NodeID
+		for i, m := range member {
+			if m {
+				out = append(out, ids[i])
+			}
+		}
+		return out
+	}
+
+	for step := 0; step < 5000; step++ {
+		i := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			es.add(i)
+			member[i] = true
+		} else {
+			es.remove(i)
+			member[i] = false
+		}
+		if step%97 != 0 {
+			continue
+		}
+		want := oracle()
+		if es.Len() != len(want) {
+			t.Fatalf("step %d: Len=%d, want %d", step, es.Len(), len(want))
+		}
+		if got := es.AppendIDs(nil); !slices.Equal(got, want) {
+			t.Fatalf("step %d: AppendIDs=%v, want %v", step, got, want)
+		}
+		if len(want) > 0 {
+			if es.MinID() != want[0] {
+				t.Fatalf("step %d: MinID=%d, want %d", step, es.MinID(), want[0])
+			}
+			k := rng.Intn(len(want))
+			if es.IDAt(k) != want[k] {
+				t.Fatalf("step %d: IDAt(%d)=%d, want %d", step, k, es.IDAt(k), want[k])
+			}
+		}
+		for _, probe := range []graph.NodeID{0, 1, ids[0], ids[n/2], ids[n-1], ids[n-1] + 1} {
+			_, wantIn := slices.BinarySearch(want, probe)
+			if es.ContainsID(probe) != wantIn {
+				t.Fatalf("step %d: ContainsID(%d)=%v, want %v", step, probe, es.ContainsID(probe), wantIn)
+			}
+			j, _ := slices.BinarySearch(want, probe+1)
+			wantNext, wantOK := graph.NodeID(0), false
+			if j < len(want) {
+				wantNext, wantOK = want[j], true
+			}
+			if got, ok := es.NextIDAfter(probe); ok != wantOK || got != wantNext {
+				t.Fatalf("step %d: NextIDAfter(%d)=%d,%v, want %d,%v",
+					step, probe, got, ok, wantNext, wantOK)
+			}
+		}
+		var walked []graph.NodeID
+		es.ForEachID(func(v graph.NodeID) bool {
+			walked = append(walked, v)
+			return len(walked) < 7
+		})
+		limit := len(want)
+		if limit > 7 {
+			limit = 7
+		}
+		if !slices.Equal(walked, want[:limit]) {
+			t.Fatalf("step %d: ForEachID walked %v, want prefix %v", step, walked, want[:limit])
+		}
+	}
+}
+
+func TestEnabledSetSelectPanicsOutOfRange(t *testing.T) {
+	es := newEnabledSet([]graph.NodeID{1, 2, 3})
+	es.add(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("selectIndex accepted out-of-range k")
+		}
+	}()
+	es.IDAt(1)
+}
+
+func TestBitsForValueBoundaries(t *testing.T) {
+	const maxInt = int(^uint(0) >> 1)
+	wordBits := 32 << (^uint(0) >> 63) // 64 on amd64/arm64
+	cases := []struct{ max, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3},
+		{maxInt / 2, wordBits - 2},   // 2^(w-2) - 1
+		{maxInt/2 + 1, wordBits - 1}, // first value the old shift loop wrapped on
+		{maxInt - 1, wordBits - 1},
+		{maxInt, wordBits - 1},
+	}
+	for _, c := range cases {
+		if got := BitsForValue(c.max); got != c.want {
+			t.Errorf("BitsForValue(%d) = %d, want %d", c.max, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative max accepted")
+		}
+	}()
+	BitsForValue(-1)
+}

@@ -56,8 +56,8 @@ func CorruptField(net *Network, v graph.NodeID, s State) error {
 // silent configuration, re-examining every node must leave all registers
 // unchanged. It returns an error naming the first node that would move.
 func CheckSilentStable(net *Network) error {
-	if enabled := net.Enabled(); len(enabled) > 0 {
-		return fmt.Errorf("runtime: configuration not silent: node %d enabled", enabled[0])
+	if !net.Silent() {
+		return fmt.Errorf("runtime: configuration not silent: node %d enabled", net.Enabled()[0])
 	}
 	return nil
 }

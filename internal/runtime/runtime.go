@@ -11,10 +11,26 @@
 // stepped or become disabled), silence detection (no node enabled),
 // transient-fault injection, and invariant monitors used to validate
 // claims such as loop-freedom during edge switches (Section IV).
+//
+// # Engine internals
+//
+// The engine is a dense register file: node identities are mapped once
+// to contiguous indices 0..n-1 (graph.Dense), and registers, dirty
+// flags, and round-pending flags live in index-addressed slices. Views
+// are allocation-free — neighbors, their registers, and the incident
+// edge weights are served from shared slices parallel to the graph's
+// sorted neighbor slice. The enabled set is maintained incrementally
+// under the invariant: for every node not on the dirty worklist, its
+// EnabledSet membership equals its true enabledness. A register write
+// at v pushes only v and its neighbors onto the worklist (enabledness
+// only depends on the 1-hop neighborhood), and the worklist is drained
+// before any read of the set, so one move costs O(deg) instead of the
+// O(n) per-activation scan of a map-backed engine.
 package runtime
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"slices"
 
@@ -40,6 +56,11 @@ type State interface {
 // View is everything a node may legally consult during one atomic step:
 // its incorruptible constants (identity, incident edge weights, the bound
 // on n), its own register, and its neighbors' registers.
+//
+// Views are allocation-free: neighbor registers are read either straight
+// out of the engine's register file through precomputed dense indices
+// (sequential engine) or from a snapshot slice parallel to Neighbors
+// (concurrent engine); weights always come from the shared dense layout.
 type View struct {
 	// ID is the node's own identity (incorruptible constant).
 	ID graph.NodeID
@@ -47,33 +68,56 @@ type View struct {
 	// assumption bounding distances and ID widths; the paper assumes
 	// IDs in {1..n^c} and O(log n)-bit weights).
 	N int
-	// Neighbors lists neighbor identities in increasing order.
+	// Neighbors lists neighbor identities in increasing order. The slice
+	// is shared with the graph layer: read-only for algorithms.
 	Neighbors []graph.NodeID
 	// Self is the node's own register content.
 	Self State
 
-	peers   map[graph.NodeID]State
-	weights map[graph.NodeID]graph.Weight
+	// weights is parallel to Neighbors (shared with graph.Dense).
+	weights []graph.Weight
+	// Exactly one of the following is set. regs/nbrIdx read neighbor
+	// registers live from the register file (regs[nbrIdx[j]] is the
+	// state of Neighbors[j]); peers is a parallel snapshot.
+	regs   []State
+	nbrIdx []int32
+	peers  []State
 }
+
+// peerAt returns the register of Neighbors[j].
+func (v View) peerAt(j int) State {
+	if v.peers != nil {
+		return v.peers[j]
+	}
+	return v.regs[v.nbrIdx[j]]
+}
+
+// PeerAt returns the register content of Neighbors[j]: the positional
+// accessor for rules that iterate the Neighbors slice. Unlike Peer it
+// performs no search, so a full neighborhood scan is O(deg).
+func (v View) PeerAt(j int) State { return v.peerAt(j) }
+
+// WeightAt returns the weight of the incident edge to Neighbors[j].
+func (v View) WeightAt(j int) graph.Weight { return v.weights[j] }
 
 // Peer returns the register content of neighbor u. It panics if u is not
 // a neighbor: reading a non-neighbor's register would violate the model.
 func (v View) Peer(u graph.NodeID) State {
-	s, ok := v.peers[u]
+	j, ok := slices.BinarySearch(v.Neighbors, u)
 	if !ok {
 		panic(fmt.Sprintf("runtime: node %d read non-neighbor %d", v.ID, u))
 	}
-	return s
+	return v.peerAt(j)
 }
 
 // EdgeWeight returns the weight of the incident edge to neighbor u (an
 // incorruptible constant, per Section II-A).
 func (v View) EdgeWeight(u graph.NodeID) graph.Weight {
-	w, ok := v.weights[u]
+	j, ok := slices.BinarySearch(v.Neighbors, u)
 	if !ok {
 		panic(fmt.Sprintf("runtime: node %d has no edge to %d", v.ID, u))
 	}
-	return w
+	return v.weights[j]
 }
 
 // Algorithm is a distributed algorithm in the state model: a transition
@@ -82,7 +126,8 @@ func (v View) EdgeWeight(u graph.NodeID) graph.Weight {
 type Algorithm interface {
 	// Step applies δ to the view and returns the node's next state. The
 	// node is enabled iff the result differs (Equal is false) from
-	// view.Self. Step must not mutate the view's states.
+	// view.Self. Step must not mutate the view's states and must not
+	// retain the view past the call (its slices are reused).
 	Step(v View) State
 	// ArbitraryState returns an arbitrary register content for the node:
 	// the adversarial initialization of the self-stabilization model.
@@ -94,16 +139,42 @@ type Algorithm interface {
 }
 
 // Network binds a graph, an algorithm, and the current register contents.
+// All per-node bookkeeping is index-addressed through the graph's dense
+// snapshot (see the package comment's engine-internals section).
 type Network struct {
-	g      *graph.Graph
-	alg    Algorithm
-	states map[graph.NodeID]State
+	g   *graph.Graph
+	d   *graph.Dense
+	alg Algorithm
 
-	// enabledCache caches per-node enabledness; dirty nodes need
-	// recomputation (a node's enabledness only changes when it or a
-	// neighbor writes).
-	enabledCache map[graph.NodeID]bool
-	dirty        map[graph.NodeID]bool
+	// states is the register file, indexed by dense index.
+	states []State
+
+	// enabled is the incrementally maintained enabled set; dirty marks
+	// indices whose membership must be recomputed (a node's enabledness
+	// only changes when it or a neighbor writes), and dirtyList is the
+	// worklist of marked indices. nextCache[i] holds δ(view(i)) as
+	// computed by the last drain — valid iff !dirty[i], since no
+	// register in i's 1-hop neighborhood has been written since — so an
+	// activation applies the transition the drain already computed
+	// instead of running Step twice per move.
+	enabled   *EnabledSet
+	dirty     []bool
+	dirtyList []int32
+	nextCache []State
+
+	// pendingEpoch marks the round's frontier X (paper round
+	// accounting): index i is in the frontier iff pendingEpoch[i] equals
+	// the current epoch. Nodes leave the frontier by stepping (Run) or
+	// on an enabled->disabled transition (drain); bumping epoch starts a
+	// fresh round in O(1) with no clearing pass.
+	pendingEpoch []uint64
+	epoch        uint64
+	pendingCount int
+
+	// chosenBuf, nextBuf and idxBuf are reusable per-activation scratch.
+	chosenBuf []graph.NodeID
+	nextBuf   []State
+	idxBuf    []int32
 
 	monitors  []Monitor
 	listeners []StateListener
@@ -132,49 +203,110 @@ func NewNetwork(g *graph.Graph, alg Algorithm) (*Network, error) {
 	if !g.Connected() {
 		return nil, fmt.Errorf("runtime: graph not connected")
 	}
+	d := g.Dense()
+	n := d.N()
 	net := &Network{
 		g:            g,
+		d:            d,
 		alg:          alg,
-		states:       make(map[graph.NodeID]State, g.N()),
-		enabledCache: make(map[graph.NodeID]bool, g.N()),
-		dirty:        make(map[graph.NodeID]bool, g.N()),
+		states:       make([]State, n),
+		enabled:      newEnabledSet(d.IDs()),
+		dirty:        make([]bool, n),
+		nextCache:    make([]State, n),
+		pendingEpoch: make([]uint64, n),
+		epoch:        1, // pendingEpoch zero values never match
 	}
 	net.markAllDirty()
 	return net, nil
 }
 
 func (net *Network) markAllDirty() {
-	for _, v := range net.g.Nodes() {
-		net.dirty[v] = true
+	for i := range net.dirty {
+		if !net.dirty[i] {
+			net.dirty[i] = true
+			net.dirtyList = append(net.dirtyList, int32(i))
+		}
 	}
 }
 
-// markDirtyAround invalidates the cached enabledness of v and neighbors.
-func (net *Network) markDirtyAround(v graph.NodeID) {
-	net.dirty[v] = true
-	for _, u := range net.g.NeighborsShared(v) {
-		net.dirty[u] = true
+// markDirtyAt invalidates the cached enabledness of index i.
+func (net *Network) markDirtyAt(i int32) {
+	if !net.dirty[i] {
+		net.dirty[i] = true
+		net.dirtyList = append(net.dirtyList, i)
+	}
+}
+
+// markDirtyAround invalidates the cached enabledness of index i and its
+// neighbors — the write-set of one register write.
+func (net *Network) markDirtyAround(i int32) {
+	net.markDirtyAt(i)
+	for _, j := range net.d.NeighborIndices(int(i)) {
+		net.markDirtyAt(j)
+	}
+}
+
+// drain restores the enabled-set invariant: recompute the enabledness
+// of every dirty index and update set membership. A pending node
+// observed transitioning to disabled leaves the round frontier, exactly
+// as the paper's round definition requires. Cost is O(Σ deg) over the
+// dirtied nodes; Step is pure, so recomputation order is immaterial.
+func (net *Network) drain() {
+	for len(net.dirtyList) > 0 {
+		i := net.dirtyList[len(net.dirtyList)-1]
+		net.dirtyList = net.dirtyList[:len(net.dirtyList)-1]
+		if !net.dirty[i] {
+			continue
+		}
+		net.dirty[i] = false
+		next := net.alg.Step(net.viewAt(int(i)))
+		net.nextCache[i] = next
+		en := !next.Equal(net.states[i])
+		if en {
+			net.enabled.add(int(i))
+		} else {
+			net.enabled.remove(int(i))
+			if net.pendingEpoch[i] == net.epoch {
+				net.pendingEpoch[i] = 0
+				net.pendingCount--
+			}
+		}
 	}
 }
 
 // Graph returns the underlying graph.
 func (net *Network) Graph() *graph.Graph { return net.g }
 
+// Dense returns the dense index mapping the register file is laid out
+// over — the index space of StateAt and of serving layers that read
+// registers in bulk.
+func (net *Network) Dense() *graph.Dense { return net.d }
+
 // Algorithm returns the bound algorithm.
 func (net *Network) Algorithm() Algorithm { return net.alg }
 
 // State returns node v's current register content (nil if unset).
-func (net *Network) State(v graph.NodeID) State { return net.states[v] }
+func (net *Network) State(v graph.NodeID) State {
+	i, ok := net.d.IndexOf(v)
+	if !ok {
+		return nil
+	}
+	return net.states[i]
+}
+
+// StateAt returns the register content at dense index i (nil if unset).
+func (net *Network) StateAt(i int) State { return net.states[i] }
 
 // SetState writes node v's register directly (used for fault injection
 // and for preparing specific initial configurations).
 func (net *Network) SetState(v graph.NodeID, s State) {
-	if !net.g.HasNode(v) {
+	i, ok := net.d.IndexOf(v)
+	if !ok {
 		panic(fmt.Sprintf("runtime: unknown node %d", v))
 	}
-	old := net.states[v]
-	net.states[v] = s
-	net.markDirtyAround(v)
+	old := net.states[i]
+	net.states[i] = s
+	net.markDirtyAround(int32(i))
 	changed := (old == nil) != (s == nil) ||
 		(old != nil && s != nil && !s.Equal(old))
 	if changed {
@@ -197,60 +329,54 @@ func (net *Network) notify(v graph.NodeID, old, new State) {
 // the algorithm — the adversarial initial configuration of the
 // self-stabilization model.
 func (net *Network) InitArbitrary(rng *rand.Rand) {
-	for _, v := range net.g.Nodes() {
-		net.states[v] = net.alg.ArbitraryState(rng, net.view(v))
+	for i := range net.states {
+		net.states[i] = net.alg.ArbitraryState(rng, net.viewAt(i))
 	}
 	net.markAllDirty()
 }
 
-// view builds node v's legal view of the system. The neighbor slice is
-// the graph's shared one: algorithms receive it read-only via
-// View.Neighbors and must not mutate it (runtime.Algorithm contract).
-func (net *Network) view(v graph.NodeID) View {
-	nbrs := net.g.NeighborsShared(v)
-	peers := make(map[graph.NodeID]State, len(nbrs))
-	weights := make(map[graph.NodeID]graph.Weight, len(nbrs))
-	for _, u := range nbrs {
-		peers[u] = net.states[u]
-		w, _ := net.g.EdgeWeight(v, u)
-		weights[u] = w
-	}
+// viewAt builds the view of the node at dense index i. The view reads
+// neighbor registers live from the register file: construction is O(1)
+// and allocation-free.
+func (net *Network) viewAt(i int) View {
 	return View{
-		ID:        v,
-		N:         net.g.N(),
-		Neighbors: nbrs,
-		Self:      net.states[v],
-		peers:     peers,
-		weights:   weights,
+		ID:        net.d.ID(i),
+		N:         net.d.N(),
+		Neighbors: net.d.NeighborIDs(i),
+		Self:      net.states[i],
+		weights:   net.d.Weights(i),
+		regs:      net.states,
+		nbrIdx:    net.d.NeighborIndices(i),
 	}
+}
+
+// view builds node v's legal view of the system. The neighbor slice is
+// shared: algorithms receive it read-only via View.Neighbors and must
+// not mutate it (runtime.Algorithm contract).
+func (net *Network) view(v graph.NodeID) View {
+	i, ok := net.d.IndexOf(v)
+	if !ok {
+		panic(fmt.Sprintf("runtime: unknown node %d", v))
+	}
+	return net.viewAt(i)
 }
 
 // Enabled returns the identities of all currently enabled nodes, in
-// increasing order.
+// increasing order. The slice is freshly allocated; schedulers never
+// see it (they read the maintained EnabledSet instead).
 func (net *Network) Enabled() []graph.NodeID {
-	var out []graph.NodeID
-	for _, v := range net.g.Nodes() {
-		if net.enabledOf(v) {
-			out = append(out, v)
-		}
-	}
-	slices.Sort(out)
-	return out
-}
-
-func (net *Network) enabledOf(v graph.NodeID) bool {
-	if net.dirty[v] {
-		next := net.alg.Step(net.view(v))
-		net.enabledCache[v] = !next.Equal(net.states[v])
-		delete(net.dirty, v)
-	}
-	return net.enabledCache[v]
+	net.drain()
+	return net.enabled.AppendIDs(make([]graph.NodeID, 0, net.enabled.Len()))
 }
 
 // Silent reports whether the configuration is terminal: no node enabled.
 // A silent algorithm stabilizes to configurations where this stays true
-// (Section II-A).
-func (net *Network) Silent() bool { return len(net.Enabled()) == 0 }
+// (Section II-A). It reads the maintained enabled-set size — O(1) past
+// the pending recomputation of nodes dirtied since the last read.
+func (net *Network) Silent() bool {
+	net.drain()
+	return net.enabled.Len() == 0
+}
 
 // Moves returns the number of individual steps taken so far.
 func (net *Network) Moves() int { return net.moves }
@@ -288,6 +414,21 @@ type Result struct {
 	MaxRegisterBits int
 }
 
+// startRound records the round frontier X: every currently enabled
+// node. Callers must have drained first. Bumping the epoch retires the
+// previous frontier wholesale, so the cost is O(|X|).
+func (net *Network) startRound() {
+	net.epoch++
+	net.pendingCount = net.enabled.Len()
+	for w, word := range net.enabled.words {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			net.pendingEpoch[i] = net.epoch
+			word &= word - 1
+		}
+	}
+}
+
 // Run drives the network under the given scheduler until silence or until
 // maxMoves steps have been taken. It returns an error if a monitor
 // rejects a configuration (an invariant violation) or if the scheduler
@@ -296,22 +437,19 @@ type Result struct {
 // Rounds follow the paper's definition: at the start of a round the set X
 // of enabled nodes is recorded; the round completes once every node of X
 // has taken a step or has become disabled by its neighbors' actions.
+// Disabled transitions are observed incrementally by the drain, so round
+// accounting costs O(|chosen|) per activation, not O(n).
 func (net *Network) Run(sched Scheduler, maxMoves int) (Result, error) {
-	pending := make(map[graph.NodeID]bool) // nodes of X not yet stepped/disabled
-	startRound := func() {
-		for _, v := range net.Enabled() {
-			pending[v] = true
-		}
-	}
-	startRound()
+	net.drain()
+	net.startRound()
 	for net.moves < maxMoves {
-		enabled := net.Enabled()
-		if len(enabled) == 0 {
+		if net.enabled.Len() == 0 {
 			break
 		}
-		chosen := sched.Choose(enabled)
+		chosen := sched.Choose(net.enabled, net.chosenBuf[:0])
+		net.chosenBuf = chosen[:0]
 		if len(chosen) == 0 {
-			return Result{}, fmt.Errorf("runtime: scheduler chose no node among %d enabled", len(enabled))
+			return Result{}, fmt.Errorf("runtime: scheduler chose no node among %d enabled", net.enabled.Len())
 		}
 		if err := net.applySimultaneous(chosen); err != nil {
 			return Result{}, err
@@ -321,18 +459,19 @@ func (net *Network) Run(sched Scheduler, maxMoves int) (Result, error) {
 				return Result{}, fmt.Errorf("runtime: invariant violated after move %d: %w", net.moves, err)
 			}
 		}
-		// Update round accounting.
-		for _, v := range chosen {
-			delete(pending, v)
-		}
-		for v := range pending {
-			if !net.enabledOf(v) {
-				delete(pending, v)
+		// Update round accounting: chosen nodes leave the frontier by
+		// stepping (idxBuf holds their indices, filled by the apply);
+		// disabled transitions left it during the drain below.
+		for _, i := range net.idxBuf {
+			if net.pendingEpoch[i] == net.epoch {
+				net.pendingEpoch[i] = 0
+				net.pendingCount--
 			}
 		}
-		if len(pending) == 0 {
+		net.drain()
+		if net.pendingCount == 0 {
 			net.rounds++
-			startRound()
+			net.startRound()
 		}
 	}
 	silent := net.Silent()
@@ -345,22 +484,35 @@ func (net *Network) Run(sched Scheduler, maxMoves int) (Result, error) {
 }
 
 // applySimultaneous performs one scheduler activation: all chosen nodes
-// read the same pre-configuration, then all write (composite atomicity).
+// read the same pre-configuration, then all write (composite atomicity —
+// the compute phase finishes before the first write lands). Callers
+// have drained, so for every clean chosen node the pre-configuration
+// transition is already in nextCache; Step only reruns for nodes
+// dirtied between the drain and this call (never on the Run path).
 func (net *Network) applySimultaneous(chosen []graph.NodeID) error {
-	next := make(map[graph.NodeID]State, len(chosen))
+	next := net.nextBuf[:0]
+	idx := net.idxBuf[:0]
 	for _, v := range chosen {
-		if !net.g.HasNode(v) {
+		i, ok := net.d.IndexOf(v)
+		if !ok {
 			return fmt.Errorf("runtime: scheduler chose unknown node %d", v)
 		}
-		next[v] = net.alg.Step(net.view(v))
+		idx = append(idx, int32(i))
+		if net.dirty[i] {
+			next = append(next, net.alg.Step(net.viewAt(i)))
+		} else {
+			next = append(next, net.nextCache[i])
+		}
 	}
-	for v, s := range next {
-		if !s.Equal(net.states[v]) {
+	net.nextBuf, net.idxBuf = next, idx
+	for k, i := range idx {
+		s := next[k]
+		if !s.Equal(net.states[i]) {
 			net.moves++
-			old := net.states[v]
-			net.states[v] = s
-			net.markDirtyAround(v)
-			net.notify(v, old, s)
+			old := net.states[i]
+			net.states[i] = s
+			net.markDirtyAround(i)
+			net.notify(chosen[k], old, s)
 		}
 	}
 	return nil
@@ -369,14 +521,14 @@ func (net *Network) applySimultaneous(chosen []graph.NodeID) error {
 // BitsForValue returns the number of bits needed to store any value in
 // {0..max}: the width used by EncodedBits implementations for bounded
 // integers such as IDs, distances and subtree sizes. BitsForValue(0) and
-// BitsForValue(1) are 1.
+// BitsForValue(1) are 1. The width is computed with bits.Len, so the
+// full int range is handled without overflow.
 func BitsForValue(max int) int {
 	if max < 0 {
 		panic("runtime: negative max")
 	}
-	b := 1
-	for v := 2; v <= max; v <<= 1 {
-		b++
+	if max <= 1 {
+		return 1
 	}
-	return b
+	return bits.Len(uint(max))
 }

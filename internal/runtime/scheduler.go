@@ -11,56 +11,61 @@ import (
 // adversary, only bounded to activate at least one enabled node — so an
 // algorithm correct here is correct under every weaker scheduler.
 type Scheduler interface {
-	// Choose returns a non-empty subset of the given enabled nodes (which
-	// are sorted by ID and non-empty).
-	Choose(enabled []graph.NodeID) []graph.NodeID
+	// Choose appends a non-empty subset of the enabled nodes to buf and
+	// returns the extended slice. The set is non-empty, read-only, and
+	// valid only for the duration of the call; buf arrives empty with
+	// capacity reused across activations, so a scheduler that appends
+	// into it allocates nothing on the steady path. The ordered
+	// accessors of EnabledSet (MinID, IDAt, ForEachID, ...) expose the
+	// same increasing-ID order the engine's old sorted slice did.
+	Choose(enabled *EnabledSet, buf []graph.NodeID) []graph.NodeID
 }
 
 // SchedulerFunc adapts a function to the Scheduler interface.
-type SchedulerFunc func(enabled []graph.NodeID) []graph.NodeID
+type SchedulerFunc func(enabled *EnabledSet, buf []graph.NodeID) []graph.NodeID
 
 // Choose implements Scheduler.
-func (f SchedulerFunc) Choose(enabled []graph.NodeID) []graph.NodeID { return f(enabled) }
+func (f SchedulerFunc) Choose(enabled *EnabledSet, buf []graph.NodeID) []graph.NodeID {
+	return f(enabled, buf)
+}
 
 // Synchronous activates every enabled node simultaneously each step.
 // Under it, steps and rounds coincide.
 func Synchronous() Scheduler {
-	return SchedulerFunc(func(enabled []graph.NodeID) []graph.NodeID {
-		out := make([]graph.NodeID, len(enabled))
-		copy(out, enabled)
-		return out
+	return SchedulerFunc(func(enabled *EnabledSet, buf []graph.NodeID) []graph.NodeID {
+		return enabled.AppendIDs(buf)
 	})
 }
 
 // Central activates exactly one enabled node per step, the smallest ID —
 // a deterministic central daemon.
 func Central() Scheduler {
-	return SchedulerFunc(func(enabled []graph.NodeID) []graph.NodeID {
-		return []graph.NodeID{enabled[0]}
+	return SchedulerFunc(func(enabled *EnabledSet, buf []graph.NodeID) []graph.NodeID {
+		return append(buf, enabled.MinID())
 	})
 }
 
 // RandomCentral activates one uniformly random enabled node per step.
 func RandomCentral(rng *rand.Rand) Scheduler {
-	return SchedulerFunc(func(enabled []graph.NodeID) []graph.NodeID {
-		return []graph.NodeID{enabled[rng.Intn(len(enabled))]}
+	return SchedulerFunc(func(enabled *EnabledSet, buf []graph.NodeID) []graph.NodeID {
+		return append(buf, enabled.IDAt(rng.Intn(enabled.Len())))
 	})
 }
 
 // RandomSubset activates a uniformly random non-empty subset of the
 // enabled nodes — a distributed daemon.
 func RandomSubset(rng *rand.Rand) Scheduler {
-	return SchedulerFunc(func(enabled []graph.NodeID) []graph.NodeID {
-		var out []graph.NodeID
-		for _, v := range enabled {
+	return SchedulerFunc(func(enabled *EnabledSet, buf []graph.NodeID) []graph.NodeID {
+		enabled.ForEachID(func(v graph.NodeID) bool {
 			if rng.Intn(2) == 0 {
-				out = append(out, v)
+				buf = append(buf, v)
 			}
+			return true
+		})
+		if len(buf) == 0 {
+			buf = append(buf, enabled.IDAt(rng.Intn(enabled.Len())))
 		}
-		if len(out) == 0 {
-			out = append(out, enabled[rng.Intn(len(enabled))])
-		}
-		return out
+		return buf
 	})
 }
 
@@ -84,26 +89,25 @@ func AdversarialUnfair() Scheduler {
 }
 
 // Choose implements Scheduler.
-func (s *adversarialUnfair) Choose(enabled []graph.NodeID) []graph.NodeID {
+func (s *adversarialUnfair) Choose(enabled *EnabledSet, buf []graph.NodeID) []graph.NodeID {
 	s.clock++
-	if s.hasFavorite {
-		for _, v := range enabled {
-			if v == s.favorite {
-				s.lastActivated[v] = s.clock
-				return []graph.NodeID{v}
-			}
-		}
+	if s.hasFavorite && enabled.ContainsID(s.favorite) {
+		s.lastActivated[s.favorite] = s.clock
+		return append(buf, s.favorite)
 	}
-	// Favorite disabled: starve the freshest nodes; pick the stalest.
-	best := enabled[0]
-	for _, v := range enabled[1:] {
-		if s.lastActivated[v] < s.lastActivated[best] {
-			best = v
+	// Favorite disabled: starve the freshest nodes; pick the stalest
+	// (smallest ID on ties, as the ascending scan visits it first).
+	best := graph.NodeID(0)
+	first := true
+	enabled.ForEachID(func(v graph.NodeID) bool {
+		if first || s.lastActivated[v] < s.lastActivated[best] {
+			best, first = v, false
 		}
-	}
+		return true
+	})
 	s.favorite, s.hasFavorite = best, true
 	s.lastActivated[best] = s.clock
-	return []graph.NodeID{best}
+	return append(buf, best)
 }
 
 // RoundRobin cycles deterministically through node IDs, activating the
@@ -117,13 +121,12 @@ type roundRobin struct {
 func RoundRobin() Scheduler { return &roundRobin{} }
 
 // Choose implements Scheduler.
-func (s *roundRobin) Choose(enabled []graph.NodeID) []graph.NodeID {
-	for _, v := range enabled {
-		if v > s.cursor {
-			s.cursor = v
-			return []graph.NodeID{v}
-		}
+func (s *roundRobin) Choose(enabled *EnabledSet, buf []graph.NodeID) []graph.NodeID {
+	if v, ok := enabled.NextIDAfter(s.cursor); ok {
+		s.cursor = v
+		return append(buf, v)
 	}
-	s.cursor = enabled[0]
-	return []graph.NodeID{enabled[0]}
+	v := enabled.MinID()
+	s.cursor = v
+	return append(buf, v)
 }

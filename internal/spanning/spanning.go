@@ -143,8 +143,8 @@ func bestOffer(v runtime.View, cap int) (graph.NodeID, State, bool) {
 		best  State
 		found bool
 	)
-	for _, u := range v.Neighbors {
-		p, ok := v.Peer(u).(State)
+	for j, u := range v.Neighbors {
+		p, ok := v.PeerAt(j).(State)
 		if !ok {
 			continue
 		}

@@ -35,6 +35,7 @@ package switching
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"silentspan/internal/graph"
 	"silentspan/internal/runtime"
@@ -164,12 +165,11 @@ func StepReg(self State, v runtime.View, get Getter) State {
 		if u == trees.None {
 			return State{}, false
 		}
-		for _, nb := range v.Neighbors {
-			if nb == u {
-				return get(v.Peer(u))
-			}
+		j, isNbr := slices.BinarySearch(v.Neighbors, u)
+		if !isNbr {
+			return State{}, false
 		}
-		return State{}, false
+		return get(v.PeerAt(j))
 	}
 
 	if next, acted := substrate(s, v, peer); acted {
