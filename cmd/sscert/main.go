@@ -1,0 +1,148 @@
+// Command sscert is the adversarial certification harness's CLI: it
+// hunts for counterexamples to the reproduction's headline claims and
+// emits machine-readable certificates CI can diff against committed
+// bounds.
+//
+// Exhaustive model checking (every connected graph up to isomorphism on
+// ≤ maxn nodes, plus the named pathological families, × five algorithms
+// × seven daemons × sampled and exhaustive initial configurations):
+//
+//	sscert -exhaustive -maxn 6
+//
+// Chaos campaign (fault bursts + register wipes + weight churn + live
+// traffic over the recovering tree on a large random graph):
+//
+//	sscert -chaos -n 10000 -substrate bfs -sched greedy-stretch \
+//	       -out chaos-cert.json -bounds internal/cert/testdata/chaos_bounds.json
+//
+// Exit status is nonzero when a counterexample is found or a bound is
+// violated.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"silentspan/internal/bench"
+	"silentspan/internal/cert"
+)
+
+func main() {
+	var (
+		exhaustive = flag.Bool("exhaustive", false, "run the exhaustive small-graph model checker")
+		maxn       = flag.Int("maxn", 5, "model-check every connected graph on up to this many nodes")
+		samples    = flag.Int("samples", 3, "arbitrary-init samples per (graph, algorithm, daemon)")
+		exhinit    = flag.Int("exhinit", 3, "exhaustive initial-state enumeration up to this n (spanning substrate)")
+		families   = flag.Bool("families", true, "include the named pathological families (paths, stars, lollipops, dumbbells)")
+
+		chaos     = flag.Bool("chaos", false, "run a randomized chaos campaign")
+		n         = flag.Int("n", 10000, "chaos graph size")
+		p         = flag.Float64("p", 0, "chaos edge probability (default 3/n)")
+		substrate = flag.String("substrate", "bfs", "chaos substrate: bfs|mst|mdst")
+		sched     = flag.String("sched", "random-subset", "chaos daemon (central|synchronous|round-robin|adversarial-unfair|greedy-stretch|random-central|random-subset)")
+		bursts    = flag.Int("bursts", 5, "chaos fault bursts")
+
+		seed   = flag.Int64("seed", 1, "base random seed")
+		out    = flag.String("out", "", "write the certificate JSON here")
+		bounds = flag.String("bounds", "", "diff the chaos certificate against this committed bounds file")
+		quiet  = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+	if !*exhaustive && !*chaos {
+		fmt.Fprintln(os.Stderr, "sscert: nothing to do; pass -exhaustive and/or -chaos")
+		flag.Usage()
+		os.Exit(2)
+	}
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	// The combined certificate file: either section may be absent. Both
+	// runners return whatever partial report they built alongside an
+	// error, and the write below happens on every path — a failed
+	// campaign is exactly when the per-burst records matter most.
+	var file struct {
+		Exhaustive *cert.ExhaustiveReport `json:"exhaustive,omitempty"`
+		Chaos      *cert.Certificate      `json:"chaos,omitempty"`
+	}
+	failed := false
+
+	if *exhaustive {
+		rep, err := cert.RunExhaustive(cert.ExhaustiveConfig{
+			MaxN:               *maxn,
+			Samples:            *samples,
+			ExhaustiveInitMaxN: *exhinit,
+			SkipFamilies:       !*families,
+			Seed:               *seed,
+		}, logf)
+		file.Exhaustive = rep
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sscert: exhaustive: %v\n", err)
+			failed = true
+		}
+		if rep != nil {
+			bench.ExhaustiveTable(rep).Fprint(os.Stdout)
+			if rep.Certified() && err == nil {
+				fmt.Printf("CERTIFIED: %d graphs, %d runs, %d exhaustive inits, zero counterexamples\n",
+					rep.Graphs, rep.Runs, rep.ExhaustiveInits)
+			} else if !rep.Certified() {
+				fmt.Printf("FALSIFIED: %d counterexamples\n", len(rep.Counterexamples))
+				failed = true
+			}
+		}
+	}
+
+	if *chaos {
+		c, err := cert.RunChaos(cert.ChaosConfig{
+			N: *n, EdgeProb: *p,
+			Substrate: *substrate,
+			Scheduler: *sched,
+			Bursts:    *bursts,
+			Seed:      *seed,
+		}, logf)
+		file.Chaos = c
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sscert: chaos: %v\n", err)
+			failed = true
+		}
+		if c != nil {
+			bench.ChaosTable(c).Fprint(os.Stdout)
+			if *bounds != "" && err == nil {
+				b, berr := cert.LoadBounds(*bounds)
+				if berr != nil {
+					fmt.Fprintf(os.Stderr, "sscert: %v\n", berr)
+					os.Exit(1)
+				}
+				if violations := b.Check(c); len(violations) > 0 {
+					for _, v := range violations {
+						fmt.Printf("BOUND VIOLATED: %s\n", v)
+					}
+					failed = true
+				} else {
+					fmt.Println("WITHIN BOUNDS: certificate fits the committed envelope")
+				}
+			}
+		}
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sscert: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sscert: %v\n", err)
+			os.Exit(1)
+		}
+		logf("certificate written to %s", *out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

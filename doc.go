@@ -7,7 +7,9 @@
 //
 // See README.md for the architecture and DESIGN.md for the system
 // inventory and experiment index; cmd/ssbench regenerates the measured
-// tables against the paper's claims. The library lives under internal/;
-// the runnable entry points are cmd/sstsim, cmd/ssbench, and the
+// tables against the paper's claims, and cmd/sscert runs the
+// adversarial certification harness (exhaustive model checking plus
+// chaos campaigns). The library lives under internal/; the runnable
+// entry points are cmd/sstsim, cmd/ssbench, cmd/sscert, and the
 // examples/ programs.
 package silentspan

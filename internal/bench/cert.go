@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"silentspan/internal/cert"
+)
+
+// ExhaustiveTable renders a model-checking report as an experiment
+// table: one row per algorithm with its observed worst case over every
+// enumerated topology, daemon and initial configuration.
+func ExhaustiveTable(r *cert.ExhaustiveReport) *Table {
+	t := &Table{
+		Title:  "CERT-MC — exhaustive model check: worst certified cost per algorithm",
+		Header: []string{"algorithm", "moves", "moves-on", "rounds", "rounds-on", "reg-bits", "bits-on"},
+	}
+	algos := make([]string, 0, len(r.Worst))
+	for a := range r.Worst {
+		algos = append(algos, a)
+	}
+	sort.Strings(algos)
+	on := func(w cert.WorstEntry) string { return w.Graph + "/" + w.Scheduler }
+	for _, a := range algos {
+		w := r.Worst[a]
+		t.Rows = append(t.Rows, []string{a,
+			itoa(w.Moves.Value), on(w.Moves),
+			itoa(w.Rounds.Value), on(w.Rounds),
+			itoa(w.RegisterBits.Value), on(w.RegisterBits)})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("graphs=%d runs=%d exhaustive-inits=%d counterexamples=%d",
+			r.Graphs, r.Runs, r.ExhaustiveInits, len(r.Counterexamples)))
+	for _, ce := range r.Counterexamples {
+		t.Notes = append(t.Notes, "COUNTEREXAMPLE: "+ce.String())
+	}
+	return t
+}
+
+// ChaosTable renders a chaos certificate: one row per fault burst plus
+// a worst-case summary row.
+func ChaosTable(c *cert.Certificate) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("CERT-CHAOS — %s substrate, n=%d m=%d, daemon %s, seed %d",
+			c.Config.Substrate, c.N, c.M, c.Config.Scheduler, c.Config.Seed),
+		Header: []string{"burst", "faults", "rec-moves", "rec-rounds", "windows", "delivered", "dropped", "stretch", "reg-bits"},
+	}
+	for _, b := range c.Bursts {
+		t.Rows = append(t.Rows, []string{
+			itoa(b.Burst),
+			fmt.Sprintf("%dc+%dw+%dr", b.Corrupted, b.Wiped, b.Reweighed),
+			itoa(b.RecoveryMoves), itoa(b.RecoveryRounds), itoa(b.Windows),
+			fmt.Sprintf("%d/%d", b.Delivered, c.Config.InFlight),
+			itoa(b.Dropped),
+			fmt.Sprintf("%.3f", b.PostStretch),
+			itoa(b.RegisterBits),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"worst", "-",
+		itoa(c.Worst.RecoveryMoves), itoa(c.Worst.RecoveryRounds), itoa(c.Worst.Windows),
+		fmt.Sprintf("min-rate %.3f", c.Worst.MinDelivery),
+		itoa(c.Worst.Dropped),
+		fmt.Sprintf("%.3f", c.Worst.Stretch),
+		itoa(c.Worst.RegisterBits),
+	})
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("algorithm=%s initial-stabilization=%d moves/%d rounds register-bound=%d final-silent=%v final-spec-valid=%v",
+			c.Algorithm, c.InitialMoves, c.InitialRounds, c.RegisterBound, c.FinalSilent, c.FinalSpecValid))
+	return t
+}

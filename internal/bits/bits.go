@@ -275,7 +275,9 @@ func ReadGamma(r *Reader) (uint64, error) {
 			break
 		}
 		zeros++
-		if zeros > 64 {
+		// zeros prefix zeros announce a (zeros+1)-bit payload; 64 zeros
+		// would decode a 65-bit value, silently overflowing uint64.
+		if zeros >= 64 {
 			return 0, fmt.Errorf("bits: gamma code exceeds 64 bits")
 		}
 	}

@@ -1,0 +1,77 @@
+package cert
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Bounds are the committed worst-case envelopes a chaos certificate is
+// diffed against in CI: a regression that makes recovery slower, trees
+// worse, or registers fatter than the envelope fails the build. Zero
+// values disable the corresponding check, so a bounds file only
+// constrains what it names.
+type Bounds struct {
+	// MaxRecoveryMoves/Rounds/Windows bound the worst single-burst
+	// repair cost.
+	MaxRecoveryMoves  int `json:"max_recovery_moves"`
+	MaxRecoveryRounds int `json:"max_recovery_rounds"`
+	MaxWindows        int `json:"max_windows"`
+	// MaxRegisterBits bounds the widest register ever observed at
+	// silence — the space-optimality envelope.
+	MaxRegisterBits int `json:"max_register_bits"`
+	// MaxStretch bounds the post-recovery mean routing stretch;
+	// MinDeliveryRate floors the post-recovery delivery rate.
+	MaxStretch      float64 `json:"max_stretch"`
+	MinDeliveryRate float64 `json:"min_delivery_rate"`
+	// MaxDroppedPerBurst bounds in-flight packet loss per burst.
+	MaxDroppedPerBurst int `json:"max_dropped_per_burst"`
+}
+
+// LoadBounds reads a bounds file.
+func LoadBounds(path string) (Bounds, error) {
+	var b Bounds
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, fmt.Errorf("cert: %w", err)
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("cert: bounds %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Check diffs a certificate against the bounds and returns one message
+// per violated envelope (empty means the certificate is within bounds).
+func (b Bounds) Check(c *Certificate) []string {
+	var v []string
+	fail := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+	if !c.FinalSilent {
+		fail("final configuration not silent")
+	}
+	if !c.FinalSpecValid {
+		fail("final configuration rejected by the verifier")
+	}
+	if b.MaxRecoveryMoves > 0 && c.Worst.RecoveryMoves > b.MaxRecoveryMoves {
+		fail("worst recovery moves %d > bound %d", c.Worst.RecoveryMoves, b.MaxRecoveryMoves)
+	}
+	if b.MaxRecoveryRounds > 0 && c.Worst.RecoveryRounds > b.MaxRecoveryRounds {
+		fail("worst recovery rounds %d > bound %d", c.Worst.RecoveryRounds, b.MaxRecoveryRounds)
+	}
+	if b.MaxWindows > 0 && c.Worst.Windows > b.MaxWindows {
+		fail("worst windows %d > bound %d", c.Worst.Windows, b.MaxWindows)
+	}
+	if b.MaxRegisterBits > 0 && c.Worst.RegisterBits > b.MaxRegisterBits {
+		fail("worst register width %d bits > bound %d", c.Worst.RegisterBits, b.MaxRegisterBits)
+	}
+	if b.MaxStretch > 0 && c.Worst.Stretch > b.MaxStretch {
+		fail("worst post-recovery stretch %.3f > bound %.3f", c.Worst.Stretch, b.MaxStretch)
+	}
+	if b.MinDeliveryRate > 0 && c.Worst.MinDelivery < b.MinDeliveryRate {
+		fail("post-recovery delivery rate %.4f < bound %.4f", c.Worst.MinDelivery, b.MinDeliveryRate)
+	}
+	if b.MaxDroppedPerBurst > 0 && c.Worst.Dropped > b.MaxDroppedPerBurst {
+		fail("worst in-flight drops %d > bound %d", c.Worst.Dropped, b.MaxDroppedPerBurst)
+	}
+	return v
+}

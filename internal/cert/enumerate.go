@@ -1,0 +1,164 @@
+package cert
+
+import (
+	"fmt"
+	"math/bits"
+
+	"silentspan/internal/graph"
+)
+
+// NamedGraph is one model-checking instance: a graph plus the name it
+// appears under in reports and counterexamples.
+type NamedGraph struct {
+	Name string
+	G    *graph.Graph
+}
+
+// EnumerateConnected returns one representative of every isomorphism
+// class of connected graphs on exactly n labeled nodes (1..n), with
+// pairwise distinct edge weights assigned in canonical edge order. The
+// counts are the classical sequence 1, 1, 2, 6, 21, 112 for n = 1..6
+// (OEIS A001349) — small enough that the model checker genuinely
+// visits *every* topology the paper's claims must hold on.
+//
+// Representatives are found by brute force: each edge subset of K_n is
+// mapped to its canonical form (the minimum adjacency bitmask over all
+// n! vertex relabelings) and kept iff it equals its own canonical form.
+// n ≤ 7 is feasible; the harness uses n ≤ 6.
+func EnumerateConnected(n int) []NamedGraph {
+	if n < 1 {
+		return nil
+	}
+	if n == 1 {
+		g := graph.New()
+		g.AddNode(1)
+		return []NamedGraph{{Name: "n1#0", G: g}}
+	}
+	// Edge index space of K_n: pairs (i, j), 0 <= i < j < n.
+	type pair struct{ i, j int }
+	var pairs []pair
+	edgeIdx := make([][]int, n)
+	for i := range edgeIdx {
+		edgeIdx[i] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edgeIdx[i][j] = len(pairs)
+			edgeIdx[j][i] = len(pairs)
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	m := len(pairs)
+
+	// Precompute, for every permutation p of the vertices, the induced
+	// permutation of edge indices.
+	var perms [][]int
+	vperm := make([]int, n)
+	for i := range vperm {
+		vperm[i] = i
+	}
+	var buildPerms func(k int)
+	buildPerms = func(k int) {
+		if k == n {
+			ep := make([]int, m)
+			for e, pr := range pairs {
+				ep[e] = edgeIdx[vperm[pr.i]][vperm[pr.j]]
+			}
+			perms = append(perms, ep)
+			return
+		}
+		for i := k; i < n; i++ {
+			vperm[k], vperm[i] = vperm[i], vperm[k]
+			buildPerms(k + 1)
+			vperm[k], vperm[i] = vperm[i], vperm[k]
+		}
+	}
+	buildPerms(0)
+
+	connected := func(mask uint32) bool {
+		// Union-find over the n vertices restricted to mask's edges.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(x int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		comps := n
+		for e := 0; e < m; e++ {
+			if mask>>uint(e)&1 == 0 {
+				continue
+			}
+			a, b := find(pairs[e].i), find(pairs[e].j)
+			if a != b {
+				parent[a] = b
+				comps--
+			}
+		}
+		return comps == 1
+	}
+
+	canonical := func(mask uint32) uint32 {
+		min := mask
+		for _, ep := range perms {
+			var remapped uint32
+			rest := mask
+			for rest != 0 {
+				e := bits.TrailingZeros32(rest)
+				rest &= rest - 1
+				remapped |= 1 << uint(ep[e])
+			}
+			if remapped < min {
+				min = remapped
+			}
+		}
+		return min
+	}
+
+	var out []NamedGraph
+	for mask := uint32(0); mask < 1<<uint(m); mask++ {
+		if !connected(mask) {
+			continue
+		}
+		if canonical(mask) != mask {
+			continue
+		}
+		g := graph.New()
+		for i := 1; i <= n; i++ {
+			g.AddNode(graph.NodeID(i))
+		}
+		w := graph.Weight(1)
+		for e := 0; e < m; e++ {
+			if mask>>uint(e)&1 == 1 {
+				g.MustAddEdge(graph.NodeID(pairs[e].i+1), graph.NodeID(pairs[e].j+1), w)
+				w++
+			}
+		}
+		out = append(out, NamedGraph{Name: fmt.Sprintf("n%d#%x", n, mask), G: g})
+	}
+	return out
+}
+
+// PathologicalFamilies returns the named worst-case families the model
+// checker runs beyond the exhaustive range: paths (maximum
+// stabilization distance), stars (maximum degree), lollipops and
+// dumbbells (high-degree cliques behind cut paths — the MDST and
+// round-stretching stress shapes). Sizes are chosen so the brute-force
+// MDST ground truth (≤ 24 edges) still applies.
+func PathologicalFamilies() []NamedGraph {
+	return []NamedGraph{
+		{Name: "path12", G: graph.Path(12)},
+		{Name: "path7", G: graph.Path(7)},
+		{Name: "star12", G: graph.Star(12)},
+		{Name: "star8", G: graph.Star(8)},
+		{Name: "lollipop4+4", G: graph.Lollipop(4, 4)},
+		{Name: "lollipop5+3", G: graph.Lollipop(5, 3)},
+		{Name: "dumbbell3+2", G: graph.Dumbbell(3, 2)},
+		{Name: "dumbbell4+1", G: graph.Dumbbell(4, 1)},
+	}
+}

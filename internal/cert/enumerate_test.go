@@ -1,0 +1,70 @@
+package cert
+
+import (
+	"testing"
+
+	"silentspan/internal/graph"
+)
+
+// TestEnumerateConnectedCounts pins the enumeration to the classical
+// connected-graphs-up-to-isomorphism sequence (OEIS A001349).
+func TestEnumerateConnectedCounts(t *testing.T) {
+	want := map[int]int{1: 1, 2: 1, 3: 2, 4: 6, 5: 21, 6: 112}
+	for n, count := range want {
+		got := EnumerateConnected(n)
+		if len(got) != count {
+			t.Errorf("n=%d: enumerated %d graphs, want %d", n, len(got), count)
+		}
+		for _, ng := range got {
+			if ng.G.N() != n {
+				t.Errorf("%s has %d nodes, want %d", ng.Name, ng.G.N(), n)
+			}
+			if !ng.G.Connected() {
+				t.Errorf("%s is not connected", ng.Name)
+			}
+			if !ng.G.DistinctWeights() {
+				t.Errorf("%s has duplicate weights", ng.Name)
+			}
+		}
+	}
+}
+
+// TestPathologicalFamiliesAreUsable: connected, distinct weights, and
+// small enough for the brute-force MDST ground truth.
+func TestPathologicalFamiliesAreUsable(t *testing.T) {
+	for _, ng := range PathologicalFamilies() {
+		if !ng.G.Connected() {
+			t.Errorf("%s is not connected", ng.Name)
+		}
+		if !ng.G.DistinctWeights() {
+			t.Errorf("%s has duplicate weights", ng.Name)
+		}
+		if m := ng.G.M(); m > 24 {
+			t.Errorf("%s has %d edges, beyond the brute-force MDST limit", ng.Name, m)
+		}
+	}
+}
+
+// TestDumbbellShape: two k-cliques joined through a bar path.
+func TestDumbbellShape(t *testing.T) {
+	g := graph.Dumbbell(4, 2)
+	if got, want := g.N(), 10; got != want {
+		t.Fatalf("n = %d, want %d", got, want)
+	}
+	if got, want := g.M(), 6+6+3; got != want {
+		t.Fatalf("m = %d, want %d", got, want)
+	}
+	if !g.Connected() {
+		t.Fatal("dumbbell not connected")
+	}
+	if !g.DistinctWeights() {
+		t.Fatal("dumbbell has duplicate weights")
+	}
+	// Clique nodes have degree k-1 (+1 for the attachment points).
+	if d := g.Degree(1); d != 3 {
+		t.Errorf("clique-A node degree %d, want 3", d)
+	}
+	if d := g.Degree(7); d != 4 {
+		t.Errorf("clique-B attachment degree %d, want 4", d)
+	}
+}

@@ -1,0 +1,321 @@
+package cert
+
+import (
+	"fmt"
+	"math/rand"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/runtime"
+	"silentspan/internal/spanning"
+	"silentspan/internal/trees"
+)
+
+// ExhaustiveConfig parameterizes the model checker. Zero values take
+// the documented defaults.
+type ExhaustiveConfig struct {
+	// MaxN: enumerate every connected graph (up to isomorphism) on
+	// 1..MaxN nodes (default 5; the full certification run uses 6).
+	MaxN int
+	// Samples: arbitrary initial configurations drawn per
+	// (graph, algorithm, scheduler) for the always-on algorithms
+	// (default 3).
+	Samples int
+	// EngineSamples: seeds per (graph, scheduler) for the engine-driven
+	// MST/MDST runs (default 1 — each run is itself a full multi-phase
+	// execution).
+	EngineSamples int
+	// ExhaustiveInitMaxN: up to this n (default 3), the spanning
+	// substrate is additionally driven from *every* initial
+	// configuration of a covering state space — roots in 1..n+1 (one
+	// ghost identity class), parents over all neighbors and ⊥, distances
+	// in 0..n — under the deterministic daemons. This is the literal
+	// model-checking slice: no sampling gap at all.
+	ExhaustiveInitMaxN int
+	// MaxMoves caps each run; exceeding it is a convergence
+	// counterexample (default 200000).
+	MaxMoves int
+	// Seed drives all sampling.
+	Seed int64
+	// Algos restricts the algorithm set (default all five).
+	Algos []Algo
+	// SkipFamilies drops the named pathological families.
+	SkipFamilies bool
+	// MaxCounterexamples stops the hunt after this many findings
+	// (default 20).
+	MaxCounterexamples int
+}
+
+func (c *ExhaustiveConfig) fill() {
+	if c.MaxN == 0 {
+		c.MaxN = 5
+	}
+	if c.Samples == 0 {
+		c.Samples = 3
+	}
+	if c.EngineSamples == 0 {
+		c.EngineSamples = 1
+	}
+	if c.ExhaustiveInitMaxN == 0 {
+		c.ExhaustiveInitMaxN = 3
+	}
+	if c.MaxMoves == 0 {
+		c.MaxMoves = 200_000
+	}
+	if len(c.Algos) == 0 {
+		c.Algos = AllAlgos()
+	}
+	if c.MaxCounterexamples == 0 {
+		c.MaxCounterexamples = 20
+	}
+}
+
+// Counterexample is one falsified claim, with everything needed to
+// replay it.
+type Counterexample struct {
+	Graph     string `json:"graph"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	Algorithm string `json:"algorithm"`
+	Scheduler string `json:"scheduler"`
+	Init      string `json:"init"`
+	Detail    string `json:"detail"`
+}
+
+func (c Counterexample) String() string {
+	return fmt.Sprintf("%s/%s on %s (n=%d m=%d, init %s): %s",
+		c.Algorithm, c.Scheduler, c.Graph, c.N, c.M, c.Init, c.Detail)
+}
+
+// WorstEntry is one observed maximum together with the run that
+// produced it, so the named (graph, daemon) pair replays the value.
+type WorstEntry struct {
+	Value     int    `json:"value"`
+	Graph     string `json:"graph"`
+	Scheduler string `json:"scheduler"`
+}
+
+// WorstCase records the most expensive certified runs per algorithm,
+// each metric with its own provenance (the worst moves, rounds and
+// register width generally come from different runs).
+type WorstCase struct {
+	Moves        WorstEntry `json:"moves"`
+	Rounds       WorstEntry `json:"rounds"`
+	RegisterBits WorstEntry `json:"register_bits"`
+}
+
+// ExhaustiveReport summarizes a model-checking sweep.
+type ExhaustiveReport struct {
+	Config          ExhaustiveConfig     `json:"config"`
+	Graphs          int                  `json:"graphs"`
+	Runs            int                  `json:"runs"`
+	ExhaustiveInits int                  `json:"exhaustive_inits"`
+	Worst           map[string]WorstCase `json:"worst"`
+	Counterexamples []Counterexample     `json:"counterexamples"`
+}
+
+// Certified reports whether the sweep found no counterexample.
+func (r *ExhaustiveReport) Certified() bool { return len(r.Counterexamples) == 0 }
+
+// RunExhaustive executes the model-checking sweep. logf (optional)
+// receives one progress line per graph batch.
+func RunExhaustive(cfg ExhaustiveConfig, logf func(format string, args ...any)) (*ExhaustiveReport, error) {
+	cfg.fill()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &ExhaustiveReport{Config: cfg, Worst: make(map[string]WorstCase)}
+
+	var instances []NamedGraph
+	for n := 1; n <= cfg.MaxN; n++ {
+		batch := EnumerateConnected(n)
+		logf("enumerated %d connected graphs on %d nodes", len(batch), n)
+		instances = append(instances, batch...)
+	}
+	if !cfg.SkipFamilies {
+		instances = append(instances, PathologicalFamilies()...)
+	}
+	rep.Graphs = len(instances)
+
+	record := func(a Algo, spec SchedulerSpec, ng NamedGraph, stats RunStats) {
+		w := rep.Worst[a.String()]
+		if stats.Moves > w.Moves.Value {
+			w.Moves = WorstEntry{Value: stats.Moves, Graph: ng.Name, Scheduler: spec.Name}
+		}
+		if stats.Rounds > w.Rounds.Value {
+			w.Rounds = WorstEntry{Value: stats.Rounds, Graph: ng.Name, Scheduler: spec.Name}
+		}
+		if stats.RegisterBits > w.RegisterBits.Value {
+			w.RegisterBits = WorstEntry{Value: stats.RegisterBits, Graph: ng.Name, Scheduler: spec.Name}
+		}
+		rep.Worst[a.String()] = w
+	}
+	report := func(ce Counterexample) bool {
+		rep.Counterexamples = append(rep.Counterexamples, ce)
+		logf("COUNTEREXAMPLE: %s", ce)
+		return len(rep.Counterexamples) >= cfg.MaxCounterexamples
+	}
+
+	for gi, ng := range instances {
+		n, m := ng.G.N(), ng.G.M()
+		for _, a := range cfg.Algos {
+			if alg := DirectAlgorithm(a); alg != nil {
+				net, err := runtime.NewNetwork(ng.G, alg)
+				if err != nil {
+					return rep, err
+				}
+				for _, spec := range Schedulers() {
+					for s := 0; s < cfg.Samples; s++ {
+						seed := cfg.Seed + int64(gi*1000+s)
+						net.InitArbitrary(rand.New(rand.NewSource(seed)))
+						rep.Runs++
+						stats, err := certifyDirect(a, ng.G, net, spec.New(seed), cfg.MaxMoves)
+						if err == nil {
+							record(a, spec, ng, stats)
+						} else {
+							if report(Counterexample{
+								Graph: ng.Name, N: n, M: m, Algorithm: a.String(),
+								Scheduler: spec.Name, Init: fmt.Sprintf("sampled seed=%d", seed),
+								Detail: err.Error(),
+							}) {
+								return rep, nil
+							}
+						}
+					}
+				}
+			} else {
+				for _, spec := range Schedulers() {
+					for s := 0; s < cfg.EngineSamples; s++ {
+						seed := cfg.Seed + int64(gi*1000+s)
+						rep.Runs++
+						stats, err := certifyEngine(a, ng.G, spec, seed, cfg.MaxMoves)
+						if err == nil {
+							record(a, spec, ng, stats)
+						} else {
+							if report(Counterexample{
+								Graph: ng.Name, N: n, M: m, Algorithm: a.String(),
+								Scheduler: spec.Name, Init: fmt.Sprintf("engine seed=%d", seed),
+								Detail: err.Error(),
+							}) {
+								return rep, nil
+							}
+						}
+					}
+				}
+			}
+		}
+		// Exhaustive initial-state slice: spanning substrate, every
+		// configuration of the covering state space, deterministic daemons.
+		if n <= cfg.ExhaustiveInitMaxN && n >= 2 && containsAlgo(cfg.Algos, AlgoSpanning) {
+			count, err := exhaustiveSpanningInits(ng, rep, cfg, report, record)
+			if err != nil {
+				return rep, err
+			}
+			rep.ExhaustiveInits += count
+			if len(rep.Counterexamples) >= cfg.MaxCounterexamples {
+				return rep, nil
+			}
+		}
+		if (gi+1)%50 == 0 || gi == len(instances)-1 {
+			logf("checked %d/%d graphs, %d runs, %d exhaustive inits, %d counterexamples",
+				gi+1, len(instances), rep.Runs, rep.ExhaustiveInits, len(rep.Counterexamples))
+		}
+	}
+	return rep, nil
+}
+
+func containsAlgo(as []Algo, a Algo) bool {
+	for _, x := range as {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// deterministicSchedulers is the daemon subset used for the exhaustive
+// initial-state slice: with no rng involved anywhere, every one of
+// these runs is exactly reproducible from the configuration alone.
+func deterministicSchedulers() []SchedulerSpec {
+	var out []SchedulerSpec
+	for _, s := range Schedulers() {
+		switch s.Name {
+		case "central", "synchronous", "adversarial-unfair", "greedy-stretch":
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// exhaustiveSpanningInits drives the spanning substrate from every
+// configuration of the covering state space on ng, under every
+// deterministic daemon. Returns the number of initial configurations.
+func exhaustiveSpanningInits(ng NamedGraph, rep *ExhaustiveReport, cfg ExhaustiveConfig,
+	report func(Counterexample) bool, record func(Algo, SchedulerSpec, NamedGraph, RunStats)) (int, error) {
+	g := ng.G
+	n := g.N()
+	nodes := g.Nodes()
+	// Per-node candidate states.
+	states := make([][]spanning.State, len(nodes))
+	for i, v := range nodes {
+		var cand []spanning.State
+		parents := append([]graph.NodeID{trees.None}, g.Neighbors(v)...)
+		for root := 1; root <= n+1; root++ {
+			for _, p := range parents {
+				for dist := 0; dist <= n; dist++ {
+					cand = append(cand, spanning.State{Root: graph.NodeID(root), Parent: p, Dist: dist})
+				}
+			}
+		}
+		states[i] = cand
+	}
+	net, err := runtime.NewNetwork(g, spanning.Algorithm{})
+	if err != nil {
+		return 0, err
+	}
+	scheds := deterministicSchedulers()
+	idx := make([]int, len(nodes))
+	count := 0
+	for {
+		count++
+		for _, spec := range scheds {
+			for i, v := range nodes {
+				net.SetState(v, states[i][idx[i]])
+			}
+			rep.Runs++
+			stats, err := certifyDirect(AlgoSpanning, g, net, spec.New(0), cfg.MaxMoves)
+			if err == nil {
+				record(AlgoSpanning, spec, ng, stats)
+			} else {
+				if report(Counterexample{
+					Graph: ng.Name, N: n, M: g.M(), Algorithm: "spanning",
+					Scheduler: spec.Name, Init: describeInit(nodes, states, idx),
+					Detail: err.Error(),
+				}) {
+					return count, nil
+				}
+			}
+		}
+		// Odometer.
+		k := 0
+		for k < len(idx) {
+			idx[k]++
+			if idx[k] < len(states[k]) {
+				break
+			}
+			idx[k] = 0
+			k++
+		}
+		if k == len(idx) {
+			return count, nil
+		}
+	}
+}
+
+func describeInit(nodes []graph.NodeID, states [][]spanning.State, idx []int) string {
+	out := "exhaustive"
+	for i, v := range nodes {
+		s := states[i][idx[i]]
+		out += fmt.Sprintf(" %d:(r%d,p%d,d%d)", v, s.Root, s.Parent, s.Dist)
+	}
+	return out
+}

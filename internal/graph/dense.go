@@ -55,6 +55,22 @@ func (g *Graph) Dense() *Dense {
 	return d
 }
 
+// setWeight patches the arc u->v's weight in place. Callers (only
+// Graph.UpdateEdgeWeight) keep the graph's own adjacency in sync, so
+// the snapshot never diverges from the graph it mirrors.
+func (d *Dense) setWeight(u, v NodeID, w Weight) {
+	i, ok := d.IndexOf(u)
+	if !ok {
+		return
+	}
+	nbrs := d.NeighborIDs(i)
+	j, ok := slices.BinarySearch(nbrs, v)
+	if !ok {
+		return
+	}
+	d.wts[int(d.off[i])+j] = w
+}
+
 // N returns the number of nodes in the snapshot.
 func (d *Dense) N() int { return len(d.ids) }
 

@@ -114,6 +114,38 @@ func Lollipop(k, tail int) *Graph {
 	return g
 }
 
+// Dumbbell returns two cliques of size k joined by a path of bar inner
+// nodes (bar = 0 joins the cliques by a single edge). Dumbbells combine
+// the worst cases of lollipops at both ends: high-degree regions far
+// apart, joined by a cut path every tree must cross — adversarial for
+// stabilization distance and for MDST degree pressure at once.
+func Dumbbell(k, bar int) *Graph {
+	if k < 1 {
+		panic(fmt.Sprintf("graph: dumbbell needs k >= 1, got %d", k))
+	}
+	g := Complete(k)
+	w := Weight(k*k + 1)
+	// Path of bar inner nodes from clique A's last node...
+	prev := NodeID(k)
+	for i := 1; i <= bar; i++ {
+		next := NodeID(k + i)
+		g.MustAddEdge(prev, next, w)
+		prev = next
+		w++
+	}
+	// ...into clique B on nodes k+bar+1 .. 2k+bar.
+	base := k + bar
+	for i := 1; i <= k; i++ {
+		g.AddNode(NodeID(base + i))
+		for j := i + 1; j <= k; j++ {
+			g.MustAddEdge(NodeID(base+i), NodeID(base+j), w)
+			w++
+		}
+	}
+	g.MustAddEdge(prev, NodeID(base+1), w)
+	return g
+}
+
 // RandomConnected returns a connected Erdős–Rényi-style graph: a random
 // spanning tree plus each remaining pair independently with probability p,
 // with pairwise distinct random weights. Deterministic given rng.

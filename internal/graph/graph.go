@@ -113,6 +113,26 @@ func (g *Graph) AddEdge(u, v NodeID, w Weight) error {
 	return nil
 }
 
+// UpdateEdgeWeight overwrites the weight of the existing edge {u,v}
+// without invalidating the dense snapshot: the snapshot's weight arcs
+// are patched in place, so index-addressed layers holding the snapshot
+// (the runtime's register file, the router) observe the new weight
+// immediately. It is the graph half of live topology churn — the
+// structural shape stays fixed, only the cost surface moves. It returns
+// an error if the edge is absent.
+func (g *Graph) UpdateEdgeWeight(u, v NodeID, w Weight) error {
+	if _, ok := g.adj[u][v]; !ok {
+		return fmt.Errorf("graph: no edge {%d,%d}", u, v)
+	}
+	g.adj[u][v] = w
+	g.adj[v][u] = w
+	if d := g.dense; d != nil {
+		d.setWeight(u, v, w)
+		d.setWeight(v, u, w)
+	}
+	return nil
+}
+
 // MustAddEdge is AddEdge that panics on error; for generators and tests.
 func (g *Graph) MustAddEdge(u, v NodeID, w Weight) {
 	if err := g.AddEdge(u, v, w); err != nil {

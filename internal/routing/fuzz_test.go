@@ -1,0 +1,86 @@
+package routing
+
+import (
+	"testing"
+
+	"silentspan/internal/bits"
+)
+
+// coordsFromBytes derives a port path from fuzz input: consecutive byte
+// pairs become 16-bit ports, covering the full Port range.
+func coordsFromBytes(data []byte) Coords {
+	c := make(Coords, 0, len(data)/2)
+	for i := 0; i+1 < len(data); i += 2 {
+		c = append(c, Port(uint16(data[i])<<8|uint16(data[i+1])))
+	}
+	return c
+}
+
+// bitsFromBytes expands data into a bit string, MSB first per byte.
+func bitsFromBytes(data []byte) bits.String {
+	var s bits.String
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			s = s.AppendBit(b>>uint(i)&1 == 1)
+		}
+	}
+	return s
+}
+
+// FuzzCoordsRoundtrip checks Encode→DecodeCoords identity for arbitrary
+// port paths, including ports at the uint16 extremes.
+func FuzzCoordsRoundtrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00})
+	f.Add([]byte{0xff, 0xff, 0x00, 0x01})
+	f.Add([]byte{0x00, 0x03, 0x00, 0x00, 0x7f, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			t.Skip("cap path length")
+		}
+		c := coordsFromBytes(data)
+		enc := c.Encode()
+		if enc.Len() != c.EncodedBits() {
+			t.Fatalf("Encode has %d bits, EncodedBits says %d", enc.Len(), c.EncodedBits())
+		}
+		r := bits.NewReader(enc)
+		got, err := DecodeCoords(r)
+		if err != nil {
+			t.Fatalf("DecodeCoords(Encode(%v)): %v", c, err)
+		}
+		if !got.Equal(c) {
+			t.Fatalf("roundtrip: got %v, want %v", got, c)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("roundtrip left %d bits unread", r.Remaining())
+		}
+	})
+}
+
+// FuzzDecodeCoords feeds DecodeCoords arbitrary bit streams: it must
+// never panic or over-allocate, and whenever it accepts an input the
+// decoded coordinate must re-encode to exactly the consumed prefix.
+func FuzzDecodeCoords(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80})                                           // length 1: empty coordinate
+	f.Add([]byte{0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}) // huge length claim
+	f.Add([]byte{0x26, 0x80})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			t.Skip("cap input length")
+		}
+		r := bits.NewReader(bitsFromBytes(data))
+		c, err := DecodeCoords(r)
+		if err != nil {
+			return
+		}
+		re := c.Encode()
+		if re.Len() != r.Pos() {
+			t.Fatalf("decoded %v from %d bits, re-encodes to %d", c, r.Pos(), re.Len())
+		}
+		if !bitsFromBytes(data).Prefix(r.Pos()).Equal(re) {
+			t.Fatalf("re-encoding %v does not reproduce the consumed prefix", c)
+		}
+	})
+}

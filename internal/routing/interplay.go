@@ -265,11 +265,7 @@ func RunInterplay(g *graph.Graph, cfg InterplayConfig) (*InterplayReport, error)
 	}
 
 	// Launch the in-flight packets, then let the faults hit.
-	packets := make([]*Packet, 0, cfg.InFlight)
-	for _, p := range UniformPairs(nodes, cfg.InFlight, rng) {
-		packets = append(packets, NewPacket(p.Src, p.Dst))
-	}
-	rep.InFlight.Sent = len(packets)
+	flight := NewFlight(UniformPairs(nodes, cfg.InFlight, rng))
 
 	runtime.Corrupt(net, cfg.Faults, rng)
 	// The listener goes in after the injection so TopologyWrites counts
@@ -299,19 +295,10 @@ func RunInterplay(g *graph.Graph, cfg InterplayConfig) (*InterplayReport, error)
 			return nil, fmt.Errorf("routing: reconvergence window %d: %w", w, err)
 		}
 		refresh()
-		for _, p := range packets {
-			if p.Done {
-				continue
-			}
-			before := p.Stalls
-			router.Advance(p, cfg.StepsPerWindow)
-			if p.Done && p.Delivered {
-				rep.InFlight.DeliveredDuring++
-			}
-			rep.InFlight.StallWindows += p.Stalls - before
-		}
+		flight.Advance(router, cfg.StepsPerWindow)
 	}
 	rep.ReconvergeMoves = net.Moves() - movesBefore
+	rep.InFlight = flight.Stats()
 	rep.Restabilized = net.Silent()
 	if !rep.Restabilized {
 		return rep, fmt.Errorf("routing: %s substrate did not re-stabilize within %d windows", rep.Substrate, cfg.MaxWindows)
@@ -326,21 +313,8 @@ func RunInterplay(g *graph.Graph, cfg InterplayConfig) (*InterplayReport, error)
 	ix2 := trees.NewIndex(tree2)
 	rep.PostHeight, rep.PostMaxDegree = ix2.Height(), tree2.MaxDegree()
 	router.SetLabeling(Label(tree2))
-	deliveredTotal := 0
-	for _, p := range packets {
-		if !p.Done {
-			router.Advance(p, router.opt.MaxHops)
-		}
-		if p.Looped {
-			rep.InFlight.Looped++
-		}
-		if p.Delivered {
-			deliveredTotal++
-		} else {
-			rep.InFlight.Dropped++
-		}
-	}
-	rep.InFlight.DeliveredAfter = deliveredTotal - rep.InFlight.DeliveredDuring
+	flight.Flush(router)
+	rep.InFlight = flight.Stats()
 
 	rep.Post, err = Drive(router, UniformPairs(nodes, cfg.BatchPackets, rng), DriveOptions{})
 	if err != nil {

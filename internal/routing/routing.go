@@ -118,11 +118,20 @@ func DecodeCoords(r *bits.Reader) (Coords, error) {
 		return nil, fmt.Errorf("routing: coord length: %w", err)
 	}
 	length--
+	// Every port code costs at least one bit, so a length claim beyond
+	// the remaining input is corrupt — reject it before sizing the
+	// slice, or an adversarial ~60-bit input could demand exabytes.
+	if length > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("routing: coord length %d exceeds %d remaining bits", length, r.Remaining())
+	}
 	out := make(Coords, 0, length)
 	for i := uint64(0); i < length; i++ {
 		p, err := bits.ReadGamma(r)
 		if err != nil {
 			return nil, fmt.Errorf("routing: coord port %d: %w", i, err)
+		}
+		if p-1 > uint64(^Port(0)) {
+			return nil, fmt.Errorf("routing: coord port %d overflows (%d)", i, p-1)
 		}
 		out = append(out, Port(p-1))
 	}

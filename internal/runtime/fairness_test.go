@@ -1,0 +1,195 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"silentspan/internal/graph"
+)
+
+// fairnessCases are enabled-set shapes the scheduler table runs over:
+// dense, sparse (exercising the Fenwick select paths), and singleton.
+var fairnessCases = []struct {
+	name string
+	ids  []graph.NodeID
+}{
+	{"compact", []graph.NodeID{1, 2, 3, 4, 5, 6, 7, 8}},
+	{"sparse", []graph.NodeID{3, 7, 20, 21, 64, 100, 413}},
+	{"single", []graph.NodeID{5}},
+}
+
+// fullSet builds an EnabledSet with every listed node enabled.
+func fullSet(ids []graph.NodeID) *EnabledSet {
+	s := newEnabledSet(ids)
+	for i := range ids {
+		s.add(i)
+	}
+	return s
+}
+
+// TestRoundRobinActivatesAllWithinN: a node that stays enabled is
+// activated at least once within n consecutive choices — the weak
+// fairness contract.
+func TestRoundRobinActivatesAllWithinN(t *testing.T) {
+	for _, tc := range fairnessCases {
+		t.Run(tc.name, func(t *testing.T) {
+			sched := RoundRobin()
+			es := fullSet(tc.ids)
+			seen := make(map[graph.NodeID]bool)
+			for i := 0; i < len(tc.ids); i++ {
+				chosen := sched.Choose(es, nil)
+				if len(chosen) != 1 {
+					t.Fatalf("choice %d: got %d nodes, want 1", i, len(chosen))
+				}
+				seen[chosen[0]] = true
+			}
+			for _, v := range tc.ids {
+				if !seen[v] {
+					t.Errorf("node %d not activated within %d choices", v, len(tc.ids))
+				}
+			}
+		})
+	}
+}
+
+// TestSynchronousActivatesAllEnabled: the synchronous daemon's choice is
+// exactly the enabled set, every step.
+func TestSynchronousActivatesAllEnabled(t *testing.T) {
+	for _, tc := range fairnessCases {
+		t.Run(tc.name, func(t *testing.T) {
+			sched := Synchronous()
+			es := fullSet(tc.ids)
+			chosen := sched.Choose(es, nil)
+			if len(chosen) != len(tc.ids) {
+				t.Fatalf("chose %d of %d enabled", len(chosen), len(tc.ids))
+			}
+			for i, v := range tc.ids {
+				if chosen[i] != v {
+					t.Fatalf("chosen[%d] = %d, want %d", i, chosen[i], v)
+				}
+			}
+		})
+	}
+}
+
+// TestAdversarialUnfairStarvationPattern: the unfair daemon keeps
+// re-activating its favorite while it stays enabled, and on the
+// favorite's death adopts the least recently activated node.
+func TestAdversarialUnfairStarvationPattern(t *testing.T) {
+	ids := []graph.NodeID{1, 2, 3, 4}
+	sched := AdversarialUnfair()
+	es := fullSet(ids)
+	first := sched.Choose(es, nil)[0]
+	for i := 0; i < 10; i++ {
+		if got := sched.Choose(es, nil)[0]; got != first {
+			t.Fatalf("favorite switched from %d to %d while still enabled", first, got)
+		}
+	}
+	// Disable the favorite: the daemon must pick a never-activated node.
+	fi, _ := indexOfID(ids, first)
+	es.remove(fi)
+	next := sched.Choose(es, nil)[0]
+	if next == first {
+		t.Fatalf("chose disabled favorite %d", first)
+	}
+}
+
+// frontierProbe is a NetworkAware daemon built purely on the exported
+// hooks (BindNetwork + RoundPending) — the construction pattern for
+// external round-aware schedulers, and the public mirror of what
+// GreedyRoundStretch does on engine internals: prefer an enabled node
+// outside the current round frontier.
+type frontierProbe struct {
+	net           *Network
+	sawNonPending bool
+}
+
+func (s *frontierProbe) BindNetwork(net *Network) { s.net = net }
+
+func (s *frontierProbe) Choose(enabled *EnabledSet, buf []graph.NodeID) []graph.NodeID {
+	pick, found := graph.NodeID(0), false
+	enabled.ForEachID(func(v graph.NodeID) bool {
+		if !s.net.RoundPending(v) {
+			pick, found = v, true
+			s.sawNonPending = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		pick = enabled.MinID()
+	}
+	return append(buf, pick)
+}
+
+// TestRoundPendingDrivesNetworkAwareScheduler: Run binds the network
+// into a NetworkAware daemon, RoundPending answers coherently for it
+// mid-run (frontier nodes and, once rounds progress, non-frontier
+// enabled nodes), and the driven execution still converges.
+func TestRoundPendingDrivesNetworkAwareScheduler(t *testing.T) {
+	g := graph.RandomConnected(24, 0.2, rand.New(rand.NewSource(3)))
+	net := newTestNetwork(t, g)
+	net.InitArbitrary(rand.New(rand.NewSource(4)))
+	probe := &frontierProbe{}
+	res, err := net.Run(probe, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.net != net {
+		t.Fatal("Run did not bind the network into the NetworkAware scheduler")
+	}
+	if !res.Silent {
+		t.Fatalf("frontier-avoiding daemon livelocked after %d moves", res.Moves)
+	}
+	if !probe.sawNonPending {
+		t.Error("RoundPending never exposed a non-frontier enabled node across the whole run")
+	}
+	// After silence the frontier is empty, and unknown nodes are never
+	// pending.
+	for _, v := range g.Nodes() {
+		if net.RoundPending(v) {
+			t.Errorf("node %d pending after silence", v)
+		}
+	}
+	if net.RoundPending(9999) {
+		t.Error("unknown node reported pending")
+	}
+}
+
+// TestAdversarialSchedulersDoNotLivelock: on the seed graph families,
+// driving a silent algorithm under the hostile daemons (unfair favorite
+// starvation and greedy round-stretching) still reaches silence — the
+// closure/convergence property the paper proves for the unfair daemon.
+func TestAdversarialSchedulersDoNotLivelock(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path8":     graph.Path(8),
+		"ring9":     graph.Ring(9),
+		"star10":    graph.Star(10),
+		"complete6": graph.Complete(6),
+		"lollipop":  graph.Lollipop(4, 4),
+		"dumbbell":  graph.Dumbbell(3, 2),
+		"random":    graph.RandomConnected(24, 0.15, rand.New(rand.NewSource(5))),
+	}
+	scheds := map[string]func() Scheduler{
+		"adversarial-unfair":  AdversarialUnfair,
+		"greedy-roundstretch": GreedyRoundStretch,
+	}
+	for gname, g := range graphs {
+		for sname, mk := range scheds {
+			t.Run(gname+"/"+sname, func(t *testing.T) {
+				net := newTestNetwork(t, g)
+				net.InitArbitrary(rand.New(rand.NewSource(11)))
+				res, err := net.Run(mk(), 200_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Silent {
+					t.Fatalf("livelock: not silent after %d moves", res.Moves)
+				}
+				if err := CheckSilentStable(net); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -29,12 +29,25 @@ func (f MonitorFunc) Check(net *Network) error { return f(net) }
 // distinct random nodes with arbitrary states drawn from the algorithm.
 // It returns the identities of the corrupted nodes. Node identities and
 // edge weights are constants and remain intact (Section II-A).
+//
+// count is clamped to [0, n]. Victim selection is fully determined by
+// the rng stream: the draw runs over the sorted node list (never a map
+// iteration), and only the count leading swaps of the shuffle are
+// performed, so a seeded rng replays the identical fault pattern run
+// after run — the property the certification campaigns diff against.
 func Corrupt(net *Network, count int, rng *rand.Rand) []graph.NodeID {
 	nodes := net.Graph().Nodes()
 	if count > len(nodes) {
 		count = len(nodes)
 	}
-	rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	if count < 0 {
+		count = 0
+	}
+	// Partial Fisher–Yates: exactly count draws regardless of n.
+	for i := 0; i < count; i++ {
+		j := i + rng.Intn(len(nodes)-i)
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
 	victims := nodes[:count]
 	for _, v := range victims {
 		net.SetState(v, net.Algorithm().ArbitraryState(rng, net.view(v)))

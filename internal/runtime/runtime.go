@@ -378,6 +378,39 @@ func (net *Network) Silent() bool {
 	return net.enabled.Len() == 0
 }
 
+// RoundPending reports whether node v is still in the current round's
+// frontier X: enabled at the round's start and since then neither
+// stepped nor observed disabled. Certification schedulers and tests use
+// it to reason about round progress from outside the engine.
+func (net *Network) RoundPending(v graph.NodeID) bool {
+	i, ok := net.d.IndexOf(v)
+	if !ok {
+		return false
+	}
+	return net.pendingEpoch[i] == net.epoch
+}
+
+// PerturbEdgeWeight is the topology-churn campaign hook: it rewrites
+// the weight of the live edge {u,v} in both the graph and the dense
+// snapshot the register file reads through, then invalidates the cached
+// enabledness of the two endpoints (they are the only nodes whose views
+// contain the edge). Structural mutations are not supported — the model
+// fixes the graph; weights are the one constant the chaos campaigns are
+// allowed to bend, modeling re-costed links.
+func (net *Network) PerturbEdgeWeight(u, v graph.NodeID, w graph.Weight) error {
+	if net.g.Dense() != net.d {
+		return fmt.Errorf("runtime: graph mutated structurally since network creation")
+	}
+	if err := net.g.UpdateEdgeWeight(u, v, w); err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	iu, _ := net.d.IndexOf(u)
+	iv, _ := net.d.IndexOf(v)
+	net.markDirtyAt(int32(iu))
+	net.markDirtyAt(int32(iv))
+	return nil
+}
+
 // Moves returns the number of individual steps taken so far.
 func (net *Network) Moves() int { return net.moves }
 
@@ -440,6 +473,9 @@ func (net *Network) startRound() {
 // Disabled transitions are observed incrementally by the drain, so round
 // accounting costs O(|chosen|) per activation, not O(n).
 func (net *Network) Run(sched Scheduler, maxMoves int) (Result, error) {
+	if na, ok := sched.(NetworkAware); ok {
+		na.BindNetwork(net)
+	}
 	net.drain()
 	net.startRound()
 	for net.moves < maxMoves {

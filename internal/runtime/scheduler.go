@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"math/bits"
 	"math/rand"
 
 	"silentspan/internal/graph"
@@ -108,6 +109,62 @@ func (s *adversarialUnfair) Choose(enabled *EnabledSet, buf []graph.NodeID) []gr
 	s.favorite, s.hasFavorite = best, true
 	s.lastActivated[best] = s.clock
 	return append(buf, best)
+}
+
+// NetworkAware is implemented by schedulers that need to inspect the
+// network they drive (round frontier, degrees) beyond the enabled set.
+// Network.Run binds the network before the first Choose call. A bound
+// scheduler must only *read* the network.
+type NetworkAware interface {
+	BindNetwork(*Network)
+}
+
+// greedyStretch is the greedy round-stretching adversary: it always
+// activates an enabled node whose step contributes least to completing
+// the current round (the paper's round is over once every node of the
+// start-of-round frontier has stepped or been disabled). An enabled
+// node outside the frontier is a zero-progress pick — its step neither
+// shrinks the frontier directly nor (usually) helps it along — so the
+// scheduler prefers those; when every enabled node is in the frontier
+// it picks one of minimum degree, minimizing how many frontier
+// neighbors the write can disable as collateral. Ties break to the
+// smallest ID, so the daemon is deterministic. Against round-complexity
+// claims this is the natural worst-case daemon: it certifies bounds by
+// actively trying to exceed them.
+type greedyStretch struct {
+	net *Network
+}
+
+// GreedyRoundStretch returns the greedy round-stretching scheduler. It
+// must be driven by Network.Run (which binds the network); unbound it
+// degrades to the central daemon.
+func GreedyRoundStretch() Scheduler { return &greedyStretch{} }
+
+// BindNetwork implements NetworkAware.
+func (s *greedyStretch) BindNetwork(net *Network) { s.net = net }
+
+// Choose implements Scheduler.
+func (s *greedyStretch) Choose(enabled *EnabledSet, buf []graph.NodeID) []graph.NodeID {
+	net := s.net
+	if net == nil {
+		return append(buf, enabled.MinID())
+	}
+	bestIdx, bestDeg := -1, -1
+	for w, word := range enabled.words {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if net.pendingEpoch[i] != net.epoch {
+				// Outside the frontier: zero round progress. First such
+				// index is the smallest ID — take it immediately.
+				return append(buf, net.d.ID(i))
+			}
+			if d := net.d.Degree(i); bestIdx < 0 || d < bestDeg {
+				bestIdx, bestDeg = i, d
+			}
+		}
+	}
+	return append(buf, net.d.ID(bestIdx))
 }
 
 // RoundRobin cycles deterministically through node IDs, activating the

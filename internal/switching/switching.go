@@ -296,6 +296,15 @@ func sanitize(s State, v runtime.View, peer func(graph.NodeID) (State, bool)) (S
 		s.SwTarget = trees.None
 		return s, true
 	}
+	// A root in SwDone is corruption, never a protocol state: an
+	// initiator reaches SwDone by adopting its target as parent, and
+	// roots do not switch. Without this reset the node parks in SwDone
+	// forever (completion (h) needs a parent), silently blocking label
+	// maintenance — found by the model checker on the singleton graph.
+	if s.Sw == SwDone && s.Parent == trees.None {
+		s.Sw, s.SwTarget = SwIdle, trees.None
+		return s, true
+	}
 	if s.Sw == SwReq {
 		t, ok := peer(s.SwTarget)
 		bad := !ok || s.SwTarget == s.Parent || !s.HasD || !s.HasS ||
