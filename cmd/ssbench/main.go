@@ -1,7 +1,8 @@
 // Command ssbench regenerates every experiment table of the
-// reproduction (E1–E10 plus the A-series ablations, see DESIGN.md §5):
+// reproduction (E1–E12 plus the A-series ablations, see DESIGN.md §5):
 // one table per claim-level figure of the paper, plus the routing
-// serving-layer measurements (E9/E10/A5).
+// serving-layer measurements (E9/E10/A5), the engine scale table
+// (E11), and the live-topology churn throughput table (E12).
 //
 // Usage:
 //
@@ -20,7 +21,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "smaller sweeps (seconds instead of minutes)")
 	seed := flag.Int64("seed", 1, "base random seed")
-	only := flag.String("only", "", "run a single experiment (E1..E11, A1..A5)")
+	only := flag.String("only", "", "run a single experiment (E1..E12, A1..A5)")
 	flag.Parse()
 
 	type experiment struct {
@@ -44,6 +45,8 @@ func main() {
 	e10n, e10f := 32, 4
 	e11n := []int{100_000, 300_000, 1_000_000}
 	e11pkts := 50_000
+	e12n := []int{100_000, 300_000}
+	e12muts, e12batch, e12pkts := 30_000, 200, 10_000
 	if *quick {
 		a1n = []int{12, 24}
 		e1n = []int{16, 32, 64}
@@ -61,6 +64,8 @@ func main() {
 		e10n = 24
 		e11n = []int{100_000}
 		e11pkts = 10_000
+		e12n = []int{100_000}
+		e12muts, e12pkts = 10_000, 5_000
 	}
 
 	experiments := []experiment{
@@ -75,6 +80,7 @@ func main() {
 		{"E9", func() (*bench.Table, error) { return bench.E9Routing(e9n, e9pkts, *seed) }},
 		{"E10", func() (*bench.Table, error) { return bench.E10Interplay(e10n, e10f, *seed) }},
 		{"E11", func() (*bench.Table, error) { return bench.E11Scale(e11n, e11pkts, *seed) }},
+		{"E12", func() (*bench.Table, error) { return bench.E12Churn(e12n, e12muts, e12batch, e12pkts, *seed) }},
 		{"A1", func() (*bench.Table, error) { return bench.A1Malleability(a1n, *seed) }},
 		{"A2", func() (*bench.Table, error) { return bench.A2NCAEncoding(e2n, *seed) }},
 		{"A3", func() (*bench.Table, error) { return bench.A3Schedulers(e8n, *seed) }},

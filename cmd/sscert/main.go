@@ -9,6 +9,14 @@
 //
 //	sscert -exhaustive -maxn 6
 //
+// Live-topology churn certification (seeded join/leave/partition/heal
+// schedules × five algorithms × seven daemons on small graphs, with a
+// packet cohort flying over the incrementally maintained labeling;
+// every run must re-stabilize to a spec-correct tree of the final
+// graph):
+//
+//	sscert -churn -churn-maxn 6
+//
 // Chaos campaign (fault bursts + register wipes + weight churn + live
 // traffic over the recovering tree on a large random graph):
 //
@@ -37,6 +45,11 @@ func main() {
 		exhinit    = flag.Int("exhinit", 3, "exhaustive initial-state enumeration up to this n (spanning substrate)")
 		families   = flag.Bool("families", true, "include the named pathological families (paths, stars, lollipops, dumbbells)")
 
+		churn     = flag.Bool("churn", false, "run the live-topology churn certification campaign")
+		churnMaxN = flag.Int("churn-maxn", 6, "churn graphs on 3..this many nodes")
+		schedules = flag.Int("schedules", 2, "churn schedules per (graph, algorithm, daemon)")
+		churnLen  = flag.Int("churn-len", 10, "churn ops per schedule")
+
 		chaos     = flag.Bool("chaos", false, "run a randomized chaos campaign")
 		n         = flag.Int("n", 10000, "chaos graph size")
 		p         = flag.Float64("p", 0, "chaos edge probability (default 3/n)")
@@ -50,8 +63,8 @@ func main() {
 		quiet  = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
-	if !*exhaustive && !*chaos {
-		fmt.Fprintln(os.Stderr, "sscert: nothing to do; pass -exhaustive and/or -chaos")
+	if !*exhaustive && !*chaos && !*churn {
+		fmt.Fprintln(os.Stderr, "sscert: nothing to do; pass -exhaustive, -churn and/or -chaos")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -67,6 +80,7 @@ func main() {
 	// campaign is exactly when the per-burst records matter most.
 	var file struct {
 		Exhaustive *cert.ExhaustiveReport `json:"exhaustive,omitempty"`
+		Churn      *cert.ChurnReport      `json:"churn,omitempty"`
 		Chaos      *cert.Certificate      `json:"chaos,omitempty"`
 	}
 	failed := false
@@ -89,6 +103,30 @@ func main() {
 			if rep.Certified() && err == nil {
 				fmt.Printf("CERTIFIED: %d graphs, %d runs, %d exhaustive inits, zero counterexamples\n",
 					rep.Graphs, rep.Runs, rep.ExhaustiveInits)
+			} else if !rep.Certified() {
+				fmt.Printf("FALSIFIED: %d counterexamples\n", len(rep.Counterexamples))
+				failed = true
+			}
+		}
+	}
+
+	if *churn {
+		rep, err := cert.RunChurn(cert.ChurnConfig{
+			MaxN:      *churnMaxN,
+			Schedules: *schedules,
+			Length:    *churnLen,
+			Seed:      *seed,
+		}, logf)
+		file.Churn = rep
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sscert: churn: %v\n", err)
+			failed = true
+		}
+		if rep != nil {
+			bench.ChurnTable(rep).Fprint(os.Stdout)
+			if rep.Certified() && err == nil {
+				fmt.Printf("CERTIFIED: %d graphs, %d runs, %d mutations, cohort %d/%d, zero counterexamples\n",
+					rep.Graphs, rep.Runs, rep.Mutations, rep.PacketsArrived, rep.PacketsSent)
 			} else if !rep.Certified() {
 				fmt.Printf("FALSIFIED: %d counterexamples\n", len(rep.Counterexamples))
 				failed = true

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"silentspan/internal/bfs"
+	"silentspan/internal/cert"
 	"silentspan/internal/core"
 	"silentspan/internal/graph"
 	"silentspan/internal/mdst"
@@ -50,6 +51,7 @@ func main() {
 	route := flag.Bool("route", false, "serve traffic over the stabilized tree instead of just constructing it")
 	packets := flag.Int("packets", 100_000, "route mode: packets to drive")
 	workload := flag.String("workload", "uniform", "route mode: uniform | hotspot | allpairs")
+	churn := flag.Int("churn", 0, "apply this many live-topology churn ops (joins/leaves/link flaps/partitions) after stabilization, with traffic flying")
 	flag.Parse()
 
 	g, err := parseGraph(*graphSpec, *seed)
@@ -80,6 +82,11 @@ func main() {
 		return
 	}
 
+	if *churn > 0 {
+		runChurn(*algName, g, *churn, *seed, *maxMoves)
+		return
+	}
+
 	switch *algName {
 	case "mst", "mdst":
 		runEngine(*algName, g, rng)
@@ -88,6 +95,96 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algName))
 	}
+}
+
+// runChurn is the live-topology demo: stabilize the substrate, then
+// apply a seeded churn schedule — joins, leaves, link flaps,
+// partitions, heals, corruption — op by op with bounded repair windows
+// and a packet cohort flying over the incrementally maintained
+// labeling, and report the re-stabilized tree plus serving quality on
+// the final graph.
+func runChurn(algName string, g *graph.Graph, ops int, seed int64, maxMoves int) {
+	var alg runtime.Algorithm
+	switch algName {
+	case "spanning":
+		alg = spanning.Algorithm{}
+	case "switching":
+		alg = switching.Algorithm{}
+	case "bfs":
+		alg = bfs.Algorithm{}
+	default:
+		fatal(fmt.Errorf("-churn drives the always-on substrates: spanning | switching | bfs (got %q)", algName))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net, err := runtime.NewNetwork(g, alg)
+	if err != nil {
+		fatal(err)
+	}
+	net.InitArbitrary(rng)
+	res, err := net.Run(runtime.Synchronous(), maxMoves)
+	if err != nil {
+		fatal(err)
+	}
+	if !res.Silent {
+		fatal(fmt.Errorf("substrate not silent after %d moves", res.Moves))
+	}
+	fmt.Printf("substrate %s: silent in %d rounds (%d moves)\n", alg.Name(), res.Rounds, res.Moves)
+
+	// Incremental labeling + live router.
+	parents := make([]graph.NodeID, net.Dense().Slots())
+	parentOf := func(s runtime.State) graph.NodeID {
+		if algName == "spanning" {
+			if ss, ok := s.(spanning.State); ok {
+				return ss.Parent
+			}
+		} else if ss, ok := switching.RegOf(s); ok {
+			return ss.Parent
+		}
+		return routing.NoParent
+	}
+	for i := range parents {
+		parents[i] = parentOf(net.StateAt(i))
+	}
+	lb := routing.NewLiveLabeler(g, parents)
+	net.AddStateListener(func(v graph.NodeID, old, new runtime.State) {
+		lb.SetParent(v, parentOf(new))
+	})
+	net.AddTopologyListener(lb.ApplyTopo)
+	router := routing.NewRouter(g, lb.Labeling(), routing.Options{})
+
+	schedule := cert.GenerateChurnSchedule(g, ops, seed+1)
+	survivors := cert.Survivors(g, schedule)
+	flight := routing.NewFlight(routing.UniformPairs(survivors, 32, rng))
+	movesBefore := net.Moves()
+	for oi, op := range schedule {
+		if _, err := cert.ApplyChurnOp(net, op, rng); err != nil {
+			fatal(fmt.Errorf("op %d (%s): %w", oi, op, err))
+		}
+		if _, err := net.Run(runtime.Synchronous(), net.Moves()+200); err != nil {
+			fatal(err)
+		}
+		router.SetLabeling(lb.Labeling())
+		flight.Advance(router, 2)
+		fmt.Printf("  op %-2d %-40s n=%-4d m=%-5d labeled=%d/%d\n",
+			oi, op, g.N(), g.M(), lb.Labeling().Covered(), g.N())
+	}
+	res, err = net.Run(runtime.Synchronous(), net.Moves()+maxMoves)
+	if err != nil {
+		fatal(err)
+	}
+	if !res.Silent {
+		fatal(fmt.Errorf("no re-stabilization on the final graph"))
+	}
+	router.SetLabeling(lb.Labeling())
+	flight.Flush(router)
+	fs := flight.Stats()
+	fmt.Printf("re-stabilized: %d repair moves, labeling complete=%v, cohort %d/%d delivered (%d dropped mid-churn)\n",
+		net.Moves()-movesBefore, lb.Labeling().Complete(), fs.Delivered(), fs.Sent, fs.Dropped)
+	post, err := routing.Drive(router, routing.UniformPairs(g.Nodes(), 4*g.N(), rng), routing.DriveOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("post-churn traffic: %v\n", post)
 }
 
 // runRoute stabilizes the spanning substrate from the post-reset

@@ -37,6 +37,36 @@ func ExhaustiveTable(r *cert.ExhaustiveReport) *Table {
 	return t
 }
 
+// ChurnTable renders a churn certification report: one row per
+// algorithm with its worst re-stabilization cost over every graph ×
+// daemon × seeded join/leave/partition/heal schedule.
+func ChurnTable(r *cert.ChurnReport) *Table {
+	t := &Table{
+		Title:  "CERT-CHURN — live-topology churn: worst re-stabilization per algorithm",
+		Header: []string{"algorithm", "moves", "moves-on", "rounds", "rounds-on", "reg-bits", "bits-on"},
+	}
+	algos := make([]string, 0, len(r.Worst))
+	for a := range r.Worst {
+		algos = append(algos, a)
+	}
+	sort.Strings(algos)
+	on := func(w cert.WorstEntry) string { return w.Graph + "/" + w.Scheduler }
+	for _, a := range algos {
+		w := r.Worst[a]
+		t.Rows = append(t.Rows, []string{a,
+			itoa(w.Moves.Value), on(w.Moves),
+			itoa(w.Rounds.Value), on(w.Rounds),
+			itoa(w.RegisterBits.Value), on(w.RegisterBits)})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("graphs=%d runs=%d mutations=%d cohort=%d/%d counterexamples=%d",
+			r.Graphs, r.Runs, r.Mutations, r.PacketsArrived, r.PacketsSent, len(r.Counterexamples)))
+	for _, ce := range r.Counterexamples {
+		t.Notes = append(t.Notes, "COUNTEREXAMPLE: "+ce.String())
+	}
+	return t
+}
+
 // ChaosTable renders a chaos certificate: one row per fault burst plus
 // a worst-case summary row.
 func ChaosTable(c *cert.Certificate) *Table {

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE12ChurnSmoke runs the churn-throughput pipeline at toy scale:
+// the table must come back with a silent final network, traffic flowing
+// both during and after the churn, and every mutation class exercised.
+func TestE12ChurnSmoke(t *testing.T) {
+	tb, err := E12Churn([]int{300}, 600, 50, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(tb.Rows))
+	}
+	row := tb.Rows[0]
+	cols := map[string]string{}
+	for i, h := range tb.Header {
+		cols[h] = row[i]
+	}
+	if cols["final-silent"] != "true" {
+		t.Fatalf("final network not silent: %v", row)
+	}
+	if cols["mutations"] != "600" {
+		t.Fatalf("applied %s of 600 mutations", cols["mutations"])
+	}
+	for _, k := range []string{"joins", "leaves", "flaps"} {
+		if cols[k] == "0" {
+			t.Errorf("mutation class %s never exercised", k)
+		}
+	}
+	for _, k := range []string{"during-del", "final-del"} {
+		if strings.HasPrefix(cols[k], "0.00") {
+			t.Errorf("no traffic delivered (%s = %s)", k, cols[k])
+		}
+	}
+}

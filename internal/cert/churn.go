@@ -1,0 +1,680 @@
+package cert
+
+// Live-topology churn certification: the model checker's missing fault
+// class. PR 3 certified recovery from register corruption on frozen
+// graphs; here the graph itself moves — nodes join and leave, links
+// flap, the network partitions and heals — interleaved with register
+// corruption, while a packet cohort keeps flying over the incremental
+// labeling of the decaying tree. Every run must re-stabilize to a
+// silent, closed, spec-correct configuration of the *final* graph,
+// within the register bound of the final graph, and deliver the
+// surviving cohort once the labeling heals.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/routing"
+	"silentspan/internal/runtime"
+	"silentspan/internal/spanning"
+	"silentspan/internal/switching"
+)
+
+// ChurnOpKind names one churn schedule operation.
+type ChurnOpKind int
+
+// The churn operations. Partition removes a cut that splits the graph
+// in two; Heal restores the most recent un-healed partition or downed
+// links. Corrupt is the PR 3 fault class riding along, so recovery is
+// certified under combined structural + state faults.
+const (
+	ChurnJoin ChurnOpKind = iota
+	ChurnLeave
+	ChurnLinkDown
+	ChurnLinkUp
+	ChurnPartition
+	ChurnHeal
+	ChurnCorrupt
+)
+
+// String names the kind.
+func (k ChurnOpKind) String() string {
+	switch k {
+	case ChurnJoin:
+		return "join"
+	case ChurnLeave:
+		return "leave"
+	case ChurnLinkDown:
+		return "link-down"
+	case ChurnLinkUp:
+		return "link-up"
+	case ChurnPartition:
+		return "partition"
+	case ChurnHeal:
+		return "heal"
+	case ChurnCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("churn(%d)", int(k))
+}
+
+// ChurnOp is one schedule entry. Join carries the new node and its
+// initial links; Leave the victim; link ops one edge; Partition/Heal a
+// whole cut; Corrupt a victim count.
+type ChurnOp struct {
+	Kind  ChurnOpKind
+	Node  graph.NodeID
+	Edges []graph.Edge
+	Count int
+}
+
+// String renders the op for traces and counterexamples.
+func (op ChurnOp) String() string {
+	switch op.Kind {
+	case ChurnJoin:
+		return fmt.Sprintf("join %d %v", op.Node, op.Edges)
+	case ChurnLeave:
+		return fmt.Sprintf("leave %d", op.Node)
+	case ChurnLinkDown, ChurnLinkUp:
+		return fmt.Sprintf("%s %v", op.Kind, op.Edges)
+	case ChurnPartition, ChurnHeal:
+		return fmt.Sprintf("%s cut=%v", op.Kind, op.Edges)
+	case ChurnCorrupt:
+		return fmt.Sprintf("corrupt %d", op.Count)
+	}
+	return op.Kind.String()
+}
+
+// GenerateChurnSchedule builds a seeded schedule of length ops valid
+// against g: every op is checked against a shadow copy of the evolving
+// graph, and the schedule ends with heals that make the final graph
+// connected again (the model's stabilization target). Edge weights
+// drawn for new links are globally fresh, preserving the distinct-
+// weight assumption.
+func GenerateChurnSchedule(g *graph.Graph, length int, seed int64) []ChurnOp {
+	rng := rand.New(rand.NewSource(seed))
+	sim := g.Clone()
+	nextID := graph.NodeID(0)
+	for _, v := range sim.Nodes() {
+		if v > nextID {
+			nextID = v
+		}
+	}
+	nextID += 1 + graph.NodeID(rng.Intn(3))
+	nextW := graph.Weight(1)
+	for _, e := range sim.Edges() {
+		if e.W > nextW {
+			nextW = e.W
+		}
+	}
+	nextW++
+	freshW := func() graph.Weight {
+		w := nextW
+		nextW++
+		return w
+	}
+
+	var (
+		ops    []ChurnOp
+		downed []graph.Edge // individual downed links
+		cuts   [][]graph.Edge
+	)
+	emit := func(op ChurnOp) { ops = append(ops, op) }
+
+	for len(ops) < length {
+		nodes := sim.Nodes()
+		switch k := rng.Intn(10); {
+		case k < 2: // join with 1-2 links
+			id := nextID
+			nextID++
+			cnt := 1 + rng.Intn(2)
+			var es []graph.Edge
+			seen := map[graph.NodeID]bool{}
+			for len(es) < cnt {
+				a := nodes[rng.Intn(len(nodes))]
+				if seen[a] {
+					break
+				}
+				seen[a] = true
+				es = append(es, graph.Edge{U: id, V: a, W: freshW()})
+			}
+			sim.AddNode(id)
+			for _, e := range es {
+				sim.MustAddEdge(e.U, e.V, e.W)
+			}
+			emit(ChurnOp{Kind: ChurnJoin, Node: id, Edges: es})
+		case k < 4: // leave
+			if len(nodes) <= 3 {
+				continue
+			}
+			v := nodes[rng.Intn(len(nodes))]
+			if err := sim.RemoveNode(v); err != nil {
+				continue
+			}
+			emit(ChurnOp{Kind: ChurnLeave, Node: v})
+		case k < 6: // link down
+			edges := sim.Edges()
+			if len(edges) == 0 {
+				continue
+			}
+			e := edges[rng.Intn(len(edges))]
+			if err := sim.RemoveEdge(e.U, e.V); err != nil {
+				continue
+			}
+			downed = append(downed, e)
+			emit(ChurnOp{Kind: ChurnLinkDown, Edges: []graph.Edge{e}})
+		case k < 7: // link up: heal a downed link or add a fresh one
+			if len(downed) > 0 && rng.Intn(2) == 0 {
+				e := downed[len(downed)-1]
+				if !sim.HasNode(e.U) || !sim.HasNode(e.V) || sim.HasEdge(e.U, e.V) {
+					downed = downed[:len(downed)-1]
+					continue
+				}
+				downed = downed[:len(downed)-1]
+				sim.MustAddEdge(e.U, e.V, e.W)
+				emit(ChurnOp{Kind: ChurnLinkUp, Edges: []graph.Edge{e}})
+				continue
+			}
+			u := nodes[rng.Intn(len(nodes))]
+			v := nodes[rng.Intn(len(nodes))]
+			if u == v || sim.HasEdge(u, v) {
+				continue
+			}
+			e := graph.Edge{U: u, V: v, W: freshW()}
+			sim.MustAddEdge(e.U, e.V, e.W)
+			emit(ChurnOp{Kind: ChurnLinkUp, Edges: []graph.Edge{e}})
+		case k < 8: // partition: cut a BFS half away
+			if len(nodes) < 4 || !sim.Connected() {
+				continue
+			}
+			half := bfsHalf(sim, nodes[rng.Intn(len(nodes))])
+			var cut []graph.Edge
+			for _, e := range sim.Edges() {
+				if half[e.U] != half[e.V] {
+					cut = append(cut, e)
+				}
+			}
+			if len(cut) == 0 {
+				continue
+			}
+			for _, e := range cut {
+				if err := sim.RemoveEdge(e.U, e.V); err != nil {
+					panic(err)
+				}
+			}
+			cuts = append(cuts, cut)
+			emit(ChurnOp{Kind: ChurnPartition, Edges: cut})
+		case k < 9: // heal the most recent partition
+			if len(cuts) == 0 {
+				continue
+			}
+			cut := cuts[len(cuts)-1]
+			cuts = cuts[:len(cuts)-1]
+			var healed []graph.Edge
+			for _, e := range cut {
+				if sim.HasNode(e.U) && sim.HasNode(e.V) && !sim.HasEdge(e.U, e.V) {
+					sim.MustAddEdge(e.U, e.V, e.W)
+					healed = append(healed, e)
+				}
+			}
+			if len(healed) == 0 {
+				continue
+			}
+			emit(ChurnOp{Kind: ChurnHeal, Edges: healed})
+		default: // register corruption riding along
+			emit(ChurnOp{Kind: ChurnCorrupt, Count: 1 + rng.Intn(3)})
+		}
+	}
+
+	// Closing heals: restore every outstanding cut and downed link that
+	// still applies, then bridge any remaining components, so the final
+	// graph — the stabilization target — is connected.
+	for len(cuts) > 0 {
+		cut := cuts[len(cuts)-1]
+		cuts = cuts[:len(cuts)-1]
+		var healed []graph.Edge
+		for _, e := range cut {
+			if sim.HasNode(e.U) && sim.HasNode(e.V) && !sim.HasEdge(e.U, e.V) {
+				sim.MustAddEdge(e.U, e.V, e.W)
+				healed = append(healed, e)
+			}
+		}
+		if len(healed) > 0 {
+			emit(ChurnOp{Kind: ChurnHeal, Edges: healed})
+		}
+	}
+	for !sim.Connected() {
+		comps := components(sim)
+		e := graph.Edge{U: comps[0][0], V: comps[1][0], W: freshW()}
+		sim.MustAddEdge(e.U, e.V, e.W)
+		emit(ChurnOp{Kind: ChurnLinkUp, Edges: []graph.Edge{e}})
+	}
+	return ops
+}
+
+// bfsHalf marks roughly half the nodes of g by BFS from start.
+func bfsHalf(g *graph.Graph, start graph.NodeID) map[graph.NodeID]bool {
+	target := g.N() / 2
+	half := map[graph.NodeID]bool{start: true}
+	queue := []graph.NodeID{start}
+	for len(queue) > 0 && len(half) < target {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.NeighborsShared(v) {
+			if !half[u] && len(half) < target {
+				half[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return half
+}
+
+// components returns the connected components of g as node lists.
+func components(g *graph.Graph) [][]graph.NodeID {
+	var out [][]graph.NodeID
+	seen := map[graph.NodeID]bool{}
+	for _, v := range g.Nodes() {
+		if seen[v] {
+			continue
+		}
+		comp := []graph.NodeID{v}
+		seen[v] = true
+		for qi := 0; qi < len(comp); qi++ {
+			for _, u := range g.NeighborsShared(comp[qi]) {
+				if !seen[u] {
+					seen[u] = true
+					comp = append(comp, u)
+				}
+			}
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+// Survivors returns the nodes of g that are never removed by the
+// schedule — the packet cohort's legal endpoints.
+func Survivors(g *graph.Graph, ops []ChurnOp) []graph.NodeID {
+	removed := map[graph.NodeID]bool{}
+	for _, op := range ops {
+		if op.Kind == ChurnLeave {
+			removed[op.Node] = true
+		}
+	}
+	var out []graph.NodeID
+	for _, v := range g.Nodes() {
+		if !removed[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ApplyChurnOp applies one schedule op to a live network. Corrupt ops
+// draw from rng. It returns the number of structural mutations applied.
+func ApplyChurnOp(net *runtime.Network, op ChurnOp, rng *rand.Rand) (int, error) {
+	switch op.Kind {
+	case ChurnJoin:
+		if err := net.AddNode(op.Node, nil); err != nil {
+			return 0, err
+		}
+		for _, e := range op.Edges {
+			if err := net.AddEdge(e.U, e.V, e.W); err != nil {
+				return 0, err
+			}
+		}
+		return 1 + len(op.Edges), nil
+	case ChurnLeave:
+		return 1, net.RemoveNode(op.Node)
+	case ChurnLinkDown, ChurnPartition:
+		for _, e := range op.Edges {
+			if err := net.RemoveEdge(e.U, e.V); err != nil {
+				return 0, err
+			}
+		}
+		return len(op.Edges), nil
+	case ChurnLinkUp, ChurnHeal:
+		for _, e := range op.Edges {
+			if err := net.AddEdge(e.U, e.V, e.W); err != nil {
+				return 0, err
+			}
+		}
+		return len(op.Edges), nil
+	case ChurnCorrupt:
+		runtime.Corrupt(net, op.Count, rng)
+		return 0, nil
+	}
+	return 0, fmt.Errorf("cert: unknown churn op %v", op.Kind)
+}
+
+// parentOf returns the raw parent-pointer reader for a substrate's
+// register type (routing.NoParent for foreign or nil registers).
+func parentOf(a Algo) func(runtime.State) graph.NodeID {
+	if a == AlgoSpanning {
+		return func(s runtime.State) graph.NodeID {
+			if ss, ok := s.(spanning.State); ok {
+				return ss.Parent
+			}
+			return routing.NoParent
+		}
+	}
+	return func(s runtime.State) graph.NodeID {
+		if ss, ok := switching.RegOf(s); ok {
+			return ss.Parent
+		}
+		return routing.NoParent
+	}
+}
+
+// churnSubstrate brings up the substrate for a churn run: the direct
+// always-on algorithms stabilize from an arbitrary start; MST/MDST
+// (engine-driven) load their reference tree into the switching
+// protocol, which then carries the churn — matching the chaos
+// campaigns' treatment at scale.
+func churnSubstrate(a Algo, g *graph.Graph, sched runtime.Scheduler, maxMoves int, rng *rand.Rand) (*runtime.Network, error) {
+	if alg := DirectAlgorithm(a); alg != nil {
+		net, err := runtime.NewNetwork(g, alg)
+		if err != nil {
+			return nil, err
+		}
+		net.InitArbitrary(rng)
+		res, err := net.Run(sched, maxMoves)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Silent {
+			return nil, fmt.Errorf("substrate not silent within %d moves", maxMoves)
+		}
+		return net, nil
+	}
+	_, tree, err := bringUpSubstrate(g, a.String(), sched, maxMoves, rng)
+	if err != nil {
+		return nil, err
+	}
+	net, err := runtime.NewNetwork(g, switching.Algorithm{})
+	if err != nil {
+		return nil, err
+	}
+	if err := switching.InitFromTree(net, tree); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// checkChurnSpec verifies the re-stabilized configuration against the
+// final (post-churn) graph: the direct algorithms keep their own spec;
+// the engine-driven substrates run the switching protocol, whose
+// Lemma 4.1 spec is the contract the churned tree must satisfy.
+func checkChurnSpec(a Algo, g *graph.Graph, net *runtime.Network) error {
+	switch a {
+	case AlgoSpanning, AlgoSwitching, AlgoBFS:
+		return checkDirectSpec(a, g, net)
+	default:
+		return checkSwitchingSpec(g, net, false)
+	}
+}
+
+// churnRegisterBound is the register bound on the final graph: the
+// engine-driven substrates carry switching registers through churn.
+func churnRegisterBound(a Algo, g *graph.Graph) int {
+	if a == AlgoMST || a == AlgoMDST {
+		return RegisterBitsBound(AlgoSwitching, g)
+	}
+	return RegisterBitsBound(a, g)
+}
+
+// ChurnConfig parameterizes the churn certification campaign. Zero
+// values take the documented defaults.
+type ChurnConfig struct {
+	// MaxN: graphs on 3..MaxN nodes (default 6).
+	MaxN int
+	// Schedules per (graph, algorithm, daemon) (default 2).
+	Schedules int
+	// Length: churn ops per schedule (default 10).
+	Length int
+	// InFlight: packet cohort size launched before the churn (default 8).
+	InFlight int
+	// MovesPerWindow: repair budget between packet steps (default 40).
+	MovesPerWindow int
+	// MaxMoves caps every stabilization (default 200000).
+	MaxMoves int
+	// Seed drives schedules, inits, and daemons.
+	Seed int64
+	// Algos restricts the algorithm set (default all five).
+	Algos []Algo
+	// MaxCounterexamples stops the hunt (default 20).
+	MaxCounterexamples int
+}
+
+func (c *ChurnConfig) fill() {
+	if c.MaxN == 0 {
+		c.MaxN = 6
+	}
+	if c.Schedules == 0 {
+		c.Schedules = 2
+	}
+	if c.Length == 0 {
+		c.Length = 10
+	}
+	if c.InFlight == 0 {
+		c.InFlight = 8
+	}
+	if c.MovesPerWindow == 0 {
+		c.MovesPerWindow = 40
+	}
+	if c.MaxMoves == 0 {
+		c.MaxMoves = 200_000
+	}
+	if len(c.Algos) == 0 {
+		c.Algos = AllAlgos()
+	}
+	if c.MaxCounterexamples == 0 {
+		c.MaxCounterexamples = 20
+	}
+}
+
+// ChurnReport summarizes a churn certification campaign.
+type ChurnReport struct {
+	Config          ChurnConfig          `json:"config"`
+	Graphs          int                  `json:"graphs"`
+	Runs            int                  `json:"runs"`
+	Mutations       int                  `json:"mutations"`
+	PacketsSent     int                  `json:"packets_sent"`
+	PacketsArrived  int                  `json:"packets_arrived"`
+	Worst           map[string]WorstCase `json:"worst"`
+	Counterexamples []Counterexample     `json:"counterexamples"`
+}
+
+// Certified reports whether the campaign found no counterexample.
+func (r *ChurnReport) Certified() bool { return len(r.Counterexamples) == 0 }
+
+// churnGraphs is the instance set: per size, a path (worst diameter), a
+// complete graph (worst degree), and a seeded random instance.
+func churnGraphs(maxN int, seed int64) []NamedGraph {
+	var out []NamedGraph
+	for n := 3; n <= maxN; n++ {
+		out = append(out,
+			NamedGraph{Name: fmt.Sprintf("path-%d", n), G: graph.Path(n)},
+			NamedGraph{Name: fmt.Sprintf("complete-%d", n), G: graph.Complete(n)},
+		)
+		if n >= 4 {
+			rng := rand.New(rand.NewSource(seed + int64(n)))
+			out = append(out, NamedGraph{
+				Name: fmt.Sprintf("random-%d", n),
+				G:    graph.RandomConnected(n, 0.5, rng),
+			})
+		}
+	}
+	return out
+}
+
+// RunChurn executes the churn certification campaign: every graph ×
+// algorithm × daemon × seeded schedule, each run interleaving the
+// schedule's structural mutations and corruptions with bounded repair
+// windows and a flying packet cohort over the incrementally maintained
+// labeling, then asserting re-stabilization, closure, final-graph
+// spec, the register bound, and cohort delivery.
+func RunChurn(cfg ChurnConfig, logf func(format string, args ...any)) (*ChurnReport, error) {
+	cfg.fill()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &ChurnReport{Config: cfg, Worst: make(map[string]WorstCase)}
+	instances := churnGraphs(cfg.MaxN, cfg.Seed)
+	rep.Graphs = len(instances)
+
+	record := func(a Algo, spec SchedulerSpec, ng NamedGraph, stats RunStats) {
+		w := rep.Worst[a.String()]
+		if stats.Moves > w.Moves.Value {
+			w.Moves = WorstEntry{Value: stats.Moves, Graph: ng.Name, Scheduler: spec.Name}
+		}
+		if stats.Rounds > w.Rounds.Value {
+			w.Rounds = WorstEntry{Value: stats.Rounds, Graph: ng.Name, Scheduler: spec.Name}
+		}
+		if stats.RegisterBits > w.RegisterBits.Value {
+			w.RegisterBits = WorstEntry{Value: stats.RegisterBits, Graph: ng.Name, Scheduler: spec.Name}
+		}
+		rep.Worst[a.String()] = w
+	}
+
+	for gi, ng := range instances {
+		for _, a := range cfg.Algos {
+			for _, spec := range Schedulers() {
+				for s := 0; s < cfg.Schedules; s++ {
+					seed := cfg.Seed + int64(gi*10_000+s*100)
+					rep.Runs++
+					stats, sent, arrived, muts, err := runOneChurn(a, ng, spec, cfg, seed)
+					rep.PacketsSent += sent
+					rep.PacketsArrived += arrived
+					rep.Mutations += muts
+					if err == nil {
+						record(a, spec, ng, stats)
+						continue
+					}
+					rep.Counterexamples = append(rep.Counterexamples, Counterexample{
+						Graph: ng.Name, N: ng.G.N(), M: ng.G.M(), Algorithm: a.String(),
+						Scheduler: spec.Name, Init: fmt.Sprintf("churn seed=%d", seed),
+						Detail: err.Error(),
+					})
+					logf("COUNTEREXAMPLE: %s", rep.Counterexamples[len(rep.Counterexamples)-1])
+					if len(rep.Counterexamples) >= cfg.MaxCounterexamples {
+						return rep, nil
+					}
+				}
+			}
+		}
+		if (gi+1)%5 == 0 || gi == len(instances)-1 {
+			logf("churned %d/%d graphs, %d runs, %d mutations, %d/%d packets, %d counterexamples",
+				gi+1, len(instances), rep.Runs, rep.Mutations,
+				rep.PacketsArrived, rep.PacketsSent, len(rep.Counterexamples))
+		}
+	}
+	return rep, nil
+}
+
+// runOneChurn is one certified churn run. The graph is cloned (the
+// instance is shared across runs); the schedule is generated against
+// the clone, the substrate brought up, the cohort launched, and the
+// schedule applied op by op with repair windows and packet advances in
+// between. After the last op the network must re-stabilize and pass
+// the full claim set on the final graph.
+func runOneChurn(a Algo, ng NamedGraph, spec SchedulerSpec, cfg ChurnConfig, seed int64) (stats RunStats, sent, arrived, muts int, err error) {
+	g := ng.G.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	sched := spec.New(seed + 1)
+	ops := GenerateChurnSchedule(g, cfg.Length, seed+2)
+	survivors := Survivors(g, ops)
+
+	net, err := churnSubstrate(a, g, sched, cfg.MaxMoves, rng)
+	if err != nil {
+		return stats, 0, 0, 0, fmt.Errorf("substrate: %w", err)
+	}
+
+	// Incremental labeling wired to the live registers and topology.
+	// The initial parent snapshot goes through the substrate's own
+	// register reader (LiveParents is switching-specific).
+	getParent := parentOf(a)
+	initParents := make([]graph.NodeID, net.Dense().Slots())
+	for i := range initParents {
+		initParents[i] = getParent(net.StateAt(i))
+	}
+	lb := routing.NewLiveLabeler(g, initParents)
+	net.AddStateListener(func(v graph.NodeID, old, new runtime.State) {
+		lb.SetParent(v, getParent(new))
+	})
+	net.AddTopologyListener(lb.ApplyTopo)
+	router := routing.NewRouter(g, lb.Labeling(), routing.Options{})
+
+	// The cohort: launched before the first mutation, flying throughout
+	// (empty when the schedule leaves fewer than two survivors).
+	cohort := routing.UniformPairs(survivors, cfg.InFlight, rng)
+	flight := routing.NewFlight(cohort)
+	sent = len(cohort)
+
+	moves0, rounds0 := net.Moves(), net.Rounds()
+	for oi, op := range ops {
+		m, err := ApplyChurnOp(net, op, rng)
+		muts += m
+		if err != nil {
+			return stats, sent, 0, muts, fmt.Errorf("op %d (%s): %w", oi, op, err)
+		}
+		// Repair window + packet steps over the decaying labeling.
+		router.SetLabeling(lb.Labeling())
+		if _, err := net.Run(sched, net.Moves()+cfg.MovesPerWindow); err != nil {
+			return stats, sent, 0, muts, fmt.Errorf("op %d (%s) repair: %w", oi, op, err)
+		}
+		router.SetLabeling(lb.Labeling())
+		flight.Advance(router, 2)
+	}
+
+	// Re-stabilization on the final graph.
+	res, err := net.Run(sched, net.Moves()+cfg.MaxMoves)
+	if err != nil {
+		return stats, sent, 0, muts, err
+	}
+	stats = RunStats{Moves: res.Moves - moves0, Rounds: res.Rounds - rounds0, RegisterBits: net.MaxRegisterBits()}
+	if !res.Silent {
+		return stats, sent, 0, muts, fmt.Errorf("no re-stabilization within %d moves of the final op", cfg.MaxMoves)
+	}
+	if err := runtime.CheckSilentStable(net); err != nil {
+		return stats, sent, 0, muts, err
+	}
+	if !g.Connected() {
+		return stats, sent, 0, muts, fmt.Errorf("schedule bug: final graph disconnected")
+	}
+	if err := checkChurnSpec(a, g, net); err != nil {
+		return stats, sent, 0, muts, fmt.Errorf("final-graph spec: %w", err)
+	}
+	if bound := churnRegisterBound(a, g); stats.RegisterBits > bound {
+		return stats, sent, 0, muts, fmt.Errorf("register width %d bits exceeds final-graph bound %d", stats.RegisterBits, bound)
+	}
+
+	// The incremental labeling must now be the complete labeling of the
+	// re-stabilized tree. The cohort flushes over it: packets that
+	// survived the transition must all arrive; packets the decay
+	// classified as looped/dropped mid-churn are legal casualties and
+	// are reported, not failed (the chaos campaigns' contract). A fresh
+	// post-churn batch must deliver 100% — the serving-layer claim on
+	// the final graph.
+	router.SetLabeling(lb.Labeling())
+	if !lb.Labeling().Complete() {
+		return stats, sent, 0, muts, fmt.Errorf("labeling incomplete after re-stabilization: %d labeled", lb.Labeling().Covered())
+	}
+	flight.Flush(router)
+	fs := flight.Stats()
+	arrived = fs.Delivered()
+	if arrived+fs.Dropped != sent {
+		return stats, sent, arrived, muts, fmt.Errorf("cohort unaccounted: %d delivered + %d dropped of %d",
+			arrived, fs.Dropped, sent)
+	}
+	post, err := routing.Drive(router, routing.UniformPairs(g.Nodes(), 2*g.N(), rng), routing.DriveOptions{})
+	if err != nil {
+		return stats, sent, arrived, muts, err
+	}
+	if post.DeliveryRate() != 1 {
+		return stats, sent, arrived, muts, fmt.Errorf("post-churn batch delivery %.3f, want 1.0", post.DeliveryRate())
+	}
+	return stats, sent, arrived, muts, nil
+}

@@ -2,38 +2,71 @@ package graph
 
 import "slices"
 
-// Dense is an immutable, index-addressed snapshot of a graph: node
-// identities are mapped once to the contiguous indices 0..n-1 (in
-// increasing ID order) and the adjacency is laid out in CSR form —
-// one shared arc array per field, sliced per node. It exists for the
-// hot layers above the graph (the simulation engine's register file,
-// the router's forwarding loop), where per-call maps and defensive
-// copies dominate the profile: every accessor below returns shared
-// read-only slices and performs no allocation.
+// NoNode marks a vacated slot in a dense index space: the identity of a
+// node that has been removed. Real identities are drawn from {1..n^c}
+// (strictly positive), so the sentinel can never collide.
+const NoNode NodeID = -1
+
+// Dense is an index-addressed representation of a graph: node
+// identities are mapped to contiguous slots 0..Slots()-1 and the
+// adjacency is laid out in CSR form — one shared arc array per field,
+// sliced per slot. It exists for the hot layers above the graph (the
+// simulation engine's register file, the router's forwarding loop),
+// where per-call maps and defensive copies dominate the profile: every
+// accessor below returns shared read-only slices and performs no
+// allocation.
 //
-// A Dense is a snapshot: it reflects the graph at the time Dense() was
-// called and is detached from later mutations (Graph.Dense caches and
-// invalidates on AddNode/AddEdge). Indices are stable only within one
-// snapshot.
+// A Dense is live: Graph mutators keep it in sync incrementally through
+// an epoch-stamped patch overlay. Structural mutations never move
+// existing slots — a removed node vacates its slot (ids[slot] becomes
+// NoNode) and a later AddNode reuses it — so index-addressed layers
+// (register files, labelings, routers) stay valid across churn as long
+// as they re-check liveness. Mutated adjacency rows are materialized as
+// copy-on-write overlay rows; when the overlay exceeds a density
+// threshold it is coalesced back into a full CSR rebuild (slot
+// assignment preserved). Every structural mutation bumps Epoch, so
+// layers holding derived structures can detect staleness exactly.
 type Dense struct {
-	ids    []NodeID // ids[i] is the identity of index i; sorted ascending
-	off    []int32  // CSR offsets: arcs of index i live in [off[i], off[i+1])
-	nbrIDs []NodeID // neighbor identities, sorted ascending per node
-	nbrIdx []int32  // dense indices parallel to nbrIDs
+	ids    []NodeID // ids[i] is the identity of slot i; NoNode marks holes
+	off    []int32  // CSR offsets: base arcs of slot i live in [off[i], off[i+1])
+	nbrIDs []NodeID // neighbor identities, sorted ascending per slot
+	nbrIdx []int32  // dense slots parallel to nbrIDs
 	wts    []Weight // incident edge weights parallel to nbrIDs
+
+	// Mutation overlay. All nil/zero until the first structural
+	// mutation, so a never-churned Dense pays nothing.
+	epoch     uint64           // bumped on every structural mutation
+	nodeEpoch uint64           // bumped only when the slot assignment changes
+	live      int              // number of live (non-hole) slots
+	sorted    bool             // ids ascending with no holes: binary-search mode
+	idx       map[NodeID]int32 // identity -> slot; maintained once churn starts
+	rowRef    []int32          // slot -> overlay row index, -1 = base CSR row
+	rows      []denseRow       // copy-on-write overlay rows
+	free      []int32          // vacated slots available for reuse
+	ovArcs    int              // arcs held in overlay rows; drives coalescing
 }
 
-// Dense returns the dense snapshot of g, building it on first use and
-// caching it until the next mutation. The returned value and every
-// slice reachable from it are shared and read-only.
+// denseRow is one copy-on-write adjacency row: neighbor identities in
+// ascending order, with parallel slot and weight arrays.
+type denseRow struct {
+	ids []NodeID
+	idx []int32
+	wts []Weight
+}
+
+// Dense returns the dense representation of g, building it on first use
+// and maintaining it incrementally across later mutations. The returned
+// value and every slice reachable from it are shared and read-only.
 func (g *Graph) Dense() *Dense {
 	if g.dense != nil {
 		return g.dense
 	}
 	n := len(g.nodes)
 	d := &Dense{
-		ids: slices.Clone(g.nodes), // detach from in-place inserts
-		off: make([]int32, n+1),
+		ids:    slices.Clone(g.nodes), // detach from in-place inserts
+		off:    make([]int32, n+1),
+		live:   n,
+		sorted: true,
 	}
 	arcs := 0
 	for _, v := range g.nodes {
@@ -55,50 +88,287 @@ func (g *Graph) Dense() *Dense {
 	return d
 }
 
+// N returns the number of live nodes.
+func (d *Dense) N() int { return d.live }
+
+// Slots returns the size of the slot space (live nodes plus vacated
+// slots). Index-addressed layers size their parallel arrays by Slots
+// and guard per-slot work with LiveAt.
+func (d *Dense) Slots() int { return len(d.ids) }
+
+// LiveAt reports whether slot i currently holds a node.
+func (d *Dense) LiveAt(i int) bool { return d.ids[i] != NoNode }
+
+// Epoch returns the structural-mutation counter: zero for a
+// never-churned graph, bumped once per AddNode/RemoveNode/AddEdge/
+// RemoveEdge that reaches this Dense. Weight updates do not count —
+// they patch arcs in place without changing the shape.
+func (d *Dense) Epoch() uint64 { return d.epoch }
+
+// NodeEpoch counts slot-assignment changes only: node joins and
+// leaves, not edge churn. A layer whose parallel arrays are indexed by
+// slot (a labeling, a register file) stays index-compatible with the
+// Dense exactly while NodeEpoch is unchanged.
+func (d *Dense) NodeEpoch() uint64 { return d.nodeEpoch }
+
+// Sorted reports whether slot order coincides with identity order with
+// no holes — true until node churn first vacates or reuses a slot out
+// of order. Layers that binary-search identity spaces check this to
+// decide between search and map lookup.
+func (d *Dense) Sorted() bool { return d.sorted }
+
+// IDs returns the identities indexed by slot; vacated slots read
+// NoNode. The slice is shared and read-only, and is only ascending
+// while Sorted() holds.
+func (d *Dense) IDs() []NodeID { return d.ids }
+
+// ID returns the identity of slot i (NoNode for holes).
+func (d *Dense) ID(i int) NodeID { return d.ids[i] }
+
+// IndexOf returns the slot of identity v; ok is false if v is not a
+// live node.
+func (d *Dense) IndexOf(v NodeID) (int, bool) {
+	if d.idx != nil {
+		i, ok := d.idx[v]
+		return int(i), ok
+	}
+	return slices.BinarySearch(d.ids, v)
+}
+
+// row returns slot i's adjacency row, overlay row if one exists. The
+// never-churned path (rowRef nil) costs one branch over the plain CSR
+// slicing: no overlay implies no appended slots, so the base arrays
+// cover every index.
+func (d *Dense) row(i int) (ids []NodeID, idx []int32, wts []Weight) {
+	if d.rowRef == nil {
+		return d.nbrIDs[d.off[i]:d.off[i+1]], d.nbrIdx[d.off[i]:d.off[i+1]], d.wts[d.off[i]:d.off[i+1]]
+	}
+	if r := d.rowRef[i]; r >= 0 {
+		row := &d.rows[r]
+		return row.ids, row.idx, row.wts
+	}
+	if i < len(d.off)-1 {
+		return d.nbrIDs[d.off[i]:d.off[i+1]], d.nbrIdx[d.off[i]:d.off[i+1]], d.wts[d.off[i]:d.off[i+1]]
+	}
+	return nil, nil, nil
+}
+
+// Degree returns the degree of slot i.
+func (d *Dense) Degree(i int) int {
+	ids, _, _ := d.row(i)
+	return len(ids)
+}
+
+// NeighborIDs returns the neighbor identities of slot i in increasing
+// order. The slice is shared and read-only, valid until the next
+// structural mutation.
+func (d *Dense) NeighborIDs(i int) []NodeID {
+	ids, _, _ := d.row(i)
+	return ids
+}
+
+// NeighborIndices returns the slots of the neighbors of slot i,
+// parallel to NeighborIDs(i). The slice is shared and read-only. It is
+// ascending only while Sorted() holds — after slot reuse, neighbor
+// order follows identity order, not slot order.
+func (d *Dense) NeighborIndices(i int) []int32 {
+	_, idx, _ := d.row(i)
+	return idx
+}
+
+// Weights returns the incident edge weights of slot i, parallel to
+// NeighborIDs(i). The slice is shared and read-only.
+func (d *Dense) Weights(i int) []Weight {
+	_, _, wts := d.row(i)
+	return wts
+}
+
 // setWeight patches the arc u->v's weight in place. Callers (only
 // Graph.UpdateEdgeWeight) keep the graph's own adjacency in sync, so
-// the snapshot never diverges from the graph it mirrors.
+// the dense layout never diverges from the graph it mirrors.
 func (d *Dense) setWeight(u, v NodeID, w Weight) {
 	i, ok := d.IndexOf(u)
 	if !ok {
 		return
 	}
-	nbrs := d.NeighborIDs(i)
-	j, ok := slices.BinarySearch(nbrs, v)
+	ids, _, wts := d.row(i)
+	j, ok := slices.BinarySearch(ids, v)
 	if !ok {
 		return
 	}
-	d.wts[int(d.off[i])+j] = w
+	wts[j] = w
 }
 
-// N returns the number of nodes in the snapshot.
-func (d *Dense) N() int { return len(d.ids) }
-
-// IDs returns the identities in increasing order, indexed by dense
-// index. The slice is shared and read-only.
-func (d *Dense) IDs() []NodeID { return d.ids }
-
-// ID returns the identity of dense index i.
-func (d *Dense) ID(i int) NodeID { return d.ids[i] }
-
-// IndexOf returns the dense index of identity v; ok is false if v is
-// not a node of the snapshot.
-func (d *Dense) IndexOf(v NodeID) (int, bool) {
-	return slices.BinarySearch(d.ids, v)
+// beginOverlay materializes the overlay bookkeeping on first mutation.
+func (d *Dense) beginOverlay() {
+	if d.rowRef != nil {
+		return
+	}
+	d.rowRef = make([]int32, len(d.ids))
+	for i := range d.rowRef {
+		d.rowRef[i] = -1
+	}
+	d.idx = make(map[NodeID]int32, len(d.ids))
+	for i, v := range d.ids {
+		if v != NoNode {
+			d.idx[v] = int32(i)
+		}
+	}
 }
 
-// Degree returns the degree of dense index i.
-func (d *Dense) Degree(i int) int { return int(d.off[i+1] - d.off[i]) }
+// patchRow returns a mutable overlay row for slot i, copying the base
+// CSR row on first touch.
+func (d *Dense) patchRow(i int) *denseRow {
+	if r := d.rowRef[i]; r >= 0 {
+		return &d.rows[r]
+	}
+	ids, idx, wts := d.row(i)
+	row := denseRow{
+		ids: slices.Clone(ids),
+		idx: slices.Clone(idx),
+		wts: slices.Clone(wts),
+	}
+	d.rowRef[i] = int32(len(d.rows))
+	d.rows = append(d.rows, row)
+	d.ovArcs += len(ids)
+	return &d.rows[len(d.rows)-1]
+}
 
-// NeighborIDs returns the neighbor identities of dense index i in
-// increasing order. The slice is shared and read-only.
-func (d *Dense) NeighborIDs(i int) []NodeID { return d.nbrIDs[d.off[i]:d.off[i+1]] }
+// addNode inserts identity id into the slot space, reusing a vacated
+// slot when one exists. It returns the assigned slot.
+func (d *Dense) addNode(id NodeID) int {
+	d.beginOverlay()
+	d.epoch++
+	d.nodeEpoch++
+	d.live++
+	if len(d.free) > 0 {
+		slot := d.free[len(d.free)-1]
+		d.free = d.free[:len(d.free)-1]
+		d.ids[slot] = id
+		d.idx[id] = slot
+		d.sorted = false // reused slots break identity order
+		return int(slot)
+	}
+	slot := len(d.ids)
+	d.ids = append(d.ids, id)
+	d.rowRef = append(d.rowRef, -1) // base row beyond off is empty
+	d.idx[id] = int32(slot)
+	if d.sorted && slot > 0 && d.ids[slot-1] >= id {
+		d.sorted = false
+	}
+	return slot
+}
 
-// NeighborIndices returns the dense indices of the neighbors of index
-// i, parallel to NeighborIDs(i) (and therefore ascending). The slice is
-// shared and read-only.
-func (d *Dense) NeighborIndices(i int) []int32 { return d.nbrIdx[d.off[i]:d.off[i+1]] }
+// removeNode vacates identity id's slot. The caller (Graph.RemoveNode)
+// has already removed every incident edge, so the slot's row is empty.
+func (d *Dense) removeNode(id NodeID) {
+	d.beginOverlay()
+	i, ok := d.idx[id]
+	if !ok {
+		return
+	}
+	d.epoch++
+	d.nodeEpoch++
+	d.live--
+	d.ids[i] = NoNode
+	delete(d.idx, id)
+	d.free = append(d.free, i)
+	d.sorted = false // a hole breaks the binary-search invariant
+}
 
-// Weights returns the incident edge weights of dense index i, parallel
-// to NeighborIDs(i). The slice is shared and read-only.
-func (d *Dense) Weights(i int) []Weight { return d.wts[d.off[i]:d.off[i+1]] }
+// addEdge inserts the arc pair of edge {u,v} with weight w.
+func (d *Dense) addEdge(u, v NodeID, w Weight) {
+	d.beginOverlay()
+	d.epoch++
+	iu, _ := d.IndexOf(u)
+	iv, _ := d.IndexOf(v)
+	d.insertArc(iu, v, int32(iv), w)
+	d.insertArc(iv, u, int32(iu), w)
+	d.maybeCoalesce()
+}
+
+func (d *Dense) insertArc(i int, nbr NodeID, nbrSlot int32, w Weight) {
+	row := d.patchRow(i)
+	j, found := slices.BinarySearch(row.ids, nbr)
+	if found {
+		row.wts[j] = w
+		return
+	}
+	row.ids = slices.Insert(row.ids, j, nbr)
+	row.idx = slices.Insert(row.idx, j, nbrSlot)
+	row.wts = slices.Insert(row.wts, j, w)
+	d.ovArcs++
+}
+
+// removeEdge deletes the arc pair of edge {u,v}. Removals grow the
+// overlay exactly like insertions (a touched row is copied whole), so
+// they drive the coalescing threshold too.
+func (d *Dense) removeEdge(u, v NodeID) {
+	d.beginOverlay()
+	d.epoch++
+	iu, _ := d.IndexOf(u)
+	iv, _ := d.IndexOf(v)
+	d.removeArc(iu, v)
+	d.removeArc(iv, u)
+	d.maybeCoalesce()
+}
+
+func (d *Dense) removeArc(i int, nbr NodeID) {
+	row := d.patchRow(i)
+	j, found := slices.BinarySearch(row.ids, nbr)
+	if !found {
+		return
+	}
+	row.ids = slices.Delete(row.ids, j, j+1)
+	row.idx = slices.Delete(row.idx, j, j+1)
+	row.wts = slices.Delete(row.wts, j, j+1)
+	d.ovArcs--
+}
+
+// maybeCoalesce rebuilds the base CSR arrays from the overlay once the
+// overlay holds more than a quarter of all arcs (and at least 256), so
+// steady churn amortizes to O(1) extra arcs scanned per accessor while
+// the rebuild itself amortizes to O(1) per mutation. Slot assignment is
+// preserved: no index-addressed layer needs remapping.
+func (d *Dense) maybeCoalesce() {
+	total := len(d.nbrIDs)
+	if d.ovArcs < 256 || 4*d.ovArcs <= total {
+		return
+	}
+	d.Coalesce()
+}
+
+// Coalesce folds the overlay back into the base CSR arrays, preserving
+// slot assignment. It is exported for benchmarks that want to measure
+// the rebuild in isolation; mutators call it automatically past the
+// density threshold.
+func (d *Dense) Coalesce() {
+	slots := len(d.ids)
+	arcs := 0
+	for i := 0; i < slots; i++ {
+		arcs += d.Degree(i)
+	}
+	off := make([]int32, slots+1)
+	nbrIDs := make([]NodeID, 0, arcs)
+	nbrIdx := make([]int32, 0, arcs)
+	wts := make([]Weight, 0, arcs)
+	for i := 0; i < slots; i++ {
+		ids, idx, w := d.row(i)
+		nbrIDs = append(nbrIDs, ids...)
+		nbrIdx = append(nbrIdx, idx...)
+		wts = append(wts, w...)
+		off[i+1] = int32(len(nbrIDs))
+	}
+	d.off, d.nbrIDs, d.nbrIdx, d.wts = off, nbrIDs, nbrIdx, wts
+	for i := range d.rowRef {
+		d.rowRef[i] = -1
+	}
+	clear(d.rows) // release the folded rows' arc slices to the GC
+	d.rows = d.rows[:0]
+	d.ovArcs = 0
+}
+
+// OverlayArcs returns the number of arcs currently held in overlay rows
+// (0 for a never-churned or freshly coalesced Dense) — observability
+// for tests and benchmarks of the coalescing policy.
+func (d *Dense) OverlayArcs() int { return d.ovArcs }

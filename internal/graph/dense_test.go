@@ -44,27 +44,168 @@ func TestDenseMatchesGraph(t *testing.T) {
 	}
 }
 
-func TestDenseCacheInvalidation(t *testing.T) {
+// checkDenseMatches verifies that d mirrors g exactly: same live node
+// set, same adjacency rows (identities, weights), and self-consistent
+// slot cross-references.
+func checkDenseMatches(t *testing.T, g *Graph, d *Dense) {
+	t.Helper()
+	if d.N() != g.N() {
+		t.Fatalf("dense has %d live nodes, graph %d", d.N(), g.N())
+	}
+	live := 0
+	for i := 0; i < d.Slots(); i++ {
+		if !d.LiveAt(i) {
+			if deg := d.Degree(i); deg != 0 {
+				t.Fatalf("vacated slot %d has degree %d", i, deg)
+			}
+			continue
+		}
+		live++
+		v := d.ID(i)
+		if !g.HasNode(v) {
+			t.Fatalf("slot %d holds %d, not a graph node", i, v)
+		}
+		if j, ok := d.IndexOf(v); !ok || j != i {
+			t.Fatalf("IndexOf(%d) = %d,%v, want %d", v, j, ok, i)
+		}
+		if got, want := d.NeighborIDs(i), g.NeighborsShared(v); !slices.Equal(got, want) {
+			t.Fatalf("node %d: dense neighbors %v, graph %v", v, got, want)
+		}
+		idxs := d.NeighborIndices(i)
+		wts := d.Weights(i)
+		for k, u := range d.NeighborIDs(i) {
+			if d.ID(int(idxs[k])) != u {
+				t.Fatalf("node %d: neighbor slot %d resolves to %d, want %d",
+					v, idxs[k], d.ID(int(idxs[k])), u)
+			}
+			if w, _ := g.EdgeWeight(v, u); w != wts[k] {
+				t.Fatalf("edge {%d,%d}: dense weight %d, graph %d", v, u, wts[k], w)
+			}
+		}
+	}
+	if live != g.N() {
+		t.Fatalf("%d live slots, graph has %d nodes", live, g.N())
+	}
+}
+
+func TestDenseLiveMaintenance(t *testing.T) {
 	g := New()
 	g.MustAddEdge(1, 2, 10)
-	d1 := g.Dense()
-	if d1 != g.Dense() {
-		t.Fatal("snapshot not cached between mutations")
+	d := g.Dense()
+	if d != g.Dense() {
+		t.Fatal("dense not cached between calls")
+	}
+	if d.Epoch() != 0 || !d.Sorted() {
+		t.Fatal("fresh dense should be epoch 0 and sorted")
 	}
 	g.MustAddEdge(2, 3, 11)
-	d2 := g.Dense()
-	if d1 == d2 {
-		t.Fatal("snapshot not invalidated by AddEdge")
+	if g.Dense() != d {
+		t.Fatal("AddEdge must maintain the dense layout in place, not invalidate it")
 	}
-	if d1.N() != 2 || d2.N() != 3 {
-		t.Fatalf("snapshots sized %d and %d, want 2 and 3", d1.N(), d2.N())
+	if d.Epoch() == 0 {
+		t.Fatal("structural mutation did not bump the epoch")
 	}
-	// The old snapshot stays internally consistent.
-	if i, ok := d1.IndexOf(2); !ok || !slices.Equal(d1.NeighborIDs(i), []NodeID{1}) {
-		t.Fatal("stale snapshot corrupted by later mutation")
+	checkDenseMatches(t, g, d)
+
+	// Weight updates patch in place without a structural epoch bump.
+	e := d.Epoch()
+	if err := g.UpdateEdgeWeight(2, 3, 99); err != nil {
+		t.Fatal(err)
 	}
-	g.AddNode(4)
-	if g.Dense() == d2 {
-		t.Fatal("snapshot not invalidated by AddNode")
+	if d.Epoch() != e {
+		t.Fatal("weight update must not bump the structural epoch")
+	}
+	if i, _ := d.IndexOf(2); d.Weights(i)[slices.Index(d.NeighborIDs(i), NodeID(3))] != 99 {
+		t.Fatal("weight update not visible through the dense layout")
+	}
+
+	// Node removal vacates the slot; a later join reuses it.
+	slot3, _ := d.IndexOf(3)
+	if err := g.RemoveEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveNode(3); err != nil {
+		t.Fatal(err)
+	}
+	if d.Sorted() {
+		t.Fatal("a vacated slot must clear the sorted flag")
+	}
+	checkDenseMatches(t, g, d)
+	if _, ok := d.IndexOf(3); ok {
+		t.Fatal("removed node still resolvable")
+	}
+	g.AddNode(7)
+	if i, ok := d.IndexOf(7); !ok || i != slot3 {
+		t.Fatalf("new node got slot %d,%v; want reuse of vacated slot %d", i, ok, slot3)
+	}
+	if d.Slots() != 3 {
+		t.Fatalf("slot space grew to %d despite the free slot", d.Slots())
+	}
+	g.MustAddEdge(7, 1, 12)
+	checkDenseMatches(t, g, d)
+}
+
+func TestDenseChurnRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := RandomConnected(40, 0.12, rng)
+	d := g.Dense()
+	nextID := NodeID(1000)
+	nextW := Weight(1 << 20)
+	for step := 0; step < 3000; step++ {
+		nodes := g.Nodes()
+		switch op := rng.Intn(10); {
+		case op < 4: // add edge between existing nodes
+			u := nodes[rng.Intn(len(nodes))]
+			v := nodes[rng.Intn(len(nodes))]
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, nextW)
+				nextW++
+			}
+		case op < 8: // remove a random edge
+			edges := g.Edges()
+			if len(edges) > 0 {
+				e := edges[rng.Intn(len(edges))]
+				if err := g.RemoveEdge(e.U, e.V); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case op < 9: // leave
+			if len(nodes) > 2 {
+				if err := g.RemoveNode(nodes[rng.Intn(len(nodes))]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		default: // join with one edge
+			g.AddNode(nextID)
+			g.MustAddEdge(nextID, nodes[rng.Intn(len(nodes))], nextW)
+			nextID++
+			nextW++
+		}
+		if step%250 == 0 {
+			checkDenseMatches(t, g, d)
+		}
+	}
+	checkDenseMatches(t, g, d)
+	// Force a coalesce and re-verify: slot assignment must be preserved.
+	type slotID struct {
+		slot int
+		id   NodeID
+	}
+	var before []slotID
+	for i := 0; i < d.Slots(); i++ {
+		before = append(before, slotID{i, d.ID(i)})
+	}
+	d.Coalesce()
+	if d.OverlayArcs() != 0 {
+		t.Fatal("coalesce left overlay arcs behind")
+	}
+	for _, s := range before {
+		if d.ID(s.slot) != s.id {
+			t.Fatalf("coalesce moved slot %d: %d -> %d", s.slot, s.id, d.ID(s.slot))
+		}
+	}
+	checkDenseMatches(t, g, d)
+	if g.Connected() != g.Clone().Connected() {
+		t.Fatal("dense-backed Connected disagrees with a fresh clone")
 	}
 }

@@ -63,7 +63,10 @@ type Graph struct {
 	// so that Neighbors — the hottest call of the runtime's view building
 	// and of the routing forwarding loop — needs no per-call sort.
 	nbr map[NodeID][]NodeID
-	// dense caches the CSR snapshot of Dense(); mutations invalidate it.
+	// dense caches the index-addressed layout of Dense(); once built,
+	// mutations keep it in sync incrementally through its patch overlay
+	// instead of invalidating it, so index-addressed layers (register
+	// files, labelings, routers) survive live topology churn.
 	dense *Dense
 }
 
@@ -84,14 +87,21 @@ func insertSorted(s []NodeID, id NodeID) []NodeID {
 	return slices.Insert(s, i, id)
 }
 
-// AddNode inserts a node. Adding an existing node is a no-op.
+// AddNode inserts a node. Adding an existing node is a no-op. Negative
+// identities are rejected (the paper draws IDs from {1..n^c}; the dense
+// layer reserves NoNode for vacated slots).
 func (g *Graph) AddNode(id NodeID) {
 	if _, ok := g.adj[id]; ok {
 		return
 	}
+	if id < 0 {
+		panic(fmt.Sprintf("graph: negative node identity %d", id))
+	}
 	g.adj[id] = make(map[NodeID]Weight)
 	g.nodes = insertSorted(g.nodes, id)
-	g.dense = nil
+	if g.dense != nil {
+		g.dense.addNode(id)
+	}
 }
 
 // AddEdge inserts an undirected edge with weight w, adding missing
@@ -103,14 +113,68 @@ func (g *Graph) AddEdge(u, v NodeID, w Weight) error {
 	}
 	g.AddNode(u)
 	g.AddNode(v)
-	if _, ok := g.adj[u][v]; !ok {
+	_, existed := g.adj[u][v]
+	if !existed {
 		g.nbr[u] = insertSorted(g.nbr[u], v)
 		g.nbr[v] = insertSorted(g.nbr[v], u)
 	}
 	g.adj[u][v] = w
 	g.adj[v][u] = w
-	g.dense = nil
+	if g.dense != nil {
+		if existed {
+			g.dense.setWeight(u, v, w)
+			g.dense.setWeight(v, u, w)
+		} else {
+			g.dense.addEdge(u, v, w)
+		}
+	}
 	return nil
+}
+
+// RemoveEdge deletes the edge {u,v}. It returns an error if the edge is
+// absent, so double-removal is loud rather than silently idempotent.
+func (g *Graph) RemoveEdge(u, v NodeID) error {
+	if _, ok := g.adj[u][v]; !ok {
+		return fmt.Errorf("graph: no edge {%d,%d}", u, v)
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.nbr[u] = deleteSorted(g.nbr[u], v)
+	g.nbr[v] = deleteSorted(g.nbr[v], u)
+	if g.dense != nil {
+		g.dense.removeEdge(u, v)
+	}
+	return nil
+}
+
+// RemoveNode deletes node id and every incident edge. It returns an
+// error if the node is absent. The node's dense slot is vacated and
+// becomes available for a later AddNode.
+func (g *Graph) RemoveNode(id NodeID) error {
+	if _, ok := g.adj[id]; !ok {
+		return fmt.Errorf("graph: no node %d", id)
+	}
+	for _, u := range slices.Clone(g.nbr[id]) {
+		if err := g.RemoveEdge(id, u); err != nil {
+			return err
+		}
+	}
+	delete(g.adj, id)
+	delete(g.nbr, id)
+	g.nodes = deleteSorted(g.nodes, id)
+	if g.dense != nil {
+		g.dense.removeNode(id)
+	}
+	return nil
+}
+
+// deleteSorted removes id from the sorted slice s if present.
+func deleteSorted(s []NodeID, id NodeID) []NodeID {
+	i, found := slices.BinarySearch(s, id)
+	if !found {
+		return s
+	}
+	return slices.Delete(s, i, i+1)
 }
 
 // UpdateEdgeWeight overwrites the weight of the existing edge {u,v}
@@ -249,9 +313,14 @@ func (g *Graph) Connected() bool {
 		return true
 	}
 	d := g.Dense()
-	seen := make([]bool, d.N())
+	seen := make([]bool, d.Slots())
+	start, ok := d.IndexOf(g.nodes[0])
+	if !ok {
+		return false
+	}
 	stack := make([]int32, 1, 64)
-	seen[0] = true
+	stack[0] = int32(start)
+	seen[start] = true
 	count := 1
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]

@@ -1,0 +1,271 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/runtime"
+	"silentspan/internal/trees"
+)
+
+// compareToRebuild asserts the incrementally maintained labeling is
+// identical — label by label, coordinate by coordinate — to a fresh
+// LiveLabeling built from the same raw pointers on the same graph.
+func compareToRebuild(t *testing.T, step int, lb *LiveLabeler) {
+	t.Helper()
+	full := LiveLabeling(lb.g, lb.parents)
+	got := lb.Labeling()
+	if got.Covered() != full.Covered() {
+		t.Fatalf("step %d: incremental covers %d, rebuild %d", step, got.Covered(), full.Covered())
+	}
+	d := lb.g.Dense()
+	for i := 0; i < d.Slots(); i++ {
+		if got.has[i] != full.has[i] {
+			t.Fatalf("step %d: slot %d (id %d) labeled=%v, rebuild %v",
+				step, i, d.ID(i), got.has[i], full.has[i])
+		}
+		if !got.has[i] {
+			continue
+		}
+		if got.root[i] != full.root[i] {
+			t.Fatalf("step %d: slot %d root %d, rebuild %d", step, i, got.root[i], full.root[i])
+		}
+		if !slices.Equal(got.crds[i], full.crds[i]) {
+			t.Fatalf("step %d: slot %d coords %v, rebuild %v", step, i, got.crds[i], full.crds[i])
+		}
+	}
+}
+
+// TestLiveLabelerPortShift pins the partial-relabel semantics on a
+// concrete star: detaching a middle child shifts the ports (and whole
+// coordinate subtrees) of its higher-identity siblings only.
+func TestLiveLabelerPortShift(t *testing.T) {
+	g := graph.New()
+	for _, v := range []graph.NodeID{2, 3, 4, 5} {
+		g.MustAddEdge(1, v, graph.Weight(10+v))
+	}
+	g.MustAddEdge(3, 4, 99) // so re-hanging 3 below 4 is credible
+	d := g.Dense()
+	parents := make([]graph.NodeID, d.Slots())
+	set := func(v, p graph.NodeID) {
+		i, _ := d.IndexOf(v)
+		parents[i] = p
+	}
+	set(1, trees.None)
+	set(2, 1)
+	set(3, 1)
+	set(4, 1)
+	set(5, 1)
+	lb := NewLiveLabeler(g, parents)
+	coordOf := func(v graph.NodeID) Coords {
+		c, ok := lb.Labeling().Coords(v)
+		if !ok {
+			t.Fatalf("node %d unlabeled", v)
+		}
+		return c
+	}
+	if got := coordOf(5); !slices.Equal(got, Coords{3}) {
+		t.Fatalf("node 5 at %v, want port 3 under the root", got)
+	}
+	// Re-hang 3 below 4: ports of 4 and 5 under the root shift down.
+	lb.SetParent(3, 4)
+	compareToRebuild(t, 0, lb)
+	if got := coordOf(4); !slices.Equal(got, Coords{1}) {
+		t.Fatalf("node 4 at %v after sibling detach, want {1}", got)
+	}
+	if got := coordOf(3); !slices.Equal(got, Coords{1, 0}) {
+		t.Fatalf("node 3 at %v below 4, want {1 0}", got)
+	}
+	if got := coordOf(2); !slices.Equal(got, Coords{0}) {
+		t.Fatalf("node 2 moved to %v; lower-identity siblings must not shift", got)
+	}
+	if got := coordOf(5); !slices.Equal(got, Coords{2}) {
+		t.Fatalf("node 5 at %v after sibling detach, want {2}", got)
+	}
+}
+
+// TestLiveLabelerCycleGoesDark: a parent-pointer loop (routine mid-
+// reconvergence) must leave exactly the loop unlabeled, as a rebuild
+// would.
+func TestLiveLabelerCycleGoesDark(t *testing.T) {
+	g := graph.New()
+	g.MustAddEdge(1, 2, 10)
+	g.MustAddEdge(2, 3, 11)
+	g.MustAddEdge(3, 4, 12)
+	g.MustAddEdge(2, 4, 13)
+	d := g.Dense()
+	parents := make([]graph.NodeID, d.Slots())
+	for i := range parents {
+		parents[i] = NoParent
+	}
+	lb := NewLiveLabeler(g, parents)
+	lb.SetParent(1, trees.None)
+	lb.SetParent(2, 1)
+	lb.SetParent(3, 2)
+	lb.SetParent(4, 3)
+	compareToRebuild(t, 0, lb)
+	if !lb.Labeling().Complete() {
+		t.Fatal("chain labeling should be complete")
+	}
+	// Close a 3-4 / 4-2-3 loop: 3 adopts 4 while 4 still claims 3.
+	lb.SetParent(3, 4)
+	compareToRebuild(t, 1, lb)
+	if _, ok := lb.Labeling().Coords(3); ok {
+		t.Fatal("cycle member 3 still labeled")
+	}
+	if _, ok := lb.Labeling().Coords(4); ok {
+		t.Fatal("cycle member 4 still labeled")
+	}
+	if _, ok := lb.Labeling().Coords(1); !ok {
+		t.Fatal("root 1 lost its label to an unrelated cycle")
+	}
+	// Break the loop again.
+	lb.SetParent(4, 2)
+	lb.SetParent(3, 2)
+	compareToRebuild(t, 2, lb)
+	if !lb.Labeling().Complete() {
+		t.Fatal("healed labeling should be complete")
+	}
+}
+
+// TestLabelingOwnsItsIDSpace: a labeling held across node churn must
+// keep a consistent (merely stale) identity space — the Dense mutating
+// its ids array in place must not corrupt the labeling's lookups.
+func TestLabelingOwnsItsIDSpace(t *testing.T) {
+	g := graph.New()
+	g.MustAddEdge(1, 2, 10)
+	g.MustAddEdge(2, 3, 11)
+	d := g.Dense()
+	parents := make([]graph.NodeID, d.Slots())
+	set := func(v, p graph.NodeID) { i, _ := d.IndexOf(v); parents[i] = p }
+	set(1, trees.None)
+	set(2, 1)
+	set(3, 2)
+	lab := LiveLabeling(g, parents)
+	if _, ok := lab.Coords(2); !ok {
+		t.Fatal("node 2 should be labeled")
+	}
+	// Churn underneath the held labeling: slot 0 (node 1) is vacated
+	// and recycled by node 9, breaking ascending order in the Dense.
+	if err := g.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	g.AddNode(9)
+	g.MustAddEdge(9, 3, 12)
+	// The stale labeling still resolves every node it labeled.
+	for _, v := range []graph.NodeID{1, 2, 3} {
+		if _, ok := lab.Coords(v); !ok {
+			t.Errorf("held labeling lost node %d after churn", v)
+		}
+	}
+	if _, ok := lab.Coords(9); ok {
+		t.Error("held labeling invented a coordinate for the new node")
+	}
+	// A router refreshed against the churned graph must not take the
+	// slot-aligned path with the stale labeling.
+	r := NewRouter(g, lab, Options{})
+	if r.aligned {
+		t.Error("router aligned itself with a labeling from an older slot assignment")
+	}
+}
+
+// TestLiveLabelerMatchesRebuild is the equivalence torture test: a
+// long randomized schedule of raw pointer writes (valid, garbage,
+// loops), link flaps, joins, and leaves, with the incremental labeling
+// diffed against a from-scratch rebuild after every single operation.
+func TestLiveLabelerMatchesRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := graph.RandomConnected(24, 0.15, rng)
+			d := g.Dense()
+			parents := make([]graph.NodeID, d.Slots())
+			for i := range parents {
+				parents[i] = NoParent
+			}
+			lb := NewLiveLabeler(g, parents)
+			nextID := graph.NodeID(100)
+			nextW := graph.Weight(1 << 20)
+			var downed []graph.Edge
+
+			randomPointer := func(v graph.NodeID) graph.NodeID {
+				switch rng.Intn(6) {
+				case 0:
+					return trees.None
+				case 1:
+					return NoParent
+				case 2:
+					return graph.NodeID(rng.Intn(200) + 1) // likely garbage
+				default:
+					nbrs := g.NeighborsShared(v)
+					if len(nbrs) == 0 {
+						return trees.None
+					}
+					return nbrs[rng.Intn(len(nbrs))]
+				}
+			}
+
+			for step := 0; step < 1500; step++ {
+				nodes := g.Nodes()
+				switch op := rng.Intn(12); {
+				case op < 6: // raw pointer write
+					v := nodes[rng.Intn(len(nodes))]
+					lb.SetParent(v, randomPointer(v))
+				case op < 8: // link down
+					edges := g.Edges()
+					if len(edges) == 0 {
+						continue
+					}
+					e := edges[rng.Intn(len(edges))]
+					if err := g.RemoveEdge(e.U, e.V); err != nil {
+						t.Fatal(err)
+					}
+					downed = append(downed, e)
+					lb.ApplyTopo(runtime.TopoEvent{Kind: runtime.TopoRemoveEdge, U: e.U, V: e.V})
+				case op < 10: // link up (heal a downed link or a fresh one)
+					if len(downed) > 0 && rng.Intn(2) == 0 {
+						e := downed[len(downed)-1]
+						downed = downed[:len(downed)-1]
+						if g.HasNode(e.U) && g.HasNode(e.V) && !g.HasEdge(e.U, e.V) {
+							g.MustAddEdge(e.U, e.V, e.W)
+							lb.ApplyTopo(runtime.TopoEvent{Kind: runtime.TopoAddEdge, U: e.U, V: e.V, W: e.W})
+						}
+						continue
+					}
+					u := nodes[rng.Intn(len(nodes))]
+					v := nodes[rng.Intn(len(nodes))]
+					if u == v || g.HasEdge(u, v) {
+						continue
+					}
+					g.MustAddEdge(u, v, nextW)
+					lb.ApplyTopo(runtime.TopoEvent{Kind: runtime.TopoAddEdge, U: u, V: v, W: nextW})
+					nextW++
+				case op < 11: // leave
+					if len(nodes) <= 3 {
+						continue
+					}
+					v := nodes[rng.Intn(len(nodes))]
+					if err := g.RemoveNode(v); err != nil {
+						t.Fatal(err)
+					}
+					lb.ApplyTopo(runtime.TopoEvent{Kind: runtime.TopoRemoveNode, U: v})
+				default: // join, wired to a random anchor
+					g.AddNode(nextID)
+					lb.ApplyTopo(runtime.TopoEvent{Kind: runtime.TopoAddNode, U: nextID})
+					anchor := nodes[rng.Intn(len(nodes))]
+					g.MustAddEdge(nextID, anchor, nextW)
+					lb.ApplyTopo(runtime.TopoEvent{Kind: runtime.TopoAddEdge, U: nextID, V: anchor, W: nextW})
+					nextID++
+					nextW++
+				}
+				compareToRebuild(t, step, lb)
+			}
+		})
+	}
+}

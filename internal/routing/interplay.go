@@ -120,12 +120,13 @@ func StabilizeSubstrate(g *graph.Graph, sub Substrate, sched runtime.Scheduler, 
 // capacity, so the per-window refresh of the reconvergence loop
 // allocates nothing after the first read.
 func LiveParents(net *runtime.Network, buf []graph.NodeID) []graph.NodeID {
-	n := net.Dense().N()
+	n := net.Dense().Slots()
 	if cap(buf) < n {
 		buf = make([]graph.NodeID, n)
 	}
 	buf = buf[:n]
 	for i := 0; i < n; i++ {
+		// Vacated slots read nil registers and come out NoParent.
 		if s, ok := switching.RegOf(net.StateAt(i)); ok {
 			buf[i] = s.Parent
 		} else {

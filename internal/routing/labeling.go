@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"cmp"
 	"fmt"
 	"slices"
 
@@ -22,27 +23,57 @@ import (
 // snapshot and then forwards entirely index-addressed, with no per-hop
 // map lookups (see Router.NextHop).
 type Labeling struct {
-	ids  []graph.NodeID // sorted; the labeling's index space
+	ids  []graph.NodeID // the labeling's index space; graph.NoNode marks holes
 	crds []Coords       // crds[i] is the coordinate of ids[i], valid iff has[i]
 	root []graph.NodeID // root[i] is the coordinate space of ids[i]
 	has  []bool
 	n    int // labeled nodes
+
+	// sorted: ids is ascending with no holes, so indexOf binary-
+	// searches. After topology churn has recycled dense slots, the
+	// space is unsorted and indexOf goes through the lazily built idx
+	// map instead.
+	sorted bool
+	idx    map[graph.NodeID]int32
+
+	// d + nodeEpoch: labelings built over a graph's dense slot space
+	// record which Dense and which slot-assignment epoch they saw, so
+	// the router takes its slot-aligned fast path exactly while the
+	// assignment is provably unchanged (see Router.SetLabeling). The
+	// ids slice is an owned copy, never the Dense's live array: a
+	// labeling held across churn keeps a consistent (merely stale)
+	// identity space instead of a corrupted one.
+	d         *graph.Dense
+	nodeEpoch uint64
 }
 
-// newLabeling returns an unlabeled labeling over the given sorted
-// identity space (shared, read-only).
+// newLabeling returns an unlabeled labeling over the given identity
+// space (shared, read-only).
 func newLabeling(ids []graph.NodeID) *Labeling {
 	return &Labeling{
-		ids:  ids,
-		crds: make([]Coords, len(ids)),
-		root: make([]graph.NodeID, len(ids)),
-		has:  make([]bool, len(ids)),
+		ids:    ids,
+		crds:   make([]Coords, len(ids)),
+		root:   make([]graph.NodeID, len(ids)),
+		has:    make([]bool, len(ids)),
+		sorted: slices.IsSorted(ids),
 	}
 }
 
 // indexOf returns v's index in the labeling's identity space.
 func (l *Labeling) indexOf(v graph.NodeID) (int, bool) {
-	return slices.BinarySearch(l.ids, v)
+	if l.sorted {
+		return slices.BinarySearch(l.ids, v)
+	}
+	if l.idx == nil {
+		l.idx = make(map[graph.NodeID]int32, len(l.ids))
+		for i, id := range l.ids {
+			if id != graph.NoNode {
+				l.idx[id] = int32(i)
+			}
+		}
+	}
+	i, ok := l.idx[v]
+	return int(i), ok
 }
 
 // setAt labels index i with coordinate c in root r's space.
@@ -53,6 +84,16 @@ func (l *Labeling) setAt(i int, c Coords, r graph.NodeID) {
 	}
 	l.crds[i] = c
 	l.root[i] = r
+}
+
+// clearAt drops index i's label (no-op if unlabeled).
+func (l *Labeling) clearAt(i int) {
+	if l.has[i] {
+		l.has[i] = false
+		l.n--
+		l.crds[i] = nil
+		l.root[i] = 0
+	}
 }
 
 // Label builds the full coordinate labeling of a validated tree in
@@ -87,26 +128,34 @@ func Label(t *trees.Tree) *Labeling {
 // get no coordinate. This models what a serving layer actually has
 // while the self-stabilizing construction repairs itself underneath it.
 //
-// The pass is entirely index-addressed over the graph's dense snapshot:
-// parents is indexed by dense index (use LiveParents to read one out of
-// a network) with NoParent marking nodes that carry no credible parent
-// pointer. The labeling's index space is the snapshot's, so a router
-// over the same graph forwards over it without any identity lookups.
+// The pass is entirely index-addressed over the graph's dense slot
+// space: parents is indexed by dense slot (use LiveParents to read one
+// out of a network) with NoParent marking nodes that carry no credible
+// parent pointer (vacated slots included). The labeling's index space
+// is the slot space, so a router over the same graph forwards over it
+// without any identity lookups. Ports are assigned by ascending child
+// identity — stable across slot recycling, and identical to the port
+// numbering of Label over a validated tree.
 func LiveLabeling(g *graph.Graph, parents []graph.NodeID) *Labeling {
 	d := g.Dense()
-	n := d.N()
+	n := d.Slots()
 	if len(parents) != n {
-		panic(fmt.Sprintf("routing: %d parent entries for %d nodes", len(parents), n))
+		panic(fmt.Sprintf("routing: %d parent entries for %d slots", len(parents), n))
 	}
-	l := newLabeling(d.IDs())
+	l := newLabeling(slices.Clone(d.IDs()))
+	l.d = d
+	l.nodeEpoch = d.NodeEpoch()
 	// Children lists from the credible pointers only, in increasing
 	// child order (one counting pass, then a fill pass — no per-node
 	// append growth).
 	childCount := make([]int32, n+1)
-	childIdx := make([]int32, n) // parent index of each child, or -1
+	childIdx := make([]int32, n) // parent slot of each child, or -1
 	queue := make([]int32, 0, n)
 	for i := 0; i < n; i++ {
 		childIdx[i] = -1
+		if !d.LiveAt(i) {
+			continue
+		}
 		p := parents[i]
 		if p == NoParent {
 			continue
@@ -117,7 +166,7 @@ func LiveLabeling(g *graph.Graph, parents []graph.NodeID) *Labeling {
 			continue
 		}
 		pi, ok := d.IndexOf(p)
-		if !ok || !hasNeighborIndex(d, i, int32(pi)) {
+		if !ok || !hasNeighborID(d, i, p) {
 			continue // corrupted pointer: not even a neighbor
 		}
 		childIdx[i] = int32(pi)
@@ -129,10 +178,23 @@ func LiveLabeling(g *graph.Graph, parents []graph.NodeID) *Labeling {
 	children := make([]int32, childCount[n])
 	fill := make([]int32, n)
 	copy(fill, childCount[:n])
-	for i := 0; i < n; i++ { // ascending i => ascending child ID per parent
+	for i := 0; i < n; i++ {
 		if pi := childIdx[i]; pi >= 0 {
 			children[fill[pi]] = int32(i)
 			fill[pi]++
+		}
+	}
+	if !d.Sorted() {
+		// Ascending slot order is no longer ascending identity order:
+		// restore the identity-sorted port numbering per parent.
+		ids := d.IDs()
+		for i := 0; i < n; i++ {
+			row := children[childCount[i]:fill[i]]
+			if len(row) > 1 {
+				slices.SortFunc(row, func(a, b int32) int {
+					return cmp.Compare(ids[a], ids[b])
+				})
+			}
 		}
 	}
 	// Top-down from each claimed root; unreached nodes stay unlabeled.
@@ -151,10 +213,11 @@ func LiveLabeling(g *graph.Graph, parents []graph.NodeID) *Labeling {
 	return l
 }
 
-// hasNeighborIndex reports whether dense index j is a neighbor of dense
-// index i.
-func hasNeighborIndex(d *graph.Dense, i int, j int32) bool {
-	_, ok := slices.BinarySearch(d.NeighborIndices(i), j)
+// hasNeighborID reports whether identity p is a neighbor of dense slot
+// i. The search runs over the identity-sorted neighbor row, which
+// stays sorted across churn (slot order does not).
+func hasNeighborID(d *graph.Dense, i int, p graph.NodeID) bool {
+	_, ok := slices.BinarySearch(d.NeighborIDs(i), p)
 	return ok
 }
 
@@ -163,17 +226,19 @@ func hasNeighborIndex(d *graph.Dense, i int, j int32) bool {
 // trees.None, which is a genuine "I am a root" claim.
 const NoParent = graph.NodeID(-1)
 
-// ParentsFromMap converts an identity-keyed parent map into the dense
-// parent slice LiveLabeling consumes: absent nodes become NoParent.
+// ParentsFromMap converts an identity-keyed parent map into the
+// slot-indexed parent slice LiveLabeling consumes: absent nodes and
+// vacated slots become NoParent.
 func ParentsFromMap(g *graph.Graph, parent map[graph.NodeID]graph.NodeID) []graph.NodeID {
 	d := g.Dense()
-	out := make([]graph.NodeID, d.N())
+	out := make([]graph.NodeID, d.Slots())
 	for i := range out {
-		p, ok := parent[d.ID(i)]
-		if !ok {
-			p = NoParent
+		out[i] = NoParent
+		if d.LiveAt(i) {
+			if p, ok := parent[d.ID(i)]; ok {
+				out[i] = p
+			}
 		}
-		out[i] = p
 	}
 	return out
 }
@@ -200,14 +265,27 @@ func (l *Labeling) RootOf(v graph.NodeID) (graph.NodeID, bool) {
 // Covered returns the number of labeled nodes.
 func (l *Labeling) Covered() int { return l.n }
 
-// Complete reports whether every node got a coordinate in one single
-// coordinate space — true exactly for labelings of validated trees.
+// Complete reports whether every live node got a coordinate in one
+// single coordinate space — true exactly for labelings of validated
+// trees (and of fully re-stabilized live networks).
 func (l *Labeling) Complete() bool {
-	if l.n != len(l.ids) {
+	size := 0
+	for _, id := range l.ids {
+		if id != graph.NoNode {
+			size++
+		}
+	}
+	if l.n != size {
 		return false
 	}
+	space := graph.NoNode
 	for i := range l.root {
-		if l.root[i] != l.root[0] {
+		if !l.has[i] {
+			continue
+		}
+		if space == graph.NoNode {
+			space = l.root[i]
+		} else if l.root[i] != space {
 			return false
 		}
 	}

@@ -97,14 +97,26 @@ func NewRouter(g *graph.Graph, lab *Labeling, opt Options) *Router {
 func (r *Router) Labeling() *Labeling { return r.lab }
 
 // SetLabeling swaps the labeling — the topology-change path: the
-// runtime's state listener fires, the serving layer re-extracts
-// coordinates, and in-flight packets continue over the new labels. The
-// dense snapshot is refreshed alongside, so adjacency mutated since the
-// router was built is picked up with the new labels.
+// runtime's state or topology listener fires, the serving layer
+// re-extracts coordinates, and in-flight packets continue over the new
+// labels. The dense layout is refreshed alongside, so adjacency
+// mutated since the router was built is picked up with the new labels.
+//
+// The slot-aligned fast path requires a labeling built over this
+// graph's own dense layout at the *current* slot assignment (same
+// Dense, same NodeEpoch): after a join or leave, an older labeling's
+// indices may point at recycled slots, so the router falls back to
+// identity lookups until a fresh labeling arrives. Edge churn never
+// breaks alignment. Tree-built labelings align by identity-space
+// equality, which node churn breaks naturally (holes/reordering).
 func (r *Router) SetLabeling(lab *Labeling) {
 	r.d = r.g.Dense()
 	r.lab = lab
-	r.aligned = sameIDSpace(r.d.IDs(), lab.ids)
+	if lab.d != nil {
+		r.aligned = lab.d == r.d && lab.nodeEpoch == r.d.NodeEpoch()
+	} else {
+		r.aligned = sameIDSpace(r.d.IDs(), lab.ids)
+	}
 }
 
 // sameIDSpace reports whether the two sorted identity slices are
@@ -143,7 +155,9 @@ func (r *Router) NextHop(cur, dst graph.NodeID) (graph.NodeID, DropReason, bool)
 		// coordinates are addressed directly.
 		ids := r.d.NeighborIDs(ci)
 		for k, ui := range r.d.NeighborIndices(ci) {
-			if !lab.has[ui] || lab.root[ui] != space {
+			// A join between labeling refreshes can grow the slot space
+			// past the labeling's arrays; such slots carry no label yet.
+			if int(ui) >= len(lab.has) || !lab.has[ui] || lab.root[ui] != space {
 				continue
 			}
 			uc := lab.crds[ui]

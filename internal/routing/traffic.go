@@ -13,8 +13,13 @@ type Pair struct {
 }
 
 // UniformPairs draws count source/destination pairs uniformly at random
-// (src != dst) — the baseline any-to-any workload.
+// (src != dst) — the baseline any-to-any workload. Fewer than two
+// distinct endpoints admit no pair: the result is empty (churn
+// schedules can shrink a cohort's endpoint pool arbitrarily).
 func UniformPairs(nodes []graph.NodeID, count int, rng *rand.Rand) []Pair {
+	if len(nodes) < 2 {
+		return nil
+	}
 	out := make([]Pair, 0, count)
 	for len(out) < count {
 		s := nodes[rng.Intn(len(nodes))]

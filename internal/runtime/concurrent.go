@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 )
@@ -30,12 +31,34 @@ type ConcurrentResult struct {
 // nodes over a full sweep, or when maxMoves is exceeded, or after
 // timeout. Round counting is not meaningful here (no global observer),
 // so only moves are reported.
+//
+// Live edge churn is supported while the runner is active: the
+// network's AddEdge/RemoveEdge/PerturbEdgeWeight mutators take the
+// topology lock exclusively, every view read-and-compute below takes it
+// shared, so a step observes either the pre- or post-mutation adjacency
+// and never a torn row. Node churn is rejected for the duration (the
+// concurrent register file is sized once at entry).
 func RunConcurrent(net *Network, maxMoves int, timeout time.Duration) (ConcurrentResult, error) {
 	d := net.d
-	n := d.N()
-	regs := make([]State, n)
+	// Entry barrier: set the concurrent flag and snapshot the node set
+	// under the exclusive topology lock, so node churn observed by any
+	// later mutator call is rejected and the slot space is fixed for
+	// the whole run.
+	net.topoMu.Lock()
+	net.concurrent = true
+	slots := d.Slots()
+	regs := make([]State, slots)
 	copy(regs, net.states)
-	mus := make([]sync.Mutex, n)
+	startDeg := make([]int, slots) // -1 marks vacated slots
+	for i := 0; i < slots; i++ {
+		if d.LiveAt(i) {
+			startDeg[i] = d.Degree(i)
+		} else {
+			startDeg[i] = -1
+		}
+	}
+	net.topoMu.Unlock()
+	mus := make([]sync.Mutex, slots)
 
 	var (
 		movesMu sync.Mutex
@@ -46,53 +69,51 @@ func RunConcurrent(net *Network, maxMoves int, timeout time.Duration) (Concurren
 	)
 	halt := func() { once.Do(func() { close(stop) }) }
 
-	// readView snapshots the view at dense index i into the caller's
-	// peer buffer. Locks are taken in index order to avoid deadlock
-	// (ordered lock acquisition); neighbor indices are ascending, so the
-	// own index is merged in place.
-	readView := func(i int, peers []State) View {
+	// readView snapshots the view at dense slot i into the caller's peer
+	// buffer. Register locks are taken in ascending slot order to avoid
+	// deadlock; after topology churn the neighbor-slot slice is ordered
+	// by identity, not slot, so the acquisition order is sorted into the
+	// caller's scratch buffer. Callers hold the topology read-lock
+	// across the call (and across the Step that consumes the view), so
+	// the adjacency slices cannot be patched mid-read.
+	readView := func(i int, peers []State, order []int32) (View, []int32) {
 		nbrIdx := d.NeighborIndices(i)
 		peers = peers[:0]
-		locked := func(j int32) {
+		order = append(order[:0], nbrIdx...)
+		order = append(order, int32(i))
+		slices.Sort(order)
+		for _, j := range order {
 			mus[j].Lock()
-		}
-		ii := int32(i)
-		merged := false
-		for _, j := range nbrIdx {
-			if !merged && ii < j {
-				locked(ii)
-				merged = true
-			}
-			locked(j)
-		}
-		if !merged {
-			locked(ii)
 		}
 		for _, j := range nbrIdx {
 			peers = append(peers, regs[j])
 		}
 		self := regs[i]
-		for k := len(nbrIdx) - 1; k >= 0; k-- {
-			mus[nbrIdx[k]].Unlock()
+		for k := len(order) - 1; k >= 0; k-- {
+			mus[order[k]].Unlock()
 		}
-		mus[i].Unlock()
 		return View{
 			ID:        d.ID(i),
-			N:         n,
+			N:         d.N(),
 			Neighbors: d.NeighborIDs(i),
 			Self:      self,
 			weights:   d.Weights(i),
 			peers:     peers,
-		}
+		}, order
 	}
 
 	deadline := time.After(timeout)
-	for i := 0; i < n; i++ {
+	for i := 0; i < slots; i++ {
+		deg := startDeg[i] // snapshotted at entry; buffers grow on churn
+		if deg < 0 {
+			continue
+		}
 		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			peerBuf := make([]State, 0, d.Degree(i))
+			peerBuf := make([]State, 0, deg)
+			orderBuf := make([]int32, 0, deg+1)
 			idleSweeps := 0
 			for {
 				select {
@@ -100,9 +121,11 @@ func RunConcurrent(net *Network, maxMoves int, timeout time.Duration) (Concurren
 					return
 				default:
 				}
-				view := readView(i, peerBuf)
-				peerBuf = view.peers[:0]
+				net.topoMu.RLock()
+				view, order := readView(i, peerBuf, orderBuf)
 				next := net.alg.Step(view)
+				net.topoMu.RUnlock()
+				peerBuf, orderBuf = view.peers[:0], order
 				if next.Equal(view.Self) {
 					idleSweeps++
 					if idleSweeps > 3 {
@@ -139,6 +162,7 @@ func RunConcurrent(net *Network, maxMoves int, timeout time.Duration) (Concurren
 	detect := time.NewTicker(2 * time.Millisecond)
 	defer detect.Stop()
 	detectBuf := make([]State, 0, 64)
+	detectOrder := make([]int32, 0, 64)
 detectLoop:
 	for {
 		select {
@@ -148,10 +172,16 @@ detectLoop:
 			break detectLoop
 		case <-detect.C:
 			allQuiet := true
-			for i := 0; i < n; i++ {
-				view := readView(i, detectBuf)
-				detectBuf = view.peers[:0]
-				if !net.alg.Step(view).Equal(view.Self) {
+			for i := 0; i < slots; i++ {
+				if !d.LiveAt(i) {
+					continue
+				}
+				net.topoMu.RLock()
+				view, order := readView(i, detectBuf, detectOrder)
+				quiet := net.alg.Step(view).Equal(view.Self)
+				net.topoMu.RUnlock()
+				detectBuf, detectOrder = view.peers[:0], order
+				if !quiet {
 					allQuiet = false
 					break
 				}
@@ -165,9 +195,12 @@ detectLoop:
 	halt()
 	wg.Wait()
 
-	// Copy final registers back into the network, notifying listeners
-	// of every register that changed over the run.
-	for i := 0; i < n; i++ {
+	// Exit barrier: copy final registers back into the network under
+	// the exclusive topology lock (a mutator goroutine may still be
+	// churning edges), notifying listeners of every register that
+	// changed over the run, and clear the concurrent flag.
+	net.topoMu.Lock()
+	for i := 0; i < slots; i++ {
 		mus[i].Lock()
 		final := regs[i]
 		mus[i].Unlock()
@@ -180,6 +213,8 @@ detectLoop:
 		}
 	}
 	net.markAllDirty()
+	net.concurrent = false
+	net.topoMu.Unlock()
 
 	movesMu.Lock()
 	total := moves

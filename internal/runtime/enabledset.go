@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"cmp"
 	"math/bits"
 	"slices"
 
@@ -14,41 +15,86 @@ import (
 // only change when it or a neighbor writes), and schedulers read the
 // set through the ordered accessors below.
 //
-// Internally the set is a bitset over dense node indices plus a Fenwick
-// tree of per-word popcounts, so all ordered queries — minimum, k-th
-// smallest, successor — cost O(log n) and never touch disabled nodes.
-// Because dense indices increase with node identity, index order and
-// identity order coincide: "k-th smallest index" is "k-th smallest ID",
-// which is exactly the order the old sorted enabled slice exposed.
+// Internally the set keeps two parallel bitsets over the graph's dense
+// slot space: a membership view indexed by slot, and an identity-order
+// view indexed by rank (position in ascending-identity order), with a
+// Fenwick tree of per-word popcounts over the rank view. All ordered
+// queries — minimum, k-th smallest, successor — cost O(log n) and never
+// touch disabled nodes, and they are ordered by *identity* even after
+// topology churn has recycled slots out of identity order (before any
+// churn, rank and slot coincide, so the second view is pure overhead-
+// free mirroring). Topology mutations call insertID/deleteSlot to keep
+// the rank permutation current; those are O(n) memmoves, paid only by
+// the rare node join/leave, never by edge churn or register writes.
 //
 // The set is owned by the Network; schedulers must treat it as
 // read-only and must not retain it across activations.
 type EnabledSet struct {
-	ids   []graph.NodeID // dense index -> identity (shared with graph.Dense)
-	words []uint64       // bit i set <=> index i enabled
-	fen   []int32        // Fenwick tree (1-based) over word popcounts
-	count int
+	d      *graph.Dense
+	words  []uint64 // bit i set <=> slot i enabled (membership view)
+	ord    []int32  // rank -> slot, live slots in ascending identity order
+	rank   []int32  // slot -> rank; -1 for vacated slots
+	rwords []uint64 // bit r set <=> slot ord[r] enabled (identity-order view)
+	fen    []int32  // Fenwick tree (1-based) over rwords popcounts
+	count  int
+	// identity: rank is the identity permutation (no node churn yet), so
+	// rwords aliases words and add/remove skip the second bitset write —
+	// the hot path costs exactly what the single-view set did. The first
+	// insertID/deleteSlot un-aliases the views.
+	identity bool
 }
 
-// newEnabledSet returns an empty set over the given identity mapping.
-func newEnabledSet(ids []graph.NodeID) *EnabledSet {
-	nw := (len(ids) + 63) / 64
-	return &EnabledSet{
-		ids:   ids,
-		words: make([]uint64, nw),
-		fen:   make([]int32, nw+1),
+// newEnabledSet returns an empty set over the dense slot space.
+func newEnabledSet(d *graph.Dense) *EnabledSet {
+	s := &EnabledSet{d: d}
+	slots := d.Slots()
+	s.words = make([]uint64, (slots+63)/64)
+	s.ord = make([]int32, 0, slots)
+	s.rank = make([]int32, slots)
+	ids := d.IDs()
+	for i := range s.rank {
+		s.rank[i] = -1
+	}
+	for i := 0; i < slots; i++ {
+		if ids[i] != graph.NoNode {
+			s.ord = append(s.ord, int32(i))
+		}
+	}
+	if !d.Sorted() {
+		slices.SortFunc(s.ord, func(a, b int32) int { return cmp.Compare(ids[a], ids[b]) })
+	}
+	for r, i := range s.ord {
+		s.rank[i] = int32(r)
+	}
+	nw := (len(s.ord) + 63) / 64
+	if d.Sorted() && len(s.ord) == slots {
+		s.identity = true
+		s.rwords = s.words // alias: rank r IS slot r
+	} else {
+		s.rwords = make([]uint64, nw)
+	}
+	s.fen = make([]int32, nw+1)
+	return s
+}
+
+// deAlias materializes a separate rank view before the first slot-
+// recycling mutation breaks the identity permutation.
+func (s *EnabledSet) deAlias() {
+	if s.identity {
+		s.identity = false
+		s.rwords = slices.Clone(s.words)
 	}
 }
 
 // Len returns the number of enabled nodes in O(1).
 func (s *EnabledSet) Len() int { return s.count }
 
-// contains reports membership of dense index i.
+// contains reports membership of dense slot i.
 func (s *EnabledSet) contains(i int) bool {
 	return s.words[i>>6]>>(uint(i)&63)&1 == 1
 }
 
-// add inserts dense index i; no-op if present.
+// add inserts dense slot i; no-op if present.
 func (s *EnabledSet) add(i int) {
 	w := i >> 6
 	bit := uint64(1) << (uint(i) & 63)
@@ -57,12 +103,18 @@ func (s *EnabledSet) add(i int) {
 	}
 	s.words[w] |= bit
 	s.count++
-	for f := w + 1; f < len(s.fen); f += f & -f {
+	rw := w
+	if !s.identity { // aliased views need no second write
+		r := int(s.rank[i])
+		rw = r >> 6
+		s.rwords[rw] |= uint64(1) << (uint(r) & 63)
+	}
+	for f := rw + 1; f < len(s.fen); f += f & -f {
 		s.fen[f]++
 	}
 }
 
-// remove deletes dense index i; no-op if absent.
+// remove deletes dense slot i; no-op if absent.
 func (s *EnabledSet) remove(i int) {
 	w := i >> 6
 	bit := uint64(1) << (uint(i) & 63)
@@ -71,18 +123,24 @@ func (s *EnabledSet) remove(i int) {
 	}
 	s.words[w] &^= bit
 	s.count--
-	for f := w + 1; f < len(s.fen); f += f & -f {
+	rw := w
+	if !s.identity {
+		r := int(s.rank[i])
+		rw = r >> 6
+		s.rwords[rw] &^= uint64(1) << (uint(r) & 63)
+	}
+	for f := rw + 1; f < len(s.fen); f += f & -f {
 		s.fen[f]--
 	}
 }
 
-// selectIndex returns the dense index of the k-th smallest member
+// selectRank returns the rank of the k-th smallest enabled identity
 // (0-based). It panics if k is out of range.
-func (s *EnabledSet) selectIndex(k int) int {
+func (s *EnabledSet) selectRank(k int) int {
 	if k < 0 || k >= s.count {
 		panic("runtime: enabled-set select out of range")
 	}
-	// Fenwick descent to the word holding the k-th bit.
+	// Fenwick descent to the rank word holding the k-th bit.
 	w, rem := 0, int32(k)
 	half := 1
 	for half < len(s.fen)-1 {
@@ -94,63 +152,72 @@ func (s *EnabledSet) selectIndex(k int) int {
 			rem -= s.fen[next]
 		}
 	}
-	// w is now the count of whole words before the target word.
-	word := s.words[w]
+	// w is now the count of whole rank words before the target word.
+	word := s.rwords[w]
 	for r := rem; r > 0; r-- {
 		word &= word - 1 // clear lowest set bit
 	}
 	return w<<6 + bits.TrailingZeros64(word)
 }
 
-// rankBelow returns how many members have dense index < i.
-func (s *EnabledSet) rankBelow(i int) int {
-	w := i >> 6
-	r := 0
+// enabledBeforeRank returns how many members have rank < r.
+func (s *EnabledSet) enabledBeforeRank(r int) int {
+	w := r >> 6
+	c := 0
 	for f := w; f > 0; f &= f - 1 {
-		r += int(s.fen[f])
+		c += int(s.fen[f])
 	}
-	return r + bits.OnesCount64(s.words[w]&(1<<(uint(i)&63)-1))
+	return c + bits.OnesCount64(s.rwords[w]&(1<<(uint(r)&63)-1))
 }
 
 // MinID returns the smallest enabled identity. It panics on an empty
 // set (schedulers are only invoked with at least one enabled node).
-func (s *EnabledSet) MinID() graph.NodeID { return s.ids[s.selectIndex(0)] }
+func (s *EnabledSet) MinID() graph.NodeID { return s.d.ID(int(s.ord[s.selectRank(0)])) }
 
 // IDAt returns the k-th smallest enabled identity (0-based) — the
 // element the old engine exposed as enabled[k].
-func (s *EnabledSet) IDAt(k int) graph.NodeID { return s.ids[s.selectIndex(k)] }
+func (s *EnabledSet) IDAt(k int) graph.NodeID { return s.d.ID(int(s.ord[s.selectRank(k)])) }
+
+// rankOfID returns the rank of the first live slot whose identity is
+// >= v, and whether v itself is live.
+func (s *EnabledSet) rankOfID(v graph.NodeID) (int, bool) {
+	ids := s.d.IDs()
+	return slices.BinarySearchFunc(s.ord, v, func(a int32, target graph.NodeID) int {
+		return cmp.Compare(ids[a], target)
+	})
+}
 
 // ContainsID reports whether identity v is enabled.
 func (s *EnabledSet) ContainsID(v graph.NodeID) bool {
-	i, ok := indexOfID(s.ids, v)
-	return ok && s.contains(i)
+	r, exact := s.rankOfID(v)
+	return exact && s.contains(int(s.ord[r]))
 }
 
 // NextIDAfter returns the smallest enabled identity strictly greater
 // than v; ok is false when none exists. v need not be a node.
 func (s *EnabledSet) NextIDAfter(v graph.NodeID) (graph.NodeID, bool) {
-	i, exact := indexOfID(s.ids, v)
+	r, exact := s.rankOfID(v)
 	if exact {
-		i++
+		r++
 	}
-	if i >= len(s.ids) {
+	if r >= len(s.ord) {
 		return 0, false
 	}
-	r := s.rankBelow(i)
-	if r >= s.count {
+	c := s.enabledBeforeRank(r)
+	if c >= s.count {
 		return 0, false
 	}
-	return s.ids[s.selectIndex(r)], true
+	return s.d.ID(int(s.ord[s.selectRank(c)])), true
 }
 
 // AppendIDs appends every enabled identity in increasing order to buf
 // and returns the extended slice. It allocates only when buf lacks
 // capacity.
 func (s *EnabledSet) AppendIDs(buf []graph.NodeID) []graph.NodeID {
-	for w, word := range s.words {
+	for w, word := range s.rwords {
 		for word != 0 {
-			i := w<<6 + bits.TrailingZeros64(word)
-			buf = append(buf, s.ids[i])
+			r := w<<6 + bits.TrailingZeros64(word)
+			buf = append(buf, s.d.ID(int(s.ord[r])))
 			word &= word - 1
 		}
 	}
@@ -160,10 +227,18 @@ func (s *EnabledSet) AppendIDs(buf []graph.NodeID) []graph.NodeID {
 // ForEachID calls fn on every enabled identity in increasing order
 // until fn returns false.
 func (s *EnabledSet) ForEachID(fn func(graph.NodeID) bool) {
-	for w, word := range s.words {
+	s.forEachSlotByID(func(i int) bool { return fn(s.d.ID(i)) })
+}
+
+// forEachSlotByID calls fn on every enabled slot in increasing
+// *identity* order until fn returns false — the iteration schedulers
+// and round bookkeeping use when they need deterministic order over a
+// churned (slot-recycled) index space.
+func (s *EnabledSet) forEachSlotByID(fn func(slot int) bool) {
+	for w, word := range s.rwords {
 		for word != 0 {
-			i := w<<6 + bits.TrailingZeros64(word)
-			if !fn(s.ids[i]) {
+			r := w<<6 + bits.TrailingZeros64(word)
+			if !fn(int(s.ord[r])) {
 				return
 			}
 			word &= word - 1
@@ -171,7 +246,95 @@ func (s *EnabledSet) ForEachID(fn func(graph.NodeID) bool) {
 	}
 }
 
-// indexOfID is the shared identity -> dense index binary search.
-func indexOfID(ids []graph.NodeID, v graph.NodeID) (int, bool) {
-	return slices.BinarySearch(ids, v)
+// insertID registers identity id at dense slot i after a node join:
+// the slot is threaded into the rank permutation at its identity-order
+// position. O(n) in the slot count (memmove + bitset shift), paid once
+// per join.
+func (s *EnabledSet) insertID(i int, id graph.NodeID) {
+	s.deAlias()
+	for i>>6 >= len(s.words) {
+		s.words = append(s.words, 0)
+	}
+	for i >= len(s.rank) {
+		s.rank = append(s.rank, -1)
+	}
+	ids := s.d.IDs()
+	r, _ := slices.BinarySearchFunc(s.ord, id, func(a int32, target graph.NodeID) int {
+		return cmp.Compare(ids[a], target)
+	})
+	s.ord = slices.Insert(s.ord, r, int32(i))
+	s.rank[i] = int32(r)
+	for k := r + 1; k < len(s.ord); k++ {
+		s.rank[s.ord[k]] = int32(k)
+	}
+	s.rwords = insertBitAt(s.rwords, r, len(s.ord))
+	s.rebuildFen()
+}
+
+// deleteSlot unregisters the (already removed) node that held dense
+// slot i, dropping it from both views. O(n) like insertID.
+func (s *EnabledSet) deleteSlot(i int) {
+	if s.rank[i] < 0 {
+		return
+	}
+	s.deAlias()
+	s.remove(i)
+	r := int(s.rank[i])
+	s.ord = slices.Delete(s.ord, r, r+1)
+	for k := r; k < len(s.ord); k++ {
+		s.rank[s.ord[k]] = int32(k)
+	}
+	s.rank[i] = -1
+	deleteBitAt(s.rwords, r)
+	s.rebuildFen()
+}
+
+// rebuildFen recomputes the Fenwick tree from the rank-view popcounts.
+func (s *EnabledSet) rebuildFen() {
+	nw := (len(s.ord) + 63) / 64
+	if nw > len(s.rwords) {
+		nw = len(s.rwords)
+	}
+	if cap(s.fen) < nw+1 {
+		s.fen = make([]int32, nw+1)
+	} else {
+		s.fen = s.fen[:nw+1]
+		for i := range s.fen {
+			s.fen[i] = 0
+		}
+	}
+	for w := 0; w < nw; w++ {
+		s.fen[w+1] += int32(bits.OnesCount64(s.rwords[w]))
+		if next := (w + 1) + ((w + 1) & -(w + 1)); next < len(s.fen) {
+			s.fen[next] += s.fen[w+1]
+		}
+	}
+}
+
+// insertBitAt shifts every bit at position >= p up by one and clears
+// position p; n is the new total bit count. Words grow as needed.
+func insertBitAt(words []uint64, p, n int) []uint64 {
+	if (n+63)/64 > len(words) {
+		words = append(words, 0)
+	}
+	w0 := p >> 6
+	for w := len(words) - 1; w > w0; w-- {
+		words[w] = words[w]<<1 | words[w-1]>>63
+	}
+	lowMask := uint64(1)<<(uint(p)&63) - 1
+	low := words[w0] & lowMask
+	words[w0] = low | (words[w0]&^lowMask)<<1
+	return words
+}
+
+// deleteBitAt drops the bit at position p, shifting every higher bit
+// down by one.
+func deleteBitAt(words []uint64, p int) {
+	w0 := p >> 6
+	lowMask := uint64(1)<<(uint(p)&63) - 1
+	words[w0] = words[w0]&lowMask | (words[w0]>>1)&^lowMask
+	for w := w0 + 1; w < len(words); w++ {
+		words[w-1] |= words[w] << 63
+		words[w] >>= 1
+	}
 }

@@ -8,6 +8,16 @@ import (
 	"silentspan/internal/graph"
 )
 
+// denseOfIDs builds a dense slot space holding exactly the given
+// identities (as isolated nodes) — the EnabledSet test fixture.
+func denseOfIDs(ids []graph.NodeID) *graph.Dense {
+	g := graph.New()
+	for _, id := range ids {
+		g.AddNode(id)
+	}
+	return g.Dense()
+}
+
 // TestEnabledSetAgainstSortedSlice drives the set with random adds and
 // removes and checks every ordered accessor against a plain sorted
 // slice oracle.
@@ -17,7 +27,7 @@ func TestEnabledSetAgainstSortedSlice(t *testing.T) {
 	for i := range ids {
 		ids[i] = graph.NodeID(2*i + 3) // sparse identities
 	}
-	es := newEnabledSet(ids)
+	es := newEnabledSet(denseOfIDs(ids))
 	member := make([]bool, n)
 	rng := rand.New(rand.NewSource(11))
 
@@ -90,7 +100,7 @@ func TestEnabledSetAgainstSortedSlice(t *testing.T) {
 }
 
 func TestEnabledSetSelectPanicsOutOfRange(t *testing.T) {
-	es := newEnabledSet([]graph.NodeID{1, 2, 3})
+	es := newEnabledSet(denseOfIDs([]graph.NodeID{1, 2, 3}))
 	es.add(1)
 	defer func() {
 		if recover() == nil {

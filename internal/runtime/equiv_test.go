@@ -74,10 +74,34 @@ func (r *refNetwork) initArbitrary(rng *rand.Rand) {
 	}
 }
 
+// Topology mutators: the reference engine has no incremental
+// bookkeeping, so churn is just graph mutation plus (for removals)
+// dropping the register — its per-activation rescan picks everything
+// else up. These mirror the Network mutators so the cross-engine
+// equivalence test can drive both through the same churn schedule.
+
+func (r *refNetwork) addNode(id graph.NodeID) { r.g.AddNode(id) }
+
+func (r *refNetwork) removeNode(id graph.NodeID) error {
+	if err := r.g.RemoveNode(id); err != nil {
+		return err
+	}
+	delete(r.states, id)
+	return nil
+}
+
+func (r *refNetwork) addEdge(u, v graph.NodeID, w graph.Weight) error {
+	return r.g.AddEdge(u, v, w)
+}
+
+func (r *refNetwork) removeEdge(u, v graph.NodeID) error {
+	return r.g.RemoveEdge(u, v)
+}
+
 // enabledSetOf builds a fresh EnabledSet over the current enabled
 // nodes, so the reference engine can drive the same Scheduler values.
 func (r *refNetwork) enabledSetOf(en []graph.NodeID) *EnabledSet {
-	es := newEnabledSet(r.g.Dense().IDs())
+	es := newEnabledSet(r.g.Dense())
 	for _, v := range en {
 		i, _ := r.g.Dense().IndexOf(v)
 		es.add(i)
@@ -294,6 +318,122 @@ func TestDenseEngineMatchesReferenceEngine(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestDenseEngineMatchesReferenceUnderChurn extends the equivalence to
+// live topology churn: both engines start from identical graphs and
+// configurations, stabilize, get the same seeded churn batch (joins,
+// leaves, link flaps), stabilize again, and so on — traces, results,
+// and final registers must agree at every phase. This is the guard
+// that slot recycling, the patch overlay, and the incremental
+// enabled-set maintenance change no observable semantics.
+func TestDenseEngineMatchesReferenceUnderChurn(t *testing.T) {
+	for schedName, mkSched := range equivSchedulers() {
+		t.Run(schedName, func(t *testing.T) {
+			for seed := int64(1); seed <= 2; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				g := graph.RandomConnected(18, 0.2, rng)
+				gRef := g.Clone()
+
+				dense, err := NewNetwork(g, parentAlg{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dense.InitArbitrary(rand.New(rand.NewSource(seed + 90)))
+				ref := newRefNetwork(gRef, parentAlg{})
+				ref.initArbitrary(rand.New(rand.NewSource(seed + 90)))
+
+				var denseTrace, refTrace strings.Builder
+				dense.AddStateListener(func(v graph.NodeID, old, new State) {
+					if new != nil {
+						fmt.Fprintf(&denseTrace, "write %d <- %s\n", v, new)
+					}
+				})
+
+				churn := rand.New(rand.NewSource(seed + 700))
+				nextID := graph.NodeID(300)
+				for phase := 0; phase < 8; phase++ {
+					res, err := dense.Run(&tracingScheduler{inner: mkSched(seed), trace: &denseTrace}, dense.Moves()+50_000)
+					if err != nil {
+						t.Fatal(err)
+					}
+					refRes := ref.run(mkSched(seed), ref.moves+50_000, &refTrace)
+					if res != refRes {
+						t.Fatalf("phase %d: results differ: dense %+v, reference %+v", phase, res, refRes)
+					}
+					if got, want := denseTrace.String(), refTrace.String(); got != want {
+						t.Fatalf("phase %d: traces diverge.\ndense:\n%s\nreference:\n%s", phase, head(got), head(want))
+					}
+					for _, v := range g.Nodes() {
+						ds, rs := dense.State(v), ref.states[v]
+						if (ds == nil) != (rs == nil) || (ds != nil && !ds.Equal(rs)) {
+							t.Fatalf("phase %d: states differ at node %d: %v vs %v", phase, v, ds, rs)
+						}
+					}
+
+					// Same churn batch on both engines.
+					for k := 0; k < 3; k++ {
+						nodes := g.Nodes()
+						switch op := churn.Intn(8); {
+						case op < 3: // link up
+							u := nodes[churn.Intn(len(nodes))]
+							v := nodes[churn.Intn(len(nodes))]
+							if u == v || g.HasEdge(u, v) {
+								continue
+							}
+							w := graph.Weight(50_000 + int(nextID)*10 + k)
+							if err := dense.AddEdge(u, v, w); err != nil {
+								t.Fatal(err)
+							}
+							if err := ref.addEdge(u, v, w); err != nil {
+								t.Fatal(err)
+							}
+						case op < 6: // link down
+							edges := g.Edges()
+							if len(edges) == 0 {
+								continue
+							}
+							e := edges[churn.Intn(len(edges))]
+							if err := dense.RemoveEdge(e.U, e.V); err != nil {
+								t.Fatal(err)
+							}
+							if err := ref.removeEdge(e.U, e.V); err != nil {
+								t.Fatal(err)
+							}
+						case op < 7: // leave
+							if len(nodes) <= 3 {
+								continue
+							}
+							v := nodes[churn.Intn(len(nodes))]
+							if err := dense.RemoveNode(v); err != nil {
+								t.Fatal(err)
+							}
+							if err := ref.removeNode(v); err != nil {
+								t.Fatal(err)
+							}
+						default: // join
+							if err := dense.AddNode(nextID, nil); err != nil {
+								t.Fatal(err)
+							}
+							ref.addNode(nextID)
+							anchor := nodes[churn.Intn(len(nodes))]
+							w := graph.Weight(90_000 + int(nextID))
+							if err := dense.AddEdge(nextID, anchor, w); err != nil {
+								t.Fatal(err)
+							}
+							if err := ref.addEdge(nextID, anchor, w); err != nil {
+								t.Fatal(err)
+							}
+							nextID++
+						}
+					}
+					if en := dense.Enabled(); !slices.Equal(en, ref.enabled()) {
+						t.Fatalf("phase %d: enabled sets diverge after churn: dense %v, ref %v", phase, en, ref.enabled())
+					}
+				}
+			}
+		})
 	}
 }
 

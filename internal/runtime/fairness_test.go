@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"silentspan/internal/graph"
@@ -20,7 +21,7 @@ var fairnessCases = []struct {
 
 // fullSet builds an EnabledSet with every listed node enabled.
 func fullSet(ids []graph.NodeID) *EnabledSet {
-	s := newEnabledSet(ids)
+	s := newEnabledSet(denseOfIDs(ids))
 	for i := range ids {
 		s.add(i)
 	}
@@ -86,7 +87,7 @@ func TestAdversarialUnfairStarvationPattern(t *testing.T) {
 		}
 	}
 	// Disable the favorite: the daemon must pick a never-activated node.
-	fi, _ := indexOfID(ids, first)
+	fi, _ := slices.BinarySearch(ids, first)
 	es.remove(fi)
 	next := sched.Choose(es, nil)[0]
 	if next == first {

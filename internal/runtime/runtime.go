@@ -33,6 +33,7 @@ import (
 	"math/bits"
 	"math/rand"
 	"slices"
+	"sync"
 
 	"silentspan/internal/graph"
 )
@@ -176,10 +177,26 @@ type Network struct {
 	nextBuf   []State
 	idxBuf    []int32
 
-	monitors  []Monitor
-	listeners []StateListener
-	moves     int
-	rounds    int
+	// syncedEpoch is the dense structural epoch the per-slot arrays
+	// above agree with. The Network's own mutators keep it current;
+	// drain panics on a mismatch, which catches graph mutation behind
+	// the network's back before a stale neighbor slot is ever read.
+	syncedEpoch uint64
+
+	// topoMu serializes topology mutation against concurrent readers:
+	// RunConcurrent's per-step view reads take it shared, the mutators
+	// take it exclusively. The sequential engine is single-goroutine and
+	// never contends. concurrent is true while RunConcurrent is active,
+	// during which node churn (which resizes the register file) is
+	// rejected; edge churn and weight perturbation remain legal.
+	topoMu     sync.RWMutex
+	concurrent bool
+
+	monitors      []Monitor
+	listeners     []StateListener
+	topoListeners []TopologyListener
+	moves         int
+	rounds        int
 }
 
 // StateListener observes register writes: it is invoked after node v's
@@ -204,17 +221,18 @@ func NewNetwork(g *graph.Graph, alg Algorithm) (*Network, error) {
 		return nil, fmt.Errorf("runtime: graph not connected")
 	}
 	d := g.Dense()
-	n := d.N()
+	n := d.Slots()
 	net := &Network{
 		g:            g,
 		d:            d,
 		alg:          alg,
 		states:       make([]State, n),
-		enabled:      newEnabledSet(d.IDs()),
+		enabled:      newEnabledSet(d),
 		dirty:        make([]bool, n),
 		nextCache:    make([]State, n),
 		pendingEpoch: make([]uint64, n),
 		epoch:        1, // pendingEpoch zero values never match
+		syncedEpoch:  d.Epoch(),
 	}
 	net.markAllDirty()
 	return net, nil
@@ -222,7 +240,7 @@ func NewNetwork(g *graph.Graph, alg Algorithm) (*Network, error) {
 
 func (net *Network) markAllDirty() {
 	for i := range net.dirty {
-		if !net.dirty[i] {
+		if !net.dirty[i] && net.d.LiveAt(i) {
 			net.dirty[i] = true
 			net.dirtyList = append(net.dirtyList, int32(i))
 		}
@@ -252,6 +270,9 @@ func (net *Network) markDirtyAround(i int32) {
 // as the paper's round definition requires. Cost is O(Σ deg) over the
 // dirtied nodes; Step is pure, so recomputation order is immaterial.
 func (net *Network) drain() {
+	if net.d.Epoch() != net.syncedEpoch {
+		panic("runtime: graph mutated behind the network's back; topology churn must go through Network.AddNode/RemoveNode/AddEdge/RemoveEdge")
+	}
 	for len(net.dirtyList) > 0 {
 		i := net.dirtyList[len(net.dirtyList)-1]
 		net.dirtyList = net.dirtyList[:len(net.dirtyList)-1]
@@ -259,6 +280,9 @@ func (net *Network) drain() {
 			continue
 		}
 		net.dirty[i] = false
+		if !net.d.LiveAt(int(i)) {
+			continue
+		}
 		next := net.alg.Step(net.viewAt(int(i)))
 		net.nextCache[i] = next
 		en := !next.Equal(net.states[i])
@@ -330,6 +354,9 @@ func (net *Network) notify(v graph.NodeID, old, new State) {
 // self-stabilization model.
 func (net *Network) InitArbitrary(rng *rand.Rand) {
 	for i := range net.states {
+		if !net.d.LiveAt(i) {
+			continue
+		}
 		net.states[i] = net.alg.ArbitraryState(rng, net.viewAt(i))
 	}
 	net.markAllDirty()
@@ -390,17 +417,15 @@ func (net *Network) RoundPending(v graph.NodeID) bool {
 	return net.pendingEpoch[i] == net.epoch
 }
 
-// PerturbEdgeWeight is the topology-churn campaign hook: it rewrites
-// the weight of the live edge {u,v} in both the graph and the dense
-// snapshot the register file reads through, then invalidates the cached
+// PerturbEdgeWeight is the weight-churn campaign hook: it rewrites the
+// weight of the live edge {u,v} in both the graph and the dense layout
+// the register file reads through, then invalidates the cached
 // enabledness of the two endpoints (they are the only nodes whose views
-// contain the edge). Structural mutations are not supported — the model
-// fixes the graph; weights are the one constant the chaos campaigns are
-// allowed to bend, modeling re-costed links.
+// contain the edge). Unlike the structural mutators below it does not
+// change the graph's shape, so no slot bookkeeping moves.
 func (net *Network) PerturbEdgeWeight(u, v graph.NodeID, w graph.Weight) error {
-	if net.g.Dense() != net.d {
-		return fmt.Errorf("runtime: graph mutated structurally since network creation")
-	}
+	net.topoMu.Lock()
+	defer net.topoMu.Unlock()
 	if err := net.g.UpdateEdgeWeight(u, v, w); err != nil {
 		return fmt.Errorf("runtime: %w", err)
 	}
@@ -408,6 +433,176 @@ func (net *Network) PerturbEdgeWeight(u, v graph.NodeID, w graph.Weight) error {
 	iv, _ := net.d.IndexOf(v)
 	net.markDirtyAt(int32(iu))
 	net.markDirtyAt(int32(iv))
+	net.notifyTopology(TopoEvent{Kind: TopoReweigh, U: u, V: v, W: w})
+	return nil
+}
+
+// TopoKind classifies one topology mutation for TopologyListener.
+type TopoKind int
+
+// The topology mutation kinds.
+const (
+	TopoAddEdge TopoKind = iota
+	TopoRemoveEdge
+	TopoAddNode
+	TopoRemoveNode
+	TopoReweigh
+)
+
+// TopoEvent describes one applied topology mutation: the kind plus the
+// affected node (U for node events) or edge endpoints (U, V).
+type TopoEvent struct {
+	Kind TopoKind
+	U, V graph.NodeID
+	W    graph.Weight
+}
+
+// TopologyListener observes applied topology mutations. Serving layers
+// use it the way StateListener is used for register writes: as the
+// signal that derived structures (labelings, routers) must refresh —
+// incrementally, since the event names exactly what changed. Listeners
+// must not mutate the network and are invoked after the mutation has
+// fully landed (graph, dense layout, and engine bookkeeping agree).
+type TopologyListener func(TopoEvent)
+
+// AddTopologyListener registers a topology observer (see
+// TopologyListener).
+func (net *Network) AddTopologyListener(l TopologyListener) {
+	net.topoListeners = append(net.topoListeners, l)
+}
+
+func (net *Network) notifyTopology(ev TopoEvent) {
+	for _, l := range net.topoListeners {
+		l(ev)
+	}
+}
+
+// growTo extends the per-slot arrays to cover a grown slot space.
+func (net *Network) growTo(slots int) {
+	for len(net.states) < slots {
+		net.states = append(net.states, nil)
+		net.dirty = append(net.dirty, false)
+		net.nextCache = append(net.nextCache, nil)
+		net.pendingEpoch = append(net.pendingEpoch, 0)
+	}
+}
+
+// AddEdge inserts the edge {u,v} with weight w into the live network —
+// a link coming up under stabilization. Both endpoints must already be
+// nodes (use AddNode to join a fresh node first) and the edge must be
+// absent. Only the two endpoints observe the new link, so only their
+// cached enabledness is invalidated.
+func (net *Network) AddEdge(u, v graph.NodeID, w graph.Weight) error {
+	net.topoMu.Lock()
+	defer net.topoMu.Unlock()
+	if !net.g.HasNode(u) || !net.g.HasNode(v) {
+		return fmt.Errorf("runtime: edge {%d,%d} needs both endpoints in the network", u, v)
+	}
+	if net.g.HasEdge(u, v) {
+		return fmt.Errorf("runtime: edge {%d,%d} already present", u, v)
+	}
+	if err := net.g.AddEdge(u, v, w); err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	net.syncedEpoch = net.d.Epoch()
+	iu, _ := net.d.IndexOf(u)
+	iv, _ := net.d.IndexOf(v)
+	net.markDirtyAt(int32(iu))
+	net.markDirtyAt(int32(iv))
+	net.notifyTopology(TopoEvent{Kind: TopoAddEdge, U: u, V: v, W: w})
+	return nil
+}
+
+// RemoveEdge deletes the live edge {u,v} — a link going down. Removing
+// the last edge of a node leaves the node in the network with degree
+// zero (the graph may transiently disconnect; the algorithms stabilize
+// per component until churn heals it). Double removal errors.
+func (net *Network) RemoveEdge(u, v graph.NodeID) error {
+	net.topoMu.Lock()
+	defer net.topoMu.Unlock()
+	if err := net.g.RemoveEdge(u, v); err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	net.syncedEpoch = net.d.Epoch()
+	iu, _ := net.d.IndexOf(u)
+	iv, _ := net.d.IndexOf(v)
+	net.markDirtyAt(int32(iu))
+	net.markDirtyAt(int32(iv))
+	net.notifyTopology(TopoEvent{Kind: TopoRemoveEdge, U: u, V: v})
+	return nil
+}
+
+// AddNode joins node id to the live network with the given initial
+// register content (nil models a node booting with an empty register;
+// its first activation runs the algorithm's bootstrap rule). The node
+// reuses a vacated register-file slot when one exists, otherwise the
+// per-slot arrays grow. The new node starts outside the current round's
+// frontier. Node churn is rejected while RunConcurrent is active (the
+// concurrent register file is sized once); edge churn is not.
+func (net *Network) AddNode(id graph.NodeID, init State) error {
+	net.topoMu.Lock()
+	defer net.topoMu.Unlock()
+	if net.concurrent {
+		return fmt.Errorf("runtime: node churn unsupported during RunConcurrent")
+	}
+	if net.g.HasNode(id) {
+		return fmt.Errorf("runtime: node %d already present", id)
+	}
+	net.g.AddNode(id)
+	net.syncedEpoch = net.d.Epoch()
+	slot, _ := net.d.IndexOf(id)
+	net.growTo(net.d.Slots())
+	net.states[slot] = init
+	net.nextCache[slot] = nil
+	net.pendingEpoch[slot] = 0
+	net.enabled.insertID(slot, id)
+	net.markDirtyAt(int32(slot))
+	// Topology first, then the register write: listeners learn the node
+	// exists before they see its initial register content, so a labeler
+	// wired to both hooks does not drop the join's parent pointer.
+	net.notifyTopology(TopoEvent{Kind: TopoAddNode, U: id})
+	if init != nil {
+		net.notify(id, nil, init)
+	}
+	return nil
+}
+
+// RemoveNode removes node id and every incident edge from the live
+// network — a node crashing out. Its register-file slot is vacated for
+// reuse, it leaves the enabled set and the round frontier, and every
+// former neighbor's cached enabledness is invalidated (their views
+// shrank), so no view ever reads the dead slot again.
+func (net *Network) RemoveNode(id graph.NodeID) error {
+	net.topoMu.Lock()
+	defer net.topoMu.Unlock()
+	if net.concurrent {
+		return fmt.Errorf("runtime: node churn unsupported during RunConcurrent")
+	}
+	slot, ok := net.d.IndexOf(id)
+	if !ok {
+		return fmt.Errorf("runtime: no node %d", id)
+	}
+	nbrs := slices.Clone(net.d.NeighborIndices(slot))
+	if err := net.g.RemoveNode(id); err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	net.syncedEpoch = net.d.Epoch()
+	old := net.states[slot]
+	net.states[slot] = nil
+	net.nextCache[slot] = nil
+	net.dirty[slot] = false // a stale dirtyList entry is skipped by drain
+	if net.pendingEpoch[slot] == net.epoch {
+		net.pendingEpoch[slot] = 0
+		net.pendingCount--
+	}
+	net.enabled.deleteSlot(slot)
+	for _, j := range nbrs {
+		net.markDirtyAt(j)
+	}
+	if old != nil {
+		net.notify(id, old, nil)
+	}
+	net.notifyTopology(TopoEvent{Kind: TopoRemoveNode, U: id})
 	return nil
 }
 

@@ -1,7 +1,6 @@
 package runtime
 
 import (
-	"math/bits"
 	"math/rand"
 
 	"silentspan/internal/graph"
@@ -150,20 +149,20 @@ func (s *greedyStretch) Choose(enabled *EnabledSet, buf []graph.NodeID) []graph.
 		return append(buf, enabled.MinID())
 	}
 	bestIdx, bestDeg := -1, -1
-	for w, word := range enabled.words {
-		for word != 0 {
-			i := w<<6 + bits.TrailingZeros64(word)
-			word &= word - 1
-			if net.pendingEpoch[i] != net.epoch {
-				// Outside the frontier: zero round progress. First such
-				// index is the smallest ID — take it immediately.
-				return append(buf, net.d.ID(i))
-			}
-			if d := net.d.Degree(i); bestIdx < 0 || d < bestDeg {
-				bestIdx, bestDeg = i, d
-			}
+	// Identity-order iteration: ties break to the smallest ID even
+	// after topology churn has recycled slots out of identity order.
+	enabled.forEachSlotByID(func(i int) bool {
+		if net.pendingEpoch[i] != net.epoch {
+			// Outside the frontier: zero round progress. The first such
+			// node in the iteration has the smallest ID — take it.
+			bestIdx = i
+			return false
 		}
-	}
+		if d := net.d.Degree(i); bestIdx < 0 || d < bestDeg {
+			bestIdx, bestDeg = i, d
+		}
+		return true
+	})
 	return append(buf, net.d.ID(bestIdx))
 }
 

@@ -18,6 +18,7 @@ package spanning
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"silentspan/internal/graph"
 	"silentspan/internal/runtime"
@@ -125,7 +126,16 @@ func consistent(s State, v runtime.View) bool {
 	if s.Dist < 1 || s.Dist > v.N-1 {
 		return false
 	}
-	p, ok := v.Peer(s.Parent).(State)
+	// The parent must be a current neighbor. On a frozen graph only an
+	// adversarial initialization can violate this; under live topology
+	// churn it happens routinely — the parent's link went down, or the
+	// parent left — and must read as inconsistency, not as a model
+	// violation (View.Peer panics on non-neighbors by design).
+	j, isNbr := slices.BinarySearch(v.Neighbors, s.Parent)
+	if !isNbr {
+		return false
+	}
+	p, ok := v.PeerAt(j).(State)
 	if !ok {
 		return false
 	}
