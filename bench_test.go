@@ -13,6 +13,7 @@ import (
 
 	"silentspan/internal/bench"
 	"silentspan/internal/bfs"
+	"silentspan/internal/cluster"
 	"silentspan/internal/core"
 	"silentspan/internal/graph"
 	"silentspan/internal/mdst"
@@ -433,6 +434,39 @@ func BenchmarkScaleBFSRouting(b *testing.B) {
 					b.Fatalf("delivered %d of %d", stats.Delivered, stats.Sent)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkClusterStabilization is the message-passing counterpart of
+// BenchmarkEngineBFSStabilization: the same spanning substrate from the
+// same post-reset configuration, but run as goroutine-per-node actors
+// exchanging wire frames over the in-process transport. The gap between
+// the two is the price of the shared-memory→message-passing transform
+// (frame codec + cache maintenance + barriers) at serving scale.
+func BenchmarkClusterStabilization(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			g := graph.RandomConnected(n, 8/float64(n), rng)
+			g.Dense()
+			b.ResetTimer()
+			var frames int
+			for i := 0; i < b.N; i++ {
+				cl, err := cluster.New(g, spanning.Algorithm{}, cluster.NewChanTransport(), cluster.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, v := range g.Nodes() {
+					cl.SetState(v, spanning.State{Root: v, Parent: trees.None, Dist: 0})
+				}
+				if _, quiet := cl.RunUntilQuiet(32*n, 4); !quiet {
+					b.Fatal("no quiet")
+				}
+				frames = cl.Stats().FramesSent
+				cl.Stop()
+			}
+			b.ReportMetric(float64(frames), "frames")
 		})
 	}
 }

@@ -17,6 +17,14 @@
 //
 //	sscert -churn -churn-maxn 6
 //
+// Message-passing cluster certification (seeded loss/dup/reorder/
+// corruption fault profiles on the deterministic channel transport ×
+// five algorithms on small graphs; every run must reach quiet, project
+// to a silent spec-correct configuration, and serve a packet batch
+// end-to-end over the same transport):
+//
+//	sscert -cluster -cluster-maxn 6
+//
 // Chaos campaign (fault bursts + register wipes + weight churn + live
 // traffic over the recovering tree on a large random graph):
 //
@@ -50,6 +58,10 @@ func main() {
 		schedules = flag.Int("schedules", 2, "churn schedules per (graph, algorithm, daemon)")
 		churnLen  = flag.Int("churn-len", 10, "churn ops per schedule")
 
+		clusterRun  = flag.Bool("cluster", false, "run the message-passing cluster certification campaign")
+		clusterMaxN = flag.Int("cluster-maxn", 6, "cluster graphs on 3..this many nodes")
+		clusterRuns = flag.Int("cluster-runs", 1, "cluster runs per (graph, algorithm, fault profile)")
+
 		chaos     = flag.Bool("chaos", false, "run a randomized chaos campaign")
 		n         = flag.Int("n", 10000, "chaos graph size")
 		p         = flag.Float64("p", 0, "chaos edge probability (default 3/n)")
@@ -63,8 +75,8 @@ func main() {
 		quiet  = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
-	if !*exhaustive && !*chaos && !*churn {
-		fmt.Fprintln(os.Stderr, "sscert: nothing to do; pass -exhaustive, -churn and/or -chaos")
+	if !*exhaustive && !*chaos && !*churn && !*clusterRun {
+		fmt.Fprintln(os.Stderr, "sscert: nothing to do; pass -exhaustive, -churn, -cluster and/or -chaos")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -81,6 +93,7 @@ func main() {
 	var file struct {
 		Exhaustive *cert.ExhaustiveReport `json:"exhaustive,omitempty"`
 		Churn      *cert.ChurnReport      `json:"churn,omitempty"`
+		Cluster    *cert.ClusterReport    `json:"cluster,omitempty"`
 		Chaos      *cert.Certificate      `json:"chaos,omitempty"`
 	}
 	failed := false
@@ -127,6 +140,29 @@ func main() {
 			if rep.Certified() && err == nil {
 				fmt.Printf("CERTIFIED: %d graphs, %d runs, %d mutations, cohort %d/%d, zero counterexamples\n",
 					rep.Graphs, rep.Runs, rep.Mutations, rep.PacketsArrived, rep.PacketsSent)
+			} else if !rep.Certified() {
+				fmt.Printf("FALSIFIED: %d counterexamples\n", len(rep.Counterexamples))
+				failed = true
+			}
+		}
+	}
+
+	if *clusterRun {
+		rep, err := cert.RunCluster(cert.ClusterConfig{
+			MaxN: *clusterMaxN,
+			Runs: *clusterRuns,
+			Seed: *seed,
+		}, logf)
+		file.Cluster = rep
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sscert: cluster: %v\n", err)
+			failed = true
+		}
+		if rep != nil {
+			bench.ClusterTable(rep).Fprint(os.Stdout)
+			if rep.Certified() && err == nil {
+				fmt.Printf("CERTIFIED: %d graphs, %d runs, %d frames, packets %d/%d, zero counterexamples\n",
+					rep.Graphs, rep.Runs, rep.FramesSent, rep.PacketsArrived, rep.PacketsSent)
 			} else if !rep.Certified() {
 				fmt.Printf("FALSIFIED: %d counterexamples\n", len(rep.Counterexamples))
 				failed = true

@@ -18,6 +18,13 @@
 //	sstsim -route -graph random:10000:0.002 -packets 100000
 //	sstsim -route -workload hotspot -graph geometric:400:0.08
 //	sstsim -route -faults 4 -graph random:32:0.15
+//
+// The -cluster mode deploys the algorithm as a message-passing cluster
+// instead of the simulator: one goroutine-actor per node exchanging
+// heartbeat frames over a faulty in-process transport, with a packet
+// batch served end-to-end as data frames once the tree is quiet:
+//
+//	sstsim -cluster -alg bfs -graph random:24:0.2 -loss 0.1
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 
 	"silentspan/internal/bfs"
 	"silentspan/internal/cert"
+	"silentspan/internal/cluster"
 	"silentspan/internal/core"
 	"silentspan/internal/graph"
 	"silentspan/internal/mdst"
@@ -52,6 +60,8 @@ func main() {
 	packets := flag.Int("packets", 100_000, "route mode: packets to drive")
 	workload := flag.String("workload", "uniform", "route mode: uniform | hotspot | allpairs")
 	churn := flag.Int("churn", 0, "apply this many live-topology churn ops (joins/leaves/link flaps/partitions) after stabilization, with traffic flying")
+	clusterMode := flag.Bool("cluster", false, "run the algorithm as a message-passing cluster: goroutine-per-node actors exchanging heartbeat frames over a faulty in-process transport")
+	loss := flag.Float64("loss", 0.1, "cluster mode: heartbeat/data frame loss probability (dup/corrupt/delay ride along at fixed rates)")
 	flag.Parse()
 
 	g, err := parseGraph(*graphSpec, *seed)
@@ -82,6 +92,11 @@ func main() {
 		return
 	}
 
+	if *clusterMode {
+		runCluster(*algName, g, *seed, *loss)
+		return
+	}
+
 	if *churn > 0 {
 		runChurn(*algName, g, *churn, *seed, *maxMoves)
 		return
@@ -95,6 +110,81 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algName))
 	}
+}
+
+// runCluster is the message-passing demo: deploy the always-on
+// algorithm as a cluster of goroutine-actors over the deterministic
+// in-process transport wrapped in seeded faults, watch the heartbeat
+// exchange converge to the silent tree, then serve a packet batch
+// end-to-end as data frames over the same links.
+func runCluster(algName string, g *graph.Graph, seed int64, loss float64) {
+	var alg runtime.Algorithm
+	switch algName {
+	case "spanning":
+		alg = spanning.Algorithm{}
+	case "switching":
+		alg = switching.Algorithm{}
+	case "bfs":
+		alg = bfs.Algorithm{}
+	default:
+		fatal(fmt.Errorf("-cluster drives the always-on substrates: spanning | switching | bfs (got %q)", algName))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ft := cluster.NewFaultTransport(cluster.NewChanTransport(), cluster.FaultConfig{
+		Seed: seed + 1, Loss: loss, Dup: loss / 2, Corrupt: loss / 2, Delay: 2 * loss, MaxDelayTicks: 4,
+	})
+	cl, err := cluster.New(g, alg, ft, cluster.Config{StalenessTTL: 24})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Stop()
+	gw := cluster.NewGateway(cl)
+	cl.InitArbitrary(rng)
+	fmt.Printf("cluster: %d actors, %s codec, faults loss=%.2f dup=%.2f corrupt=%.2f delay=%.2f\n",
+		cl.Nodes(), cl.Codec().Name(), loss, loss/2, loss/2, 2*loss)
+
+	for !func() bool { _, q := cl.RunUntilQuiet(200, 12); return q }() {
+		st := cl.Stats()
+		fmt.Printf("  tick %-5d changed=%-3d frames=%d rejected=%d labeled=%d/%d\n",
+			cl.Ticks(), cl.ChangedLastTick(), st.FramesSent, st.RxRejected,
+			gw.Labeling().Covered(), g.N())
+		if cl.Ticks() > 100_000 {
+			fatal(fmt.Errorf("no convergence within %d ticks", cl.Ticks()))
+		}
+	}
+	st := cl.Stats()
+	fs := ft.Stats()
+	fmt.Printf("quiet after %d ticks: %d frames (%d rejected by checksum/staleness), faults lost=%d dup=%d corrupted=%d delayed=%d\n",
+		cl.Ticks(), st.FramesSent, st.RxRejected, fs.Lost, fs.Duplicated, fs.Corrupted, fs.Delayed)
+
+	net, err := cl.Mirror()
+	if err != nil {
+		fatal(err)
+	}
+	if !net.Silent() {
+		fatal(fmt.Errorf("quiet cluster projects to a non-silent configuration"))
+	}
+	var tree *trees.Tree
+	if algName == "spanning" {
+		tree, err = spanning.ExtractTree(net)
+	} else {
+		tree, err = switching.ExtractTree(net, switching.RegOf)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("silent tree: root=%d height=%d max-degree=%d, register bound %d bits\n",
+		tree.Root(), trees.NewIndex(tree).Height(), tree.MaxDegree(), cl.MaxRegisterBits())
+
+	batch := 4 * g.N()
+	gw.Launch(routing.UniformPairs(g.Nodes(), batch, rng))
+	for i := 0; i < 8*g.N() && gw.Outstanding() > 0; i++ {
+		cl.Tick()
+	}
+	gw.Expire()
+	gws := gw.Stats()
+	fmt.Printf("data plane over the faulty links: %d/%d delivered (%.1f%%), mean %.1f hops, %d lost in transit\n",
+		gws.Delivered, gws.Launched, 100*gws.DeliveryRate(), gws.MeanHops(), gws.Lost)
 }
 
 // runChurn is the live-topology demo: stabilize the substrate, then

@@ -37,6 +37,36 @@ func ExhaustiveTable(r *cert.ExhaustiveReport) *Table {
 	return t
 }
 
+// ClusterTable renders a message-passing cluster certification report:
+// one row per algorithm with its worst convergence latency (ticks) and
+// register width over every graph × transport fault profile.
+func ClusterTable(r *cert.ClusterReport) *Table {
+	t := &Table{
+		Title:  "CERT-CLUSTER — message-passing transform: worst convergence per algorithm",
+		Header: []string{"algorithm", "ticks", "ticks-on", "reg-bits", "bits-on"},
+	}
+	algos := make([]string, 0, len(r.Worst))
+	for a := range r.Worst {
+		algos = append(algos, a)
+	}
+	sort.Strings(algos)
+	on := func(w cert.WorstEntry) string { return w.Graph + "/" + w.Scheduler }
+	for _, a := range algos {
+		w := r.Worst[a]
+		t.Rows = append(t.Rows, []string{a,
+			itoa(w.Ticks.Value), on(w.Ticks),
+			itoa(w.RegisterBits.Value), on(w.RegisterBits)})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("graphs=%d runs=%d frames=%d rejected=%d packets=%d/%d counterexamples=%d",
+			r.Graphs, r.Runs, r.FramesSent, r.FramesRejected,
+			r.PacketsArrived, r.PacketsSent, len(r.Counterexamples)))
+	for _, ce := range r.Counterexamples {
+		t.Notes = append(t.Notes, "COUNTEREXAMPLE: "+ce.String())
+	}
+	return t
+}
+
 // ChurnTable renders a churn certification report: one row per
 // algorithm with its worst re-stabilization cost over every graph ×
 // daemon × seeded join/leave/partition/heal schedule.

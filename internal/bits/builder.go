@@ -1,0 +1,100 @@
+package bits
+
+import "fmt"
+
+// Builder is a mutable bit accumulator for encoders on hot paths. The
+// immutable String appends with copy-on-write — O(words) per bit, the
+// right trade for labels built once and shared — but a wire encoder
+// packing thousands of heartbeat frames per tick cannot afford a slice
+// copy per bit. A Builder appends in amortized O(1), reuses its backing
+// array across Reset, and snapshots into an immutable String (or packed
+// bytes) only when the frame is sealed.
+type Builder struct {
+	words []uint64
+	n     int
+}
+
+// Len returns the number of bits accumulated.
+func (b *Builder) Len() int { return b.n }
+
+// Reset empties the builder, keeping the backing array for reuse.
+func (b *Builder) Reset() {
+	b.words = b.words[:0]
+	b.n = 0
+}
+
+// AppendBit appends one bit.
+func (b *Builder) AppendBit(bit bool) {
+	if b.n%64 == 0 {
+		b.words = append(b.words, 0)
+	}
+	if bit {
+		b.words[b.n/64] |= 1 << (63 - uint(b.n%64))
+	}
+	b.n++
+}
+
+// AppendGamma appends the Elias-gamma code of v (v >= 1) — the same
+// code AppendGamma produces on a String, without the per-bit copies.
+func (b *Builder) AppendGamma(v uint64) {
+	if v == 0 {
+		panic("bits: gamma code requires v >= 1")
+	}
+	width := bitsLen(v)
+	for i := 0; i < width-1; i++ {
+		b.AppendBit(false)
+	}
+	for i := width - 1; i >= 0; i-- {
+		b.AppendBit(v>>uint(i)&1 == 1)
+	}
+}
+
+// String snapshots the accumulated bits as an immutable String. The
+// words are copied, so the builder may be reset and reused freely.
+func (b *Builder) String() String {
+	words := make([]uint64, len(b.words))
+	copy(words, b.words)
+	return String{words: words, n: b.n}
+}
+
+// AppendBytes appends the accumulated bits to dst as packed bytes,
+// MSB-first, the final partial byte zero-padded. It returns the grown
+// slice; pair it with FromBytes(data, b.Len()) to recover the bits.
+func (b *Builder) AppendBytes(dst []byte) []byte {
+	nBytes := (b.n + 7) / 8
+	for j := 0; j < nBytes; j++ {
+		dst = append(dst, byte(b.words[j/8]>>(56-8*uint(j%8))))
+	}
+	return dst
+}
+
+// Bytes packs the bit string MSB-first into bytes, the final partial
+// byte zero-padded: the on-the-wire form of an encoded label.
+func (s String) Bytes() []byte {
+	out := make([]byte, (s.n+7)/8)
+	for j := range out {
+		out[j] = byte(s.words[j/8] >> (56 - 8*uint(j%8)))
+	}
+	return out
+}
+
+// FromBytes reconstructs a bit string of exactly nbits from its packed
+// byte form. It rejects inputs whose length disagrees with nbits or
+// whose zero-padding carries set bits, so a corrupted length field
+// cannot smuggle silent extra state past a decoder.
+func FromBytes(data []byte, nbits int) (String, error) {
+	if nbits < 0 {
+		return String{}, fmt.Errorf("bits: negative bit count %d", nbits)
+	}
+	if want := (nbits + 7) / 8; len(data) != want {
+		return String{}, fmt.Errorf("bits: %d bytes for %d bits, want %d", len(data), nbits, want)
+	}
+	if pad := len(data)*8 - nbits; pad > 0 && data[len(data)-1]&(1<<uint(pad)-1) != 0 {
+		return String{}, fmt.Errorf("bits: nonzero padding in final byte")
+	}
+	words := make([]uint64, (nbits+63)/64)
+	for j, by := range data {
+		words[j/8] |= uint64(by) << (56 - 8*uint(j%8))
+	}
+	return String{words: words, n: nbits}, nil
+}

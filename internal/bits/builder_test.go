@@ -1,0 +1,91 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBuilderMatchesString: a Builder must produce bit-for-bit the same
+// string as the immutable append path, for random bit/gamma mixes.
+func TestBuilderMatchesString(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var b Builder
+		var s String
+		for op := 0; op < 1+rng.Intn(40); op++ {
+			if rng.Intn(2) == 0 {
+				bit := rng.Intn(2) == 1
+				b.AppendBit(bit)
+				s = s.AppendBit(bit)
+			} else {
+				v := uint64(rng.Intn(1<<16)) + 1
+				b.AppendGamma(v)
+				s = AppendGamma(s, v)
+			}
+		}
+		if got := b.String(); !got.Equal(s) {
+			t.Fatalf("trial %d: builder %s != string %s", trial, got, s)
+		}
+	}
+}
+
+// TestBuilderReset: a reset builder reuses its array but starts empty.
+func TestBuilderReset(t *testing.T) {
+	var b Builder
+	b.AppendGamma(12345)
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after reset = %d", b.Len())
+	}
+	b.AppendBit(true)
+	if got := b.String(); got.String() != "1" {
+		t.Fatalf("after reset got %q", got)
+	}
+}
+
+// TestBytesRoundtrip: Bytes/FromBytes must be inverse for every length
+// mod 8, and AppendBytes must agree with Bytes.
+func TestBytesRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 0; n <= 130; n++ {
+		var b Builder
+		for i := 0; i < n; i++ {
+			b.AppendBit(rng.Intn(2) == 1)
+		}
+		s := b.String()
+		packed := s.Bytes()
+		if got := b.AppendBytes(nil); string(got) != string(packed) {
+			t.Fatalf("n=%d: AppendBytes %x != Bytes %x", n, got, packed)
+		}
+		back, err := FromBytes(packed, n)
+		if err != nil {
+			t.Fatalf("n=%d: FromBytes: %v", n, err)
+		}
+		if !back.Equal(s) {
+			t.Fatalf("n=%d: roundtrip %s != %s", n, back, s)
+		}
+	}
+}
+
+// TestFromBytesRejects: length mismatches and dirty padding must fail —
+// the wire decoder depends on both to reject corrupted frames.
+func TestFromBytesRejects(t *testing.T) {
+	if _, err := FromBytes([]byte{0xff}, 3); err == nil {
+		t.Fatal("dirty padding accepted")
+	}
+	if _, err := FromBytes([]byte{0x00, 0x00}, 3); err == nil {
+		t.Fatal("oversized input accepted")
+	}
+	if _, err := FromBytes([]byte{0x00}, 9); err == nil {
+		t.Fatal("undersized input accepted")
+	}
+	if _, err := FromBytes(nil, -1); err == nil {
+		t.Fatal("negative bit count accepted")
+	}
+	if s, err := FromBytes(nil, 0); err != nil || s.Len() != 0 {
+		t.Fatalf("empty input rejected: %v", err)
+	}
+	if _, err := FromBytes([]byte{0xe0}, 3); err != nil {
+		t.Fatalf("clean padding rejected: %v", err)
+	}
+}

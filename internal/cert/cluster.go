@@ -1,0 +1,301 @@
+package cert
+
+// Message-passing cluster certification: the campaigns of this file
+// re-certify the convergence claims over internal/cluster — the
+// shared-memory→message-passing transform running each node as a
+// goroutine-actor exchanging heartbeat frames over an adversarial
+// transport — instead of the simulator's atomic views. Every run must
+// reach quiet under seeded loss/duplication/reordering/corruption,
+// project to a silent, closed, spec-correct shared-memory
+// configuration within the register bound, and serve a packet batch
+// end-to-end over the same transport once the control plane settles.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"silentspan/internal/cluster"
+	"silentspan/internal/graph"
+	"silentspan/internal/mdst"
+	"silentspan/internal/mst"
+	"silentspan/internal/routing"
+	"silentspan/internal/runtime"
+	"silentspan/internal/switching"
+	"silentspan/internal/trees"
+)
+
+// ClusterProfile names one transport fault profile of the campaign.
+type ClusterProfile struct {
+	Name   string
+	Faults cluster.FaultConfig
+}
+
+// ClusterProfiles is the campaign's transport adversary registry: a
+// perfect network (the transform alone), a lossy one, and the full
+// menu — loss, duplication, reordering (delay jitter), and byte
+// corruption caught by the frame checksum.
+func ClusterProfiles() []ClusterProfile {
+	return []ClusterProfile{
+		{Name: "clean", Faults: cluster.FaultConfig{}},
+		{Name: "lossy", Faults: cluster.FaultConfig{Loss: 0.15, Dup: 0.05}},
+		{Name: "chaotic", Faults: cluster.FaultConfig{
+			Loss: 0.1, Dup: 0.1, Corrupt: 0.05, Delay: 0.2, MaxDelayTicks: 4}},
+	}
+}
+
+// ClusterConfig parameterizes the cluster certification campaign. Zero
+// values take the documented defaults.
+type ClusterConfig struct {
+	// MaxN: graphs on 3..MaxN nodes (default 6).
+	MaxN int `json:"max_n"`
+	// Runs per (graph, algorithm, profile) (default 1).
+	Runs int `json:"runs"`
+	// InFlight: packet cohort launched mid-convergence (default 8).
+	InFlight int `json:"in_flight"`
+	// MaxTicks caps each convergence (default 50000).
+	MaxTicks int `json:"max_ticks"`
+	// QuietTicks: register-stability window declaring quiet; must
+	// exceed the heartbeat period plus the worst fault delay
+	// (default 12).
+	QuietTicks int `json:"quiet_ticks"`
+	// Seed drives graphs, inits, fault schedules, and cohorts.
+	Seed int64 `json:"seed"`
+	// Algos restricts the algorithm set (default all five).
+	Algos []Algo `json:"-"`
+	// MaxCounterexamples stops the hunt (default 20).
+	MaxCounterexamples int `json:"max_counterexamples"`
+}
+
+func (c *ClusterConfig) fill() {
+	if c.MaxN == 0 {
+		c.MaxN = 6
+	}
+	if c.Runs == 0 {
+		c.Runs = 1
+	}
+	if c.InFlight == 0 {
+		c.InFlight = 8
+	}
+	if c.MaxTicks == 0 {
+		c.MaxTicks = 50_000
+	}
+	if c.QuietTicks == 0 {
+		c.QuietTicks = 12
+	}
+	if len(c.Algos) == 0 {
+		c.Algos = AllAlgos()
+	}
+	if c.MaxCounterexamples == 0 {
+		c.MaxCounterexamples = 20
+	}
+}
+
+// ClusterWorst records the most expensive certified cluster runs per
+// algorithm (Scheduler fields carry the fault profile).
+type ClusterWorst struct {
+	Ticks        WorstEntry `json:"ticks"`
+	RegisterBits WorstEntry `json:"register_bits"`
+}
+
+// ClusterReport summarizes a cluster certification campaign.
+type ClusterReport struct {
+	Config          ClusterConfig           `json:"config"`
+	Graphs          int                     `json:"graphs"`
+	Runs            int                     `json:"runs"`
+	FramesSent      int                     `json:"frames_sent"`
+	FramesRejected  int                     `json:"frames_rejected"`
+	PacketsSent     int                     `json:"packets_sent"`
+	PacketsArrived  int                     `json:"packets_arrived"`
+	Worst           map[string]ClusterWorst `json:"worst"`
+	Counterexamples []Counterexample        `json:"counterexamples"`
+}
+
+// Certified reports whether the campaign found no counterexample.
+func (r *ClusterReport) Certified() bool { return len(r.Counterexamples) == 0 }
+
+// RunCluster executes the cluster certification campaign: every graph
+// × algorithm × transport fault profile × seeded run.
+func RunCluster(cfg ClusterConfig, logf func(format string, args ...any)) (*ClusterReport, error) {
+	cfg.fill()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &ClusterReport{Config: cfg, Worst: make(map[string]ClusterWorst)}
+	instances := churnGraphs(cfg.MaxN, cfg.Seed)
+	rep.Graphs = len(instances)
+	profiles := ClusterProfiles()
+
+	for gi, ng := range instances {
+		for _, a := range cfg.Algos {
+			for _, prof := range profiles {
+				for run := 0; run < cfg.Runs; run++ {
+					seed := cfg.Seed + int64(gi*100_000+run*1000)
+					rep.Runs++
+					ticks, bits, st, gws, err := runOneCluster(a, ng, prof, cfg, seed)
+					rep.FramesSent += st.FramesSent
+					rep.FramesRejected += st.RxRejected
+					rep.PacketsSent += gws.Launched
+					rep.PacketsArrived += gws.Delivered
+					if err == nil {
+						w := rep.Worst[a.String()]
+						if ticks > w.Ticks.Value {
+							w.Ticks = WorstEntry{Value: ticks, Graph: ng.Name, Scheduler: prof.Name}
+						}
+						if bits > w.RegisterBits.Value {
+							w.RegisterBits = WorstEntry{Value: bits, Graph: ng.Name, Scheduler: prof.Name}
+						}
+						rep.Worst[a.String()] = w
+						continue
+					}
+					rep.Counterexamples = append(rep.Counterexamples, Counterexample{
+						Graph: ng.Name, N: ng.G.N(), M: ng.G.M(), Algorithm: a.String(),
+						Scheduler: prof.Name, Init: fmt.Sprintf("cluster seed=%d", seed),
+						Detail: err.Error(),
+					})
+					logf("COUNTEREXAMPLE: %s", rep.Counterexamples[len(rep.Counterexamples)-1])
+					if len(rep.Counterexamples) >= cfg.MaxCounterexamples {
+						return rep, nil
+					}
+				}
+			}
+		}
+		if (gi+1)%5 == 0 || gi == len(instances)-1 {
+			logf("clustered %d/%d graphs, %d runs, %d frames (%d rejected), %d/%d packets, %d counterexamples",
+				gi+1, len(instances), rep.Runs, rep.FramesSent, rep.FramesRejected,
+				rep.PacketsArrived, rep.PacketsSent, len(rep.Counterexamples))
+		}
+	}
+	return rep, nil
+}
+
+// clusterAlgorithm returns the algorithm a cluster run executes and an
+// initializer for its registers: the always-on algorithms start from a
+// fully adversarial configuration; MST/MDST (engine-driven in the
+// simulator) deploy their reference tree into the switching protocol
+// and take transient corruption on top — the deployment story at any
+// scale, matching the chaos and churn campaigns.
+func clusterAlgorithm(a Algo, g *graph.Graph) (runtime.Algorithm, func(cl *cluster.Cluster, rng *rand.Rand) error, error) {
+	if alg := DirectAlgorithm(a); alg != nil {
+		return alg, func(cl *cluster.Cluster, rng *rand.Rand) error {
+			cl.InitArbitrary(rng)
+			return nil
+		}, nil
+	}
+	var (
+		t   *trees.Tree
+		err error
+	)
+	if a == AlgoMST {
+		t, err = mst.Kruskal(g, g.MinID())
+	} else {
+		t, err = mdst.GreedyLowDegreeTree(g, g.MinID())
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	depths := t.Depths()
+	sizes := t.SubtreeSizes()
+	return switching.Algorithm{}, func(cl *cluster.Cluster, rng *rand.Rand) error {
+		for _, v := range g.Nodes() {
+			cl.SetState(v, switching.State{
+				Root: t.Root(), Parent: t.Parent(v),
+				HasD: true, D: depths[v], HasS: true, S: sizes[v],
+				Sw: switching.SwIdle, SwTarget: trees.None,
+				Pr: switching.PrOff, Sub: switching.SubOff,
+			})
+		}
+		cl.Corrupt(2, rng)
+		return nil
+	}, nil
+}
+
+// runOneCluster is one certified run.
+func runOneCluster(a Algo, ng NamedGraph, prof ClusterProfile, cfg ClusterConfig, seed int64) (
+	ticks, registerBits int, st cluster.Stats, gws cluster.GatewayStats, err error) {
+	g := ng.G
+	rng := rand.New(rand.NewSource(seed))
+	alg, init, err := clusterAlgorithm(a, g)
+	if err != nil {
+		return 0, 0, st, gws, err
+	}
+	faults := prof.Faults
+	faults.Seed = seed + 1
+	ft := cluster.NewFaultTransport(cluster.NewChanTransport(), faults)
+	cl, err := cluster.New(g, alg, ft, cluster.Config{StalenessTTL: 4 * cfg.QuietTicks})
+	if err != nil {
+		return 0, 0, st, gws, err
+	}
+	defer cl.Stop()
+	gw := cluster.NewGateway(cl)
+	if err := init(cl, rng); err != nil {
+		return 0, 0, st, gws, err
+	}
+
+	// Cohort launched mid-convergence, flying over the decaying labeling.
+	for i := 0; i < 3; i++ {
+		cl.Tick()
+	}
+	gw.Launch(routing.UniformPairs(g.Nodes(), cfg.InFlight, rng))
+
+	ticks, quiet := cl.RunUntilQuiet(cfg.MaxTicks, cfg.QuietTicks)
+	st = cl.Stats()
+	gws = gw.Stats()
+	if !quiet {
+		return ticks, cl.MaxRegisterBits(), st, gws, fmt.Errorf("no quiet within %d ticks", cfg.MaxTicks)
+	}
+
+	// Project into the shared-memory model: silence, closure, spec, and
+	// the register bound all check against the simulator's own machinery.
+	net, err := cl.Mirror()
+	if err != nil {
+		return ticks, 0, st, gws, err
+	}
+	if !net.Silent() {
+		return ticks, 0, st, gws, fmt.Errorf("quiet cluster projects to a non-silent configuration: enabled %v", net.Enabled())
+	}
+	if err := runtime.CheckSilentStable(net); err != nil {
+		return ticks, 0, st, gws, err
+	}
+	before := net.Moves()
+	if _, err := net.Run(runtime.Synchronous(), before+8); err != nil {
+		return ticks, 0, st, gws, fmt.Errorf("closure probe: %w", err)
+	}
+	if net.Moves() != before {
+		return ticks, 0, st, gws, fmt.Errorf("closure violated: %d moves after quiet", net.Moves()-before)
+	}
+	if err := checkChurnSpec(a, g, net); err != nil {
+		return ticks, 0, st, gws, fmt.Errorf("spec: %w", err)
+	}
+	registerBits = cl.MaxRegisterBits()
+	if bound := churnRegisterBound(a, g); registerBits > bound {
+		return ticks, registerBits, st, gws, fmt.Errorf("register width %d bits exceeds bound %d", registerBits, bound)
+	}
+
+	// Data plane: resolve the mid-chaos cohort (losses are legal
+	// casualties, but every packet must be accounted), then a fresh
+	// batch over the quiesced transport must deliver 100%.
+	for i := 0; i < 8*g.N() && gw.Outstanding() > 0; i++ {
+		cl.Tick()
+	}
+	gw.Expire()
+	mid := gw.Stats()
+	if mid.Delivered+mid.Dropped+mid.Lost != mid.Launched {
+		return ticks, registerBits, st, mid, fmt.Errorf("cohort unaccounted: %+v", mid)
+	}
+	if !gw.Labeling().Complete() {
+		return ticks, registerBits, st, mid, fmt.Errorf("labeling incomplete after quiet: %d covered", gw.Labeling().Covered())
+	}
+	ft.SetEnabled(false)
+	batch := 2 * g.N()
+	gw.Launch(routing.UniformPairs(g.Nodes(), batch, rng))
+	for i := 0; i < 8*g.N() && gw.Outstanding() > 0; i++ {
+		cl.Tick()
+	}
+	gws = gw.Stats()
+	st = cl.Stats()
+	if gws.Delivered-mid.Delivered != batch {
+		return ticks, registerBits, st, gws, fmt.Errorf("post-quiet batch: %d of %d delivered over a clean transport",
+			gws.Delivered-mid.Delivered, batch)
+	}
+	return ticks, registerBits, st, gws, nil
+}

@@ -1,0 +1,443 @@
+// Package cluster executes the repository's self-stabilizing algorithms
+// over real transports instead of the simulator: each node is an
+// independent goroutine-actor owning only its local register and a
+// cache of its neighbors' last heartbeat states, exchanged as
+// checksummed wire frames (internal/wire) over a pluggable Transport.
+//
+// This is the classic shared-memory→message-passing transform: a node
+// periodically broadcasts its register; neighbors cache the last
+// received copy; the transition function δ is evaluated against the
+// cache, presented to the unmodified algorithm through the
+// runtime.NewView adapter seam. Stale cache entries (no heartbeat
+// within StalenessTTL) read as nil — unknown, hence locally
+// inconsistent — so a node never acts on information older than the
+// staleness bound. The transform preserves silence (stabilized
+// clusters exchange only constant-size keep-alive heartbeats, and
+// registers stop changing) and the Θ(log n) register bound (a frame
+// carries one gamma-coded register plus a constant envelope).
+//
+// Two execution modes share the node logic:
+//
+//   - Lockstep (Tick/RunUntilQuiet, over a Stepper transport such as
+//     ChanTransport): nodes run their ticks concurrently between two
+//     barriers; frames travel at the barrier in deterministic order.
+//     Same seed ⇒ identical execution trace, which is what the
+//     certification campaigns and the determinism test rely on.
+//   - Free-running (Serve, over an async transport such as
+//     UDPTransport): every node loops on its own timer and its
+//     endpoint's notify channel, with no global coordination — the
+//     deployment shape.
+//
+// A Gateway (gateway.go) rides on top, maintaining a
+// routing.LiveLabeler over the live registers and carrying routed
+// packets hop-by-hop as data frames through the same transport.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/runtime"
+	"silentspan/internal/wire"
+)
+
+// Config parameterizes a cluster. Zero values take the documented
+// defaults.
+type Config struct {
+	// HeartbeatEvery is the keep-alive period in ticks: a node
+	// rebroadcasts its register every this many ticks even without a
+	// change (default 1; changes always broadcast immediately).
+	HeartbeatEvery int
+	// StalenessTTL is the cache expiry in local ticks: a neighbor not
+	// heard from for longer reads as unknown (nil state). Must comfortably
+	// exceed HeartbeatEvery plus the worst transport delay, or live
+	// neighbors flap in and out of existence (default 12).
+	StalenessTTL int
+	// MaxHold is a parked packet's stall budget in ticks before it is
+	// dropped (default 256 — labelings heal within a convergence).
+	MaxHold int
+	// Interval is the free-running tick period (default 2ms).
+	Interval time.Duration
+}
+
+func (c *Config) fill() {
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 1
+	}
+	if c.StalenessTTL == 0 {
+		c.StalenessTTL = 12
+	}
+	if c.MaxHold == 0 {
+		c.MaxHold = 256
+	}
+	if c.Interval == 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+}
+
+// Stats aggregates the cluster's transport activity.
+type Stats struct {
+	FramesSent, BytesSent  int
+	FramesRecv, RxRejected int
+	HeartbeatsApplied      int
+}
+
+// Cluster binds a graph, an algorithm, a wire codec, and a transport
+// into a message-passing deployment of the algorithm.
+type Cluster struct {
+	g     *graph.Graph
+	d     *graph.Dense
+	alg   runtime.Algorithm
+	codec wire.Codec
+	tr    Transport
+	step  Stepper // nil when the transport is async-only
+	cfg   Config
+
+	nodes []*Node // dense-slot order
+	gw    *Gateway
+	// stateDirty marks out-of-band register writes (SetState,
+	// InitArbitrary, Corrupt) so the next tick refreshes the gateway
+	// even if no δ evaluation changed anything.
+	stateDirty bool
+
+	// Lockstep coordination.
+	started        bool
+	tickCh         []chan uint64
+	doneCh         chan struct{}
+	tick           uint64
+	lastChangeTick uint64
+	changedLast    int
+
+	// trace, when enabled, folds every register change into a running
+	// hash — the determinism witness.
+	trace hash.Hash64
+}
+
+// New builds a cluster over g running alg, opening one endpoint per
+// node on tr. The codec is derived from the algorithm. The graph's
+// topology is fixed for the cluster's lifetime (live topology churn
+// stays a simulator feature for now; see DESIGN.md §8).
+func New(g *graph.Graph, alg runtime.Algorithm, tr Transport, cfg Config) (*Cluster, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("cluster: empty graph")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("cluster: graph not connected")
+	}
+	codec, err := wire.ForAlgorithm(alg)
+	if err != nil {
+		return nil, err
+	}
+	d := g.Dense()
+	st, _ := tr.(Stepper)
+	c := &Cluster{g: g, d: d, alg: alg, codec: codec, tr: tr, step: st, cfg: cfg}
+	c.cfg.fill()
+	for i := 0; i < d.Slots(); i++ {
+		if !d.LiveAt(i) {
+			return nil, fmt.Errorf("cluster: graph has vacated dense slots; coalesce before clustering")
+		}
+		ep, err := tr.Open(d.ID(i))
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, newNode(d.ID(i), i, d.N(), d.NeighborIDs(i), d.Weights(i), ep, codec, alg))
+	}
+	return c, nil
+}
+
+// Graph returns the underlying graph.
+func (c *Cluster) Graph() *graph.Graph { return c.g }
+
+// Algorithm returns the algorithm the cluster runs.
+func (c *Cluster) Algorithm() runtime.Algorithm { return c.alg }
+
+// Codec returns the wire codec in use.
+func (c *Cluster) Codec() wire.Codec { return c.codec }
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Node returns the actor for id, or nil.
+func (c *Cluster) Node(id graph.NodeID) *Node {
+	i, ok := c.d.IndexOf(id)
+	if !ok {
+		return nil
+	}
+	return c.nodes[i]
+}
+
+// State returns node id's current register content.
+func (c *Cluster) State(id graph.NodeID) runtime.State {
+	nd := c.Node(id)
+	if nd == nil {
+		return nil
+	}
+	return nd.State()
+}
+
+// SetState writes node id's register directly — initial configurations
+// and fault injection. Call only between ticks (or before Serve).
+func (c *Cluster) SetState(id graph.NodeID, s runtime.State) {
+	nd := c.Node(id)
+	if nd == nil {
+		panic(fmt.Sprintf("cluster: unknown node %d", id))
+	}
+	nd.setState(s)
+	c.stateDirty = true
+}
+
+// InitArbitrary fills every register with an arbitrary state drawn
+// from the algorithm — the adversarial initialization of the model.
+// Neighbor caches start empty regardless: a booting cluster knows
+// nothing about its neighbors until heartbeats arrive.
+func (c *Cluster) InitArbitrary(rng *rand.Rand) {
+	for _, nd := range c.nodes {
+		v := runtime.NewView(nd.id, nd.n, nd.neighbors, nd.weights, nil, nd.peers)
+		nd.setState(c.alg.ArbitraryState(rng, v))
+	}
+	c.stateDirty = true
+}
+
+// Corrupt overwrites k distinct registers with arbitrary states drawn
+// from the algorithm — transient faults striking a live deployment.
+// Call between ticks. It returns the victims in activation order.
+func (c *Cluster) Corrupt(k int, rng *rand.Rand) []graph.NodeID {
+	if k > len(c.nodes) {
+		k = len(c.nodes)
+	}
+	victims := make([]graph.NodeID, 0, k)
+	for _, i := range rng.Perm(len(c.nodes))[:k] {
+		nd := c.nodes[i]
+		v := runtime.NewView(nd.id, nd.n, nd.neighbors, nd.weights, nd.State(), nd.peers)
+		nd.setState(c.alg.ArbitraryState(rng, v))
+		victims = append(victims, nd.id)
+	}
+	c.stateDirty = true
+	return victims
+}
+
+// EnableTrace arms the execution-trace hash: every subsequent register
+// change (tick, slot, rendered state) folds into it in slot order.
+func (c *Cluster) EnableTrace() {
+	c.trace = fnv.New64a()
+}
+
+// TraceSum returns the current trace hash (zero when tracing is off).
+func (c *Cluster) TraceSum() uint64 {
+	if c.trace == nil {
+		return 0
+	}
+	return c.trace.Sum64()
+}
+
+// start launches the per-node actor goroutines (lockstep mode).
+func (c *Cluster) start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.doneCh = make(chan struct{}, len(c.nodes))
+	c.tickCh = make([]chan uint64, len(c.nodes))
+	for i, nd := range c.nodes {
+		ch := make(chan uint64, 1)
+		c.tickCh[i] = ch
+		go func(nd *Node, ch chan uint64) {
+			for t := range ch {
+				nd.tick(t, &c.cfg, c.gw)
+				c.doneCh <- struct{}{}
+			}
+		}(nd, ch)
+	}
+}
+
+// Stop terminates the actor goroutines (lockstep mode; idempotent).
+func (c *Cluster) Stop() {
+	if !c.started {
+		return
+	}
+	c.started = false
+	for _, ch := range c.tickCh {
+		close(ch)
+	}
+	c.tickCh = nil
+}
+
+// Tick runs one lockstep round: all node actors execute their tick
+// concurrently between two barriers, then the transport delivers what
+// they sent, in deterministic order. Requires a Stepper transport.
+func (c *Cluster) Tick() {
+	if c.step == nil {
+		panic("cluster: Tick over a transport with no lockstep Step; use Serve")
+	}
+	c.start()
+	c.tick++
+	for _, ch := range c.tickCh {
+		ch <- c.tick
+	}
+	for range c.nodes {
+		<-c.doneCh
+	}
+	c.step.Step(c.tick)
+	c.changedLast = 0
+	for _, nd := range c.nodes {
+		if nd.changed {
+			c.changedLast++
+			if c.trace != nil {
+				fmt.Fprintf(c.trace, "%d:%d:%s;", c.tick, nd.slot, nd.self)
+			}
+		}
+	}
+	if c.changedLast > 0 {
+		c.lastChangeTick = c.tick
+	}
+	// The labeling only moves when some register did: a quiet cluster
+	// skips the O(n) register sweep entirely instead of re-reading every
+	// node per tick forever.
+	if c.gw != nil && (c.changedLast > 0 || c.stateDirty) {
+		c.gw.refresh()
+		c.stateDirty = false
+	}
+}
+
+// Ticks returns the lockstep tick count so far.
+func (c *Cluster) Ticks() uint64 { return c.tick }
+
+// ChangedLastTick returns how many registers changed in the last tick.
+func (c *Cluster) ChangedLastTick() int { return c.changedLast }
+
+// RunUntilQuiet ticks until no register has changed for quiet
+// consecutive ticks — the message-passing image of the paper's silence
+// — or until maxTicks. It returns the ticks consumed and whether quiet
+// was reached.
+//
+// quiet must exceed the heartbeat period plus the transport's worst
+// delivery delay: then every frame still in flight was sent while all
+// registers already held their current values, so it carries a state
+// the receiver's cache either has (newer seq, equal content — a no-op
+// update) or has superseded, and stability is a true fixpoint. The
+// keep-alive heartbeats themselves never stop — silence means registers
+// and caches stop changing, not that links go dark.
+func (c *Cluster) RunUntilQuiet(maxTicks, quiet int) (int, bool) {
+	if quiet <= c.cfg.HeartbeatEvery {
+		quiet = c.cfg.HeartbeatEvery + 1
+	}
+	start := c.tick
+	for c.tick-start < uint64(maxTicks) {
+		c.Tick()
+		if c.tick-c.lastChangeTick >= uint64(quiet) {
+			return int(c.tick - start), true
+		}
+	}
+	return int(c.tick - start), false
+}
+
+// Serve runs the cluster free-running until ctx is cancelled: every
+// node loops on its own timer and its endpoint's notify channel — no
+// global coordination, the deployment shape. Requires endpoints with a
+// notify channel (async transports such as UDPTransport).
+func (c *Cluster) Serve(ctx context.Context) error {
+	for _, nd := range c.nodes {
+		if nd.ep.Notify() == nil {
+			return fmt.Errorf("cluster: transport endpoint of node %d has no notify channel; use Tick", nd.id)
+		}
+	}
+	done := make(chan struct{}, len(c.nodes))
+	for _, nd := range c.nodes {
+		go func(nd *Node) {
+			defer func() { done <- struct{}{} }()
+			ticker := time.NewTicker(c.cfg.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-nd.ep.Notify():
+					// Receive path: ingest only. Stepping and broadcasting
+					// stay on the ticker, so the send rate is bound to
+					// Interval no matter how fast frames arrive.
+					nd.absorb(&c.cfg, c.gw)
+				case <-ticker.C:
+					nd.tick(nd.localTick+1, &c.cfg, c.gw)
+				}
+			}
+		}(nd)
+	}
+	if c.gw != nil {
+		go func() {
+			ticker := time.NewTicker(c.cfg.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					c.gw.refresh()
+				}
+			}
+		}()
+	}
+	<-ctx.Done()
+	for range c.nodes {
+		<-done
+	}
+	return ctx.Err()
+}
+
+// Snapshot appends every node's current register in dense-slot order —
+// the bridge to the simulator's spec checkers: load the snapshot into a
+// runtime.Network over the same graph and every shared-memory assertion
+// (silence, closure, spec, register bounds) applies verbatim.
+func (c *Cluster) Snapshot(into []runtime.State) []runtime.State {
+	for _, nd := range c.nodes {
+		into = append(into, nd.State())
+	}
+	return into
+}
+
+// Mirror loads the cluster's registers into a fresh runtime.Network
+// over the same graph, for spec checking.
+func (c *Cluster) Mirror() (*runtime.Network, error) {
+	net, err := runtime.NewNetwork(c.g, c.alg)
+	if err != nil {
+		return nil, err
+	}
+	for _, nd := range c.nodes {
+		if s := nd.State(); s != nil {
+			net.SetState(nd.id, s)
+		}
+	}
+	return net, nil
+}
+
+// Stats sums the per-node transport counters. Call between ticks.
+func (c *Cluster) Stats() Stats {
+	var s Stats
+	for _, nd := range c.nodes {
+		s.FramesSent += nd.stats.FramesSent
+		s.BytesSent += nd.stats.BytesSent
+		s.FramesRecv += nd.stats.FramesRecv
+		s.RxRejected += nd.stats.RxRejected
+		s.HeartbeatsApplied += nd.stats.HeartbeatsApplied
+	}
+	return s
+}
+
+// MaxRegisterBits returns the largest register over all nodes under the
+// natural encoding — the space measure of the paper, unchanged by the
+// transform.
+func (c *Cluster) MaxRegisterBits() int {
+	max := 0
+	for _, nd := range c.nodes {
+		if s := nd.State(); s != nil {
+			if b := s.EncodedBits(); b > max {
+				max = b
+			}
+		}
+	}
+	return max
+}

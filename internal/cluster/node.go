@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"slices"
+	"sync"
+
+	"silentspan/internal/bits"
+	"silentspan/internal/graph"
+	"silentspan/internal/runtime"
+	"silentspan/internal/wire"
+)
+
+// Node is one cluster member: an actor owning exactly its local
+// register and a cache of its neighbors' last heartbeat states — the
+// message-passing realization of the paper's single-writer
+// multiple-reader register (Section II-A). All protocol state below is
+// touched only by the node's own goroutine during a tick; the mutex
+// guards the published register (and the data queue's injection side)
+// for between-tick readers like the gateway.
+type Node struct {
+	id        graph.NodeID
+	slot      int
+	n         int            // network size (the model's known bound)
+	neighbors []graph.NodeID // ascending, shared with graph.Dense
+	weights   []graph.Weight // parallel to neighbors, shared
+	ep        Endpoint
+	codec     wire.Codec
+	alg       runtime.Algorithm
+
+	mu   sync.Mutex
+	self runtime.State
+
+	// Neighbor-state cache, parallel to neighbors. lastSeen is the local
+	// tick of the last accepted heartbeat (0 = never); lastSeq the
+	// highest accepted sequence number, which rejects duplicated and
+	// reordered-stale heartbeats.
+	cache    []runtime.State
+	lastSeen []uint64
+	lastSeq  []uint64
+	peers    []runtime.State // per-tick effective view (staleness applied)
+
+	// dataQ holds routed packets parked at this node (in flight, or
+	// stalled on an unroutable labeling). heldSince is parallel.
+	dataQ     []wire.Packet
+	heldSince []uint64
+
+	seq       uint64 // own heartbeat counter
+	localTick uint64
+	changed   bool // register changed during the last tick
+
+	enc      bits.Builder
+	drainBuf [][]byte
+
+	stats NodeStats
+}
+
+// NodeStats counts one node's transport-visible activity.
+type NodeStats struct {
+	FramesSent, BytesSent  int
+	FramesRecv, RxRejected int
+	HeartbeatsApplied      int
+	PacketsForwarded       int
+	PacketsDropped         int
+}
+
+func newNode(id graph.NodeID, slot, n int, neighbors []graph.NodeID, weights []graph.Weight,
+	ep Endpoint, codec wire.Codec, alg runtime.Algorithm) *Node {
+	deg := len(neighbors)
+	return &Node{
+		id: id, slot: slot, n: n,
+		neighbors: neighbors, weights: weights,
+		ep: ep, codec: codec, alg: alg,
+		cache:    make([]runtime.State, deg),
+		lastSeen: make([]uint64, deg),
+		lastSeq:  make([]uint64, deg),
+		peers:    make([]runtime.State, deg),
+	}
+}
+
+// ID returns the node's identity.
+func (nd *Node) ID() graph.NodeID { return nd.id }
+
+// State returns the node's current register content.
+func (nd *Node) State() runtime.State {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.self
+}
+
+// setState publishes a new register content.
+func (nd *Node) setState(s runtime.State) {
+	nd.mu.Lock()
+	nd.self = s
+	nd.mu.Unlock()
+}
+
+// Inject parks a packet at this node (the gateway's entry point).
+func (nd *Node) Inject(p wire.Packet) {
+	nd.mu.Lock()
+	nd.dataQ = append(nd.dataQ, p)
+	nd.heldSince = append(nd.heldSince, nd.localTick)
+	nd.mu.Unlock()
+}
+
+// absorb ingests delivered frames at the current local time without
+// advancing the protocol clock or broadcasting — the free-running
+// receive path. Keeping sends off this path bounds the heartbeat rate
+// to the ticker: if arrivals triggered full ticks, every received
+// frame would provoke an immediate rebroadcast and adjacent nodes
+// would drive each other into a frame storm decoupled from Interval.
+func (nd *Node) absorb(cfg *Config, gw *Gateway) {
+	nd.drainBuf = nd.ep.Drain(nd.drainBuf[:0])
+	for _, data := range nd.drainBuf {
+		nd.ingest(data, nd.localTick, cfg, gw)
+	}
+}
+
+// tick runs one protocol round at local time `now`: ingest delivered
+// frames, apply one δ evaluation over the (staleness-filtered) cache
+// view, forward parked packets, and heartbeat.
+func (nd *Node) tick(now uint64, cfg *Config, gw *Gateway) {
+	// localTick is written under the mutex: Gateway.Launch's Inject
+	// reads it from outside the actor goroutine to date parked packets.
+	nd.mu.Lock()
+	nd.localTick = now
+	nd.mu.Unlock()
+	nd.drainBuf = nd.ep.Drain(nd.drainBuf[:0])
+	for _, data := range nd.drainBuf {
+		nd.ingest(data, now, cfg, gw)
+	}
+	nd.step(now, cfg)
+	if gw != nil {
+		nd.pump(now, cfg, gw)
+	}
+	// Heartbeat: immediately after a register change (convergence
+	// latency), and periodically as keep-alive (staleness ground truth).
+	if nd.changed || now%uint64(cfg.HeartbeatEvery) == 0 {
+		nd.broadcast()
+	}
+}
+
+// ingest applies one received frame. Undecodable frames — truncated,
+// corrupted (checksum), foreign codec — are rejected and counted;
+// heartbeats from non-neighbors are rejected (the model only grants a
+// node its neighbors' registers); duplicated or reordered-stale
+// heartbeats are rejected by sequence number.
+func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
+	nd.stats.FramesRecv++
+	f, err := wire.Decode(nd.codec, data)
+	if err != nil {
+		nd.stats.RxRejected++
+		return
+	}
+	switch f.Kind {
+	case wire.KindHeartbeat:
+		if f.Alg != nd.codec.Code() {
+			nd.stats.RxRejected++
+			return
+		}
+		j, ok := slices.BinarySearch(nd.neighbors, f.Src)
+		if !ok {
+			nd.stats.RxRejected++
+			return
+		}
+		if f.Seq <= nd.lastSeq[j] {
+			nd.stats.RxRejected++ // duplicate or reordered-stale
+			return
+		}
+		nd.lastSeq[j] = f.Seq
+		nd.cache[j] = f.State
+		nd.lastSeen[j] = now
+		nd.stats.HeartbeatsApplied++
+	case wire.KindData:
+		if gw == nil {
+			nd.stats.RxRejected++
+			return
+		}
+		if f.Data.Dst == nd.id {
+			gw.deliver(f.Data)
+			return
+		}
+		nd.mu.Lock()
+		nd.dataQ = append(nd.dataQ, f.Data)
+		nd.heldSince = append(nd.heldSince, now)
+		nd.mu.Unlock()
+	}
+}
+
+// step evaluates δ once over the staleness-filtered cache view. A
+// cache entry older than StalenessTTL local ticks is presented as nil —
+// the algorithms treat an unknown neighbor state as inconsistency,
+// never acting on stale data — exactly as a register wiped by a fault
+// would read in the shared-memory model.
+func (nd *Node) step(now uint64, cfg *Config) {
+	for j := range nd.peers {
+		if nd.lastSeen[j] == 0 || now-nd.lastSeen[j] > uint64(cfg.StalenessTTL) {
+			nd.peers[j] = nil
+		} else {
+			nd.peers[j] = nd.cache[j]
+		}
+	}
+	v := runtime.NewView(nd.id, nd.n, nd.neighbors, nd.weights, nd.self, nd.peers)
+	next := nd.alg.Step(v)
+	if nd.self == nil || !next.Equal(nd.self) {
+		nd.setState(next)
+		nd.changed = true
+	} else {
+		nd.changed = false
+	}
+}
+
+// pump advances every parked packet one hop over the gateway's current
+// labeling. Unroutable packets stall in place (the labeling may heal);
+// packets exceeding the hop budget or the stall budget are dropped and
+// reported.
+func (nd *Node) pump(now uint64, cfg *Config, gw *Gateway) {
+	nd.mu.Lock()
+	q, held := nd.dataQ, nd.heldSince
+	nd.dataQ, nd.heldSince = nil, nil
+	nd.mu.Unlock()
+	var keepQ []wire.Packet
+	var keepH []uint64
+	for i, p := range q {
+		next, ok := gw.nextHop(nd.id, p.Dst)
+		switch {
+		case !ok:
+			if now-held[i] > uint64(cfg.MaxHold) {
+				nd.stats.PacketsDropped++
+				gw.drop(p)
+				continue
+			}
+			keepQ = append(keepQ, p)
+			keepH = append(keepH, held[i])
+		case p.Hops+1 > gw.maxHops:
+			nd.stats.PacketsDropped++
+			gw.drop(p)
+		default:
+			p.Hops++
+			data, err := wire.Encode(wire.Frame{Kind: wire.KindData, Src: nd.id, Data: p},
+				nd.codec, &nd.enc, nil)
+			if err != nil {
+				nd.stats.PacketsDropped++
+				gw.drop(p)
+				continue
+			}
+			nd.ep.Send(next, data)
+			nd.stats.PacketsForwarded++
+			nd.stats.FramesSent++
+			nd.stats.BytesSent += len(data)
+		}
+	}
+	if len(keepQ) > 0 {
+		nd.mu.Lock()
+		nd.dataQ = append(keepQ, nd.dataQ...)
+		nd.heldSince = append(keepH, nd.heldSince...)
+		nd.mu.Unlock()
+	}
+}
+
+// broadcast sends the node's register to every neighbor as one
+// heartbeat frame (a shared byte slice: recipients only read).
+func (nd *Node) broadcast() {
+	nd.seq++
+	data, err := wire.Encode(wire.Frame{
+		Kind: wire.KindHeartbeat, Alg: nd.codec.Code(),
+		Src: nd.id, Seq: nd.seq, State: nd.self,
+	}, nd.codec, &nd.enc, nil)
+	if err != nil {
+		// A register the codec cannot carry is a wiring bug (foreign
+		// state injected into the cluster); surface it loudly.
+		panic("cluster: encode own register: " + err.Error())
+	}
+	for _, u := range nd.neighbors {
+		nd.ep.Send(u, data)
+		nd.stats.FramesSent++
+		nd.stats.BytesSent += len(data)
+	}
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"silentspan/internal/graph"
+)
+
+// UDPTransport carries frames over real loopback UDP sockets: each
+// endpoint binds its own datagram socket, a reader goroutine feeds the
+// inbox, and sends resolve the destination's bound address through a
+// shared directory. UDP already provides the full adversarial fault
+// menu in the wild (drop, duplicate, reorder); FaultTransport can wrap
+// this transport to force those faults deterministically on loopback,
+// where the kernel is usually too polite to inject them.
+//
+// The transport is async-only: endpoints have a notify channel and no
+// lockstep Step, so clusters run it with Serve.
+type UDPTransport struct {
+	mu    sync.Mutex
+	addrs map[graph.NodeID]*net.UDPAddr
+	eps   []*udpEndpoint
+}
+
+// NewUDPTransport returns an empty UDP transport on loopback.
+func NewUDPTransport() *UDPTransport {
+	return &UDPTransport{addrs: make(map[graph.NodeID]*net.UDPAddr)}
+}
+
+type udpEndpoint struct {
+	tr   *UDPTransport
+	id   graph.NodeID
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	in     [][]byte
+	notify chan struct{}
+	closed bool
+}
+
+// maxFrame bounds one datagram read. Register frames are tens of
+// bytes; anything larger is foreign traffic and will fail to decode.
+const maxFrame = 64 * 1024
+
+// Open implements Transport: bind a loopback socket for id and start
+// its reader.
+func (tr *UDPTransport) Open(id graph.NodeID) (Endpoint, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: udp bind for node %d: %w", id, err)
+	}
+	ep := &udpEndpoint{tr: tr, id: id, conn: conn, notify: make(chan struct{}, 1)}
+	tr.mu.Lock()
+	if _, dup := tr.addrs[id]; dup {
+		tr.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("cluster: node %d already attached", id)
+	}
+	tr.addrs[id] = conn.LocalAddr().(*net.UDPAddr)
+	tr.eps = append(tr.eps, ep)
+	tr.mu.Unlock()
+	go ep.readLoop()
+	return ep, nil
+}
+
+// Close implements Transport.
+func (tr *UDPTransport) Close() error {
+	tr.mu.Lock()
+	eps := tr.eps
+	tr.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return nil
+}
+
+func (ep *udpEndpoint) readLoop() {
+	buf := make([]byte, maxFrame)
+	for {
+		n, _, err := ep.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		frame := append([]byte(nil), buf[:n]...)
+		ep.mu.Lock()
+		ep.in = append(ep.in, frame)
+		ep.mu.Unlock()
+		select {
+		case ep.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Send implements Endpoint.
+func (ep *udpEndpoint) Send(to graph.NodeID, frame []byte) error {
+	ep.tr.mu.Lock()
+	addr, ok := ep.tr.addrs[to]
+	ep.tr.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: node %d not attached", to)
+	}
+	_, err := ep.conn.WriteToUDP(frame, addr)
+	return err
+}
+
+// Drain implements Endpoint.
+func (ep *udpEndpoint) Drain(into [][]byte) [][]byte {
+	ep.mu.Lock()
+	into = append(into, ep.in...)
+	ep.in = ep.in[:0]
+	ep.mu.Unlock()
+	return into
+}
+
+// Notify implements Endpoint.
+func (ep *udpEndpoint) Notify() <-chan struct{} { return ep.notify }
+
+// Close implements Endpoint.
+func (ep *udpEndpoint) Close() error {
+	ep.mu.Lock()
+	closed := ep.closed
+	ep.closed = true
+	ep.mu.Unlock()
+	if closed {
+		return nil
+	}
+	return ep.conn.Close()
+}

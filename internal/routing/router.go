@@ -96,6 +96,11 @@ func NewRouter(g *graph.Graph, lab *Labeling, opt Options) *Router {
 // Labeling returns the router's current labeling.
 func (r *Router) Labeling() *Labeling { return r.lab }
 
+// MaxHops returns the per-packet hop budget — serving layers that carry
+// packets themselves (the cluster gateway) enforce the same TTL the
+// router's own Route loop would.
+func (r *Router) MaxHops() int { return r.opt.MaxHops }
+
 // SetLabeling swaps the labeling — the topology-change path: the
 // runtime's state or topology listener fires, the serving layer
 // re-extracts coordinates, and in-flight packets continue over the new

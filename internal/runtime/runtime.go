@@ -85,6 +85,27 @@ type View struct {
 	peers  []State
 }
 
+// NewView assembles a node's legal view from an explicitly provided
+// neighborhood snapshot: peers[j] is the register content of
+// Neighbors[j] (nil for a neighbor whose state is unknown — algorithms
+// treat nil exactly like a foreign register) and weights[j] the weight
+// of the incident edge. This is the adapter seam for layers that
+// realize the shared-register model over message passing
+// (internal/cluster): a node's cache of neighbor heartbeat states is
+// presented to unmodified algorithms as the atomic view the state model
+// promises. The slices are retained by the view, not copied; callers
+// must keep them stable for the view's lifetime (one Step call).
+func NewView(id graph.NodeID, n int, neighbors []graph.NodeID, weights []graph.Weight, self State, peers []State) View {
+	if len(peers) != len(neighbors) || len(weights) != len(neighbors) {
+		panic(fmt.Sprintf("runtime: view of node %d: %d neighbors, %d peers, %d weights",
+			id, len(neighbors), len(peers), len(weights)))
+	}
+	return View{
+		ID: id, N: n, Neighbors: neighbors, Self: self,
+		weights: weights, peers: peers,
+	}
+}
+
 // peerAt returns the register of Neighbors[j].
 func (v View) peerAt(j int) State {
 	if v.peers != nil {

@@ -1,0 +1,58 @@
+package runtime
+
+import (
+	"testing"
+
+	"silentspan/internal/graph"
+)
+
+type vtState int
+
+func (s vtState) Equal(o State) bool { os, ok := o.(vtState); return ok && os == s }
+func (s vtState) EncodedBits() int   { return 8 }
+func (s vtState) String() string     { return "vt" }
+
+// TestNewViewAdapter: a view assembled from an explicit snapshot must
+// serve peers and weights exactly like an engine-built view, and nil
+// cache entries must read back as nil states (the "neighbor unknown"
+// signal message-passing layers rely on).
+func TestNewViewAdapter(t *testing.T) {
+	neighbors := []graph.NodeID{2, 5, 9}
+	weights := []graph.Weight{10, 20, 30}
+	peers := []State{vtState(2), nil, vtState(9)}
+	v := NewView(4, 7, neighbors, weights, vtState(4), peers)
+
+	if v.ID != 4 || v.N != 7 || len(v.Neighbors) != 3 {
+		t.Fatalf("header: %+v", v)
+	}
+	if got := v.Peer(2); !got.Equal(vtState(2)) {
+		t.Fatalf("Peer(2) = %v", got)
+	}
+	if got := v.PeerAt(1); got != nil {
+		t.Fatalf("PeerAt(1) = %v, want nil (unknown neighbor)", got)
+	}
+	if got := v.PeerAt(2); !got.Equal(vtState(9)) {
+		t.Fatalf("PeerAt(2) = %v", got)
+	}
+	if v.EdgeWeight(5) != 20 || v.WeightAt(0) != 10 {
+		t.Fatalf("weights: %v %v", v.EdgeWeight(5), v.WeightAt(0))
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Peer(3) on a non-neighbor did not panic")
+		}
+	}()
+	v.Peer(3)
+}
+
+// TestNewViewLengthMismatch: slice length disagreements are programming
+// errors and must fail loudly, not read out of bounds later.
+func TestNewViewLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched peers length accepted")
+		}
+	}()
+	NewView(1, 2, []graph.NodeID{2}, []graph.Weight{1}, nil, nil)
+}
