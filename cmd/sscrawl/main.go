@@ -1,0 +1,129 @@
+// Command sscrawl reconstructs a running cluster's spanning tree by
+// crawling its per-node admin API, hop by hop, from a single seed
+// address — the operator's view of a deployment, with no access to the
+// coordinator. Point it at any node of an `sstsim -serve` run:
+//
+//	sscrawl -addr 127.0.0.1:40001
+//	sscrawl -addr 127.0.0.1:40001 -expect-n 64 -diff /tmp/tree.txt
+//	sscrawl -addr 127.0.0.1:40001 -json
+//
+// With -diff, the crawled parent map is compared edge-by-edge against
+// a ground-truth file (one "child parent" line per node, parent 0 for
+// the root — the format `sstsim -serve -tree-out` writes); any
+// divergence, unreachable node, or -expect-n mismatch exits nonzero.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/ops"
+)
+
+func main() {
+	addr := flag.String("addr", "", "seed admin address (host:port) of any node; required")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout (the no-hang bound on partitioned clusters)")
+	expectN := flag.Int("expect-n", 0, "fail unless exactly this many nodes are crawled (0 = no check)")
+	diffFile := flag.String("diff", "", "compare the crawled parent map against this ground-truth file (child parent per line, 0 = root)")
+	asJSON := flag.Bool("json", false, "emit the full crawl report as JSON")
+	flag.Parse()
+	if *addr == "" {
+		fatal(fmt.Errorf("-addr is required (any node's admin socket)"))
+	}
+
+	client := ops.NewHTTPClient(*timeout)
+	rep, err := ops.CrawlAddr(client, *addr)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		self := rep.Nodes[rep.Start]
+		fmt.Printf("crawled %d nodes from %s (node %d, %s/%s)\n",
+			rep.Visited(), *addr, rep.Start, self.Algorithm, self.Codec)
+		fmt.Printf("roots: %v, %d tree edges\n", rep.Roots(), len(rep.Edges()))
+		for id, msg := range rep.Errors {
+			fmt.Printf("unreachable: node %d: %s\n", id, msg)
+		}
+	}
+
+	failed := false
+	if len(rep.Errors) != 0 {
+		fmt.Fprintf(os.Stderr, "sscrawl: %d discovered nodes unreachable\n", len(rep.Errors))
+		failed = true
+	}
+	if *expectN > 0 && rep.Visited() != *expectN {
+		fmt.Fprintf(os.Stderr, "sscrawl: crawled %d nodes, expected %d\n", rep.Visited(), *expectN)
+		failed = true
+	}
+	if *diffFile != "" {
+		want, err := readParentMap(*diffFile)
+		if err != nil {
+			fatal(err)
+		}
+		if diffs := rep.DiffParents(want); len(diffs) != 0 {
+			for _, d := range diffs {
+				fmt.Fprintln(os.Stderr, "sscrawl: diff:", d)
+			}
+			failed = true
+		} else if !*asJSON {
+			fmt.Printf("crawl matches the ground-truth tree (%d nodes)\n", len(want))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// readParentMap parses a ground-truth tree file: one "child parent"
+// pair per line, parent 0 marking the root. Blank lines and #-comments
+// are ignored.
+func readParentMap(path string) (map[graph.NodeID]graph.NodeID, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	want := make(map[graph.NodeID]graph.NodeID)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want 'child parent', got %q", path, line, text)
+		}
+		child, err1 := strconv.Atoi(fields[0])
+		parent, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s:%d: non-integer pair %q", path, line, text)
+		}
+		want[graph.NodeID(child)] = graph.NodeID(parent)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return want, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sscrawl:", err)
+	os.Exit(1)
+}

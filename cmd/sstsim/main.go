@@ -25,15 +25,27 @@
 // batch served end-to-end as data frames once the tree is quiet:
 //
 //	sstsim -cluster -alg bfs -graph random:24:0.2 -loss 0.1
+//
+// The -serve mode runs the cluster free-running over real loopback UDP
+// sockets and binds a per-node admin API (getself / getpeers / gettree
+// / getstats, plus Prometheus /metrics) — the operations-plane demo.
+// Crawl it with sscrawl, or curl any node's socket:
+//
+//	sstsim -serve -alg spanning -graph random:64:0.1 \
+//	    -admin-dir /tmp/admin.txt -tree-out /tmp/tree.txt
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"silentspan/internal/bfs"
 	"silentspan/internal/cert"
@@ -62,6 +74,11 @@ func main() {
 	churn := flag.Int("churn", 0, "apply this many live-topology churn ops (joins/leaves/link flaps/partitions) after stabilization, with traffic flying")
 	clusterMode := flag.Bool("cluster", false, "run the algorithm as a message-passing cluster: goroutine-per-node actors exchanging heartbeat frames over a faulty in-process transport")
 	loss := flag.Float64("loss", 0.1, "cluster mode: heartbeat/data frame loss probability (dup/corrupt/delay ride along at fixed rates)")
+	serve := flag.Bool("serve", false, "deploy the cluster free-running over loopback UDP with a per-node admin API, until SIGINT/SIGTERM (or -serve-for)")
+	adminDir := flag.String("admin-dir", "", "serve mode: write the admin directory (one 'id addr' line per node) to this file at startup")
+	treeOut := flag.String("tree-out", "", "serve mode: write the stabilized parent map (one 'child parent' line per node, 0 = root) to this file once the cluster is quiet")
+	serveFor := flag.Duration("serve-for", 0, "serve mode: exit after this duration (0 = run until signalled)")
+	interval := flag.Duration("interval", 5*time.Millisecond, "serve mode: per-node tick period; shorter converges faster but saturates small machines (staleness flapping)")
 	flag.Parse()
 
 	g, err := parseGraph(*graphSpec, *seed)
@@ -92,6 +109,11 @@ func main() {
 		return
 	}
 
+	if *serve {
+		runServe(*algName, g, *seed, *adminDir, *treeOut, *serveFor, *interval)
+		return
+	}
+
 	if *clusterMode {
 		runCluster(*algName, g, *seed, *loss)
 		return
@@ -112,23 +134,139 @@ func main() {
 	}
 }
 
+// alwaysOn resolves one of the always-on (rule-based) substrates, the
+// only algorithms the cluster modes deploy directly.
+func alwaysOn(algName, mode string) runtime.Algorithm {
+	switch algName {
+	case "spanning":
+		return spanning.Algorithm{}
+	case "switching":
+		return switching.Algorithm{}
+	case "bfs":
+		return bfs.Algorithm{}
+	}
+	fatal(fmt.Errorf("%s drives the always-on substrates: spanning | switching | bfs (got %q)", mode, algName))
+	return nil
+}
+
+// extractAlwaysOn pulls the stabilized tree out of a silent projection
+// of an always-on substrate.
+func extractAlwaysOn(algName string, net *runtime.Network) (*trees.Tree, error) {
+	if algName == "spanning" {
+		return spanning.ExtractTree(net)
+	}
+	return switching.ExtractTree(net, switching.RegOf)
+}
+
+// runServe is the operations-plane demo: deploy the cluster
+// free-running over real loopback UDP sockets, bind one admin HTTP
+// socket per node, and serve until signalled (or -serve-for elapses).
+// Once the registers go quiet the stabilized parent map is published
+// to -tree-out, so an external crawler (sscrawl -diff) can certify
+// that the admin plane's reconstruction matches the coordinator's
+// ground truth.
+func runServe(algName string, g *graph.Graph, seed int64, adminDir, treeOut string, serveFor, interval time.Duration) {
+	alg := alwaysOn(algName, "-serve")
+	rng := rand.New(rand.NewSource(seed))
+	tr := cluster.NewUDPTransport()
+	defer tr.Close()
+	// Heartbeat every other tick and a generous TTL: a node goroutine
+	// starved for a scheduling quantum on a loaded machine must not see
+	// its whole neighborhood expire, or the cluster churns forever.
+	cl, err := cluster.New(g, alg, tr, cluster.Config{Interval: interval, HeartbeatEvery: 2, StalenessTTL: 64})
+	if err != nil {
+		fatal(err)
+	}
+	cl.InitArbitrary(rng)
+	admin, err := cl.ServeAdmin()
+	if err != nil {
+		fatal(err)
+	}
+	defer admin.Close()
+
+	if adminDir != "" {
+		var b strings.Builder
+		for _, e := range admin.Addrs() {
+			fmt.Fprintf(&b, "%d %s\n", e.ID, e.Addr)
+		}
+		if err := writeFileAtomic(adminDir, b.String()); err != nil {
+			fatal(err)
+		}
+	}
+	seedID := g.MinID()
+	fmt.Printf("serving %d %s actors over loopback UDP\n", cl.Nodes(), alg.Name())
+	fmt.Printf("admin seed: http://%s/  (sscrawl -addr %s; curl .../getself .../metrics)\n",
+		admin.Addr(seedID), admin.Addr(seedID))
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if serveFor > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, serveFor)
+		defer tcancel()
+	}
+	served := make(chan error, 1)
+	go func() { served <- cl.Serve(ctx) }()
+
+	// Quiet watcher: poll the mirror until it projects to a silent tree,
+	// then publish the parent map for external certification.
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(200 * time.Millisecond):
+			}
+			net, err := cl.Mirror()
+			if err != nil || !net.Silent() {
+				continue
+			}
+			tree, err := extractAlwaysOn(algName, net)
+			if err != nil {
+				continue // silent snapshot of a mid-flight moment; keep polling
+			}
+			if treeOut != "" {
+				var b strings.Builder
+				for _, v := range g.Nodes() {
+					fmt.Fprintf(&b, "%d %d\n", v, tree.Parent(v))
+				}
+				if err := writeFileAtomic(treeOut, b.String()); err != nil {
+					fmt.Fprintln(os.Stderr, "sstsim:", err)
+					return
+				}
+			}
+			st := cl.Stats()
+			fmt.Printf("quiet: silent tree root=%d, %d frames sent, %d register writes; still serving\n",
+				tree.Root(), st.FramesSent, st.RegisterWrites)
+			return
+		}
+	}()
+
+	<-ctx.Done()
+	<-served
+	st := cl.Stats()
+	fmt.Printf("shut down: %d frames sent (%d rejected), %d heartbeats applied\n",
+		st.FramesSent, st.RxRejected, st.HeartbeatsApplied)
+}
+
+// writeFileAtomic publishes content under path via a same-directory
+// rename, so concurrent readers (the CI waiter, sscrawl) never see a
+// partial file.
+func writeFileAtomic(path, content string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // runCluster is the message-passing demo: deploy the always-on
 // algorithm as a cluster of goroutine-actors over the deterministic
 // in-process transport wrapped in seeded faults, watch the heartbeat
 // exchange converge to the silent tree, then serve a packet batch
 // end-to-end as data frames over the same links.
 func runCluster(algName string, g *graph.Graph, seed int64, loss float64) {
-	var alg runtime.Algorithm
-	switch algName {
-	case "spanning":
-		alg = spanning.Algorithm{}
-	case "switching":
-		alg = switching.Algorithm{}
-	case "bfs":
-		alg = bfs.Algorithm{}
-	default:
-		fatal(fmt.Errorf("-cluster drives the always-on substrates: spanning | switching | bfs (got %q)", algName))
-	}
+	alg := alwaysOn(algName, "-cluster")
 	rng := rand.New(rand.NewSource(seed))
 	ft := cluster.NewFaultTransport(cluster.NewChanTransport(), cluster.FaultConfig{
 		Seed: seed + 1, Loss: loss, Dup: loss / 2, Corrupt: loss / 2, Delay: 2 * loss, MaxDelayTicks: 4,
@@ -164,12 +302,7 @@ func runCluster(algName string, g *graph.Graph, seed int64, loss float64) {
 	if !net.Silent() {
 		fatal(fmt.Errorf("quiet cluster projects to a non-silent configuration"))
 	}
-	var tree *trees.Tree
-	if algName == "spanning" {
-		tree, err = spanning.ExtractTree(net)
-	} else {
-		tree, err = switching.ExtractTree(net, switching.RegOf)
-	}
+	tree, err := extractAlwaysOn(algName, net)
 	if err != nil {
 		fatal(err)
 	}
@@ -194,17 +327,7 @@ func runCluster(algName string, g *graph.Graph, seed int64, loss float64) {
 // labeling, and report the re-stabilized tree plus serving quality on
 // the final graph.
 func runChurn(algName string, g *graph.Graph, ops int, seed int64, maxMoves int) {
-	var alg runtime.Algorithm
-	switch algName {
-	case "spanning":
-		alg = spanning.Algorithm{}
-	case "switching":
-		alg = switching.Algorithm{}
-	case "bfs":
-		alg = bfs.Algorithm{}
-	default:
-		fatal(fmt.Errorf("-churn drives the always-on substrates: spanning | switching | bfs (got %q)", algName))
-	}
+	alg := alwaysOn(algName, "-churn")
 	rng := rand.New(rand.NewSource(seed))
 	net, err := runtime.NewNetwork(g, alg)
 	if err != nil {

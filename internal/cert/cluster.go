@@ -7,17 +7,21 @@ package cert
 // transport — instead of the simulator's atomic views. Every run must
 // reach quiet under seeded loss/duplication/reordering/corruption,
 // project to a silent, closed, spec-correct shared-memory
-// configuration within the register bound, and serve a packet batch
-// end-to-end over the same transport once the control plane settles.
+// configuration within the register bound, reconstruct the same tree
+// through the operations plane's crawler (admin API only, no
+// coordinator access), and serve a packet batch end-to-end over the
+// same transport once the control plane settles.
 
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"silentspan/internal/cluster"
 	"silentspan/internal/graph"
 	"silentspan/internal/mdst"
 	"silentspan/internal/mst"
+	"silentspan/internal/ops"
 	"silentspan/internal/routing"
 	"silentspan/internal/runtime"
 	"silentspan/internal/switching"
@@ -209,6 +213,37 @@ func clusterAlgorithm(a Algo, g *graph.Graph) (runtime.Algorithm, func(cl *clust
 	}, nil
 }
 
+// checkCrawl certifies the operations plane against the mirror: crawl
+// the cluster hop-by-hop from a random start through the in-process
+// admin hub, and diff the reconstructed parent map edge-by-edge
+// against the coordinator's ground truth.
+func checkCrawl(cl *cluster.Cluster, net *runtime.Network, g *graph.Graph, rng *rand.Rand) error {
+	nodes := g.Nodes()
+	start := nodes[rng.Intn(len(nodes))]
+	rep, err := ops.Crawl(cl.AdminHub(), start)
+	if err != nil {
+		return err
+	}
+	if rep.Visited() != g.N() {
+		return fmt.Errorf("visited %d of %d nodes from %d (errors: %v)", rep.Visited(), g.N(), start, rep.Errors)
+	}
+	if len(rep.Errors) != 0 {
+		return fmt.Errorf("unreachable admin endpoints: %v", rep.Errors)
+	}
+	want := make(map[graph.NodeID]graph.NodeID, g.N())
+	for _, v := range nodes {
+		p := cluster.ParentOf(net.State(v))
+		if p == routing.NoParent || p == trees.None {
+			p = ops.None
+		}
+		want[v] = p
+	}
+	if diffs := rep.DiffParents(want); len(diffs) != 0 {
+		return fmt.Errorf("crawl diverges from mirror: %s", strings.Join(diffs, "; "))
+	}
+	return nil
+}
+
 // runOneCluster is one certified run.
 func runOneCluster(a Algo, ng NamedGraph, prof ClusterProfile, cfg ClusterConfig, seed int64) (
 	ticks, registerBits int, st cluster.Stats, gws cluster.GatewayStats, err error) {
@@ -269,6 +304,14 @@ func runOneCluster(a Algo, ng NamedGraph, prof ClusterProfile, cfg ClusterConfig
 	registerBits = cl.MaxRegisterBits()
 	if bound := churnRegisterBound(a, g); registerBits > bound {
 		return ticks, registerBits, st, gws, fmt.Errorf("register width %d bits exceeds bound %d", registerBits, bound)
+	}
+
+	// Operations plane: a crawler walking the live cluster through the
+	// admin API alone — seeded at one arbitrary node, no coordinator
+	// access — must reconstruct the stabilized tree edge-for-edge equal
+	// to the mirror's.
+	if err := checkCrawl(cl, net, g, rng); err != nil {
+		return ticks, registerBits, st, gws, fmt.Errorf("crawl: %w", err)
 	}
 
 	// Data plane: resolve the mid-chaos cohort (losses are legal

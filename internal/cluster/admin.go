@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"slices"
+	"sync"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/ops"
+	"silentspan/internal/routing"
+	"silentspan/internal/runtime"
+	"silentspan/internal/spanning"
+	"silentspan/internal/switching"
+	"silentspan/internal/trees"
+)
+
+// This file is the cluster's admin surface: ops.NodeAdmin implemented
+// over live node actors, an in-process Hub for tests and the
+// certification crawler, and ServeAdmin binding one loopback HTTP
+// socket per node for operators. Everything here reads protocol state
+// under the node mutex or through atomic counters, so observing a
+// free-running cluster is race-free.
+
+// adminParent normalizes a register's parent pointer for admin
+// responses: trees.None (root) and routing.NoParent (foreign/absent
+// state) both read as ops.None.
+func adminParent(s runtime.State) graph.NodeID {
+	p := ParentOf(s)
+	if p == routing.NoParent || p == trees.None {
+		return ops.None
+	}
+	return p
+}
+
+// adminRoot reads the claimed root out of a register (ops.None when
+// the state is foreign or absent).
+func adminRoot(s runtime.State) graph.NodeID {
+	switch r := s.(type) {
+	case spanning.State:
+		return r.Root
+	default:
+		if sw, ok := switching.RegOf(s); ok {
+			return sw.Root
+		}
+	}
+	return ops.None
+}
+
+// adminDistance reads the claimed distance-to-root (-1 when the
+// register carries none, e.g. switching's d=⊥).
+func adminDistance(s runtime.State) int {
+	switch r := s.(type) {
+	case spanning.State:
+		return r.Dist
+	default:
+		if sw, ok := switching.RegOf(s); ok && sw.HasD {
+			return sw.D
+		}
+	}
+	return -1
+}
+
+// peerSnap is one cache entry read consistently under the node mutex.
+type peerSnap struct {
+	state runtime.State
+	seen  uint64
+	seq   uint64
+}
+
+// adminSnapshot copies the node's register, clock, and neighbor cache
+// under the mutex — the admin plane's consistent read of a live actor.
+func (nd *Node) adminSnapshot(peers []peerSnap) (runtime.State, uint64, []peerSnap) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	self, tick := nd.self, nd.localTick
+	peers = peers[:0]
+	for j := range nd.cache {
+		peers = append(peers, peerSnap{state: nd.cache[j], seen: nd.lastSeen[j], seq: nd.lastSeq[j]})
+	}
+	return self, tick, peers
+}
+
+// nodeAdmin implements ops.NodeAdmin over one node actor. addrOf, when
+// set, resolves peer identities to their admin endpoint addresses —
+// the hop the HTTP crawler follows.
+type nodeAdmin struct {
+	c      *Cluster
+	nd     *Node
+	addrOf func(graph.NodeID) string
+}
+
+func (a nodeAdmin) addr(id graph.NodeID) string {
+	if a.addrOf == nil {
+		return ""
+	}
+	return a.addrOf(id)
+}
+
+// AdminSelf implements ops.NodeAdmin.
+func (a nodeAdmin) AdminSelf() ops.SelfInfo {
+	self, tick, _ := a.nd.adminSnapshot(nil)
+	info := ops.SelfInfo{
+		ID:        a.nd.id,
+		N:         a.nd.n,
+		Algorithm: a.c.alg.Name(),
+		Codec:     a.c.codec.Name(),
+		Root:      adminRoot(self),
+		Parent:    adminParent(self),
+		Distance:  adminDistance(self),
+		Port:      -1,
+		LocalTick: tick,
+		AdminAddr: a.addr(a.nd.id),
+	}
+	if self != nil {
+		info.Register = self.String()
+		info.RegisterBits = self.EncodedBits()
+	}
+	if info.Parent != ops.None {
+		if j, ok := slices.BinarySearch(a.nd.neighbors, info.Parent); ok {
+			info.Port = j
+		}
+	}
+	return info
+}
+
+// AdminPeers implements ops.NodeAdmin: the neighbor cache with the
+// same staleness rule the protocol's step applies.
+func (a nodeAdmin) AdminPeers() ops.PeersInfo {
+	_, tick, peers := a.nd.adminSnapshot(nil)
+	ttl := uint64(a.c.cfg.StalenessTTL)
+	out := ops.PeersInfo{Node: a.nd.id, StalenessTTL: int(ttl), Peers: make([]ops.PeerInfo, 0, len(peers))}
+	for j, p := range peers {
+		pi := ops.PeerInfo{
+			ID:        a.nd.neighbors[j],
+			Seq:       p.seq,
+			AgeTicks:  -1,
+			Stale:     true,
+			AdminAddr: a.addr(a.nd.neighbors[j]),
+		}
+		if p.seen != 0 {
+			pi.AgeTicks = int64(tick - p.seen)
+			pi.Stale = tick-p.seen > ttl
+		}
+		if p.state != nil {
+			pi.Parent = adminParent(p.state)
+			pi.Register = p.state.String()
+		}
+		out.Peers = append(out.Peers, pi)
+	}
+	return out
+}
+
+// AdminTree implements ops.NodeAdmin: the node's one-hop tree view —
+// its own parent claim plus the children it learned from heartbeats
+// (fresh neighbors whose cached register points here).
+func (a nodeAdmin) AdminTree() ops.TreeInfo {
+	self, tick, peers := a.nd.adminSnapshot(nil)
+	ttl := uint64(a.c.cfg.StalenessTTL)
+	info := ops.TreeInfo{
+		Node:     a.nd.id,
+		Root:     adminRoot(self),
+		Parent:   adminParent(self),
+		Distance: adminDistance(self),
+		Children: []graph.NodeID{},
+	}
+	for j, p := range peers {
+		if p.seen == 0 || tick-p.seen > ttl || p.state == nil {
+			continue
+		}
+		if adminParent(p.state) == a.nd.id {
+			info.Children = append(info.Children, a.nd.neighbors[j])
+		}
+	}
+	return info
+}
+
+// AdminStats implements ops.NodeAdmin.
+func (a nodeAdmin) AdminStats() ops.StatsInfo {
+	s := a.nd.Stats()
+	return ops.StatsInfo{
+		Node:              a.nd.id,
+		FramesSent:        int64(s.FramesSent),
+		BytesSent:         int64(s.BytesSent),
+		FramesRecv:        int64(s.FramesRecv),
+		RxRejected:        int64(s.RxRejected),
+		HeartbeatsApplied: int64(s.HeartbeatsApplied),
+		RegisterWrites:    int64(s.RegisterWrites),
+		StalenessExpiries: int64(s.StalenessExpiries),
+		PacketsForwarded:  int64(s.PacketsForwarded),
+		PacketsDropped:    int64(s.PacketsDropped),
+	}
+}
+
+// AdminHub returns the in-process admin plane: every node's handle
+// registered in an ops.Hub, crawlable without sockets. Each call
+// builds a fresh hub, so tests can Remove nodes to simulate dead admin
+// endpoints without affecting other observers.
+func (c *Cluster) AdminHub() *ops.Hub {
+	h := ops.NewHub()
+	for _, nd := range c.nodes {
+		h.Register(nd.id, nodeAdmin{c: c, nd: nd})
+	}
+	return h
+}
+
+// AdminServers is a running per-node admin HTTP deployment.
+type AdminServers struct {
+	mu      sync.RWMutex
+	servers []*ops.Server
+	addrs   map[graph.NodeID]string
+	order   []graph.NodeID
+}
+
+// Addr returns node id's admin address ("" when unknown).
+func (a *AdminServers) Addr(id graph.NodeID) string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.addrs[id]
+}
+
+// Addrs returns (id, address) pairs in dense-slot order.
+func (a *AdminServers) Addrs() []struct {
+	ID   graph.NodeID
+	Addr string
+} {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]struct {
+		ID   graph.NodeID
+		Addr string
+	}, 0, len(a.order))
+	for _, id := range a.order {
+		out = append(out, struct {
+			ID   graph.NodeID
+			Addr string
+		}{id, a.addrs[id]})
+	}
+	return out
+}
+
+// Close shuts every server down.
+func (a *AdminServers) Close() {
+	a.mu.Lock()
+	servers := a.servers
+	a.servers = nil
+	a.mu.Unlock()
+	for _, s := range servers {
+		s.Close()
+	}
+}
+
+// ServeAdmin binds one loopback admin HTTP socket per node, each
+// serving that node's getself/getpeers/gettree/getstats plus the
+// cluster's /metrics. Peer entries carry their admin addresses, so a
+// crawler seeded with any single socket can walk the whole cluster.
+func (c *Cluster) ServeAdmin() (*AdminServers, error) {
+	as := &AdminServers{addrs: make(map[graph.NodeID]string, len(c.nodes))}
+	addrOf := as.Addr
+	for _, nd := range c.nodes {
+		srv := ops.NewServer(nodeAdmin{c: c, nd: nd, addrOf: addrOf}, c.metrics)
+		addr, err := srv.Start()
+		if err != nil {
+			as.Close()
+			return nil, err
+		}
+		as.mu.Lock()
+		as.servers = append(as.servers, srv)
+		as.addrs[nd.id] = addr
+		as.order = append(as.order, nd.id)
+		as.mu.Unlock()
+	}
+	return as, nil
+}

@@ -1,0 +1,418 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/ops"
+	"silentspan/internal/spanning"
+	"silentspan/internal/switching"
+)
+
+// mirrorParents reads the coordinator's ground truth: every node's
+// parent pointer from the mirror, normalized the way the admin plane
+// normalizes (ops.None for roots).
+func mirrorParents(t *testing.T, cl *Cluster) map[graph.NodeID]graph.NodeID {
+	t.Helper()
+	net, err := cl.Mirror()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[graph.NodeID]graph.NodeID)
+	for _, v := range cl.Graph().Nodes() {
+		want[v] = adminParent(net.State(v))
+	}
+	return want
+}
+
+// TestAdminHubEndpoints: JSON-facing semantics of every endpoint over
+// a converged cluster, per register family.
+func TestAdminHubEndpoints(t *testing.T) {
+	for _, alg := range testAlgorithms() {
+		t.Run(alg.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			g := graph.RandomConnected(10, 0.3, rng)
+			cl, err := New(g, alg, NewChanTransport(), Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Stop()
+			cl.InitArbitrary(rng)
+			converge(t, cl, 4000)
+
+			hub := cl.AdminHub()
+			want := mirrorParents(t, cl)
+			root := g.MinID()
+			childrenSeen := make(map[graph.NodeID][]graph.NodeID)
+			for _, v := range g.Nodes() {
+				self, err := hub.Self(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if self.ID != v || self.N != g.N() {
+					t.Fatalf("getself identity: %+v", self)
+				}
+				if self.Algorithm != alg.Name() || self.Codec != cl.Codec().Name() {
+					t.Fatalf("getself protocol identity: %+v", self)
+				}
+				if self.Register == "" || self.RegisterBits <= 0 {
+					t.Fatalf("getself register dump empty: %+v", self)
+				}
+				if self.Parent != want[v] {
+					t.Fatalf("node %d: getself parent %d, mirror %d", v, self.Parent, want[v])
+				}
+				if v == root {
+					if self.Parent != ops.None || self.Port != -1 {
+						t.Fatalf("root getself: parent %d port %d", self.Parent, self.Port)
+					}
+				} else {
+					nbs := g.Neighbors(v)
+					if self.Port < 0 || self.Port >= len(nbs) || nbs[self.Port] != self.Parent {
+						t.Fatalf("node %d: port %d does not index parent %d in %v", v, self.Port, self.Parent, nbs)
+					}
+				}
+
+				peers, err := hub.Peers(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if peers.Node != v || peers.StalenessTTL != cl.cfg.StalenessTTL {
+					t.Fatalf("getpeers header: %+v", peers)
+				}
+				if len(peers.Peers) != len(g.Neighbors(v)) {
+					t.Fatalf("node %d: %d peers, degree %d", v, len(peers.Peers), len(g.Neighbors(v)))
+				}
+				for _, p := range peers.Peers {
+					if p.Stale || p.Seq == 0 || p.AgeTicks < 0 {
+						t.Fatalf("node %d: converged cluster has stale/unheard peer %+v", v, p)
+					}
+					if p.Parent != want[p.ID] {
+						t.Fatalf("node %d: cached parent of %d is %d, mirror %d", v, p.ID, p.Parent, want[p.ID])
+					}
+				}
+
+				ti := nodeAdmin{c: cl, nd: cl.Node(v)}.AdminTree()
+				if ti.Node != v || ti.Parent != want[v] {
+					t.Fatalf("gettree: %+v", ti)
+				}
+				for _, ch := range ti.Children {
+					childrenSeen[v] = append(childrenSeen[v], ch)
+					if want[ch] != v {
+						t.Fatalf("node %d claims child %d, but mirror parent of %d is %d", v, ch, ch, want[ch])
+					}
+				}
+
+				st := nodeAdmin{c: cl, nd: cl.Node(v)}.AdminStats()
+				if st.Node != v || st.FramesSent == 0 || st.FramesRecv == 0 || st.HeartbeatsApplied == 0 {
+					t.Fatalf("getstats inactive node: %+v", st)
+				}
+			}
+			// Every non-root appears as exactly one node's child: the
+			// one-hop views tile into the mirror's tree.
+			total := 0
+			for _, chs := range childrenSeen {
+				total += len(chs)
+			}
+			if total != g.N()-1 {
+				t.Fatalf("one-hop children cover %d nodes, want %d", total, g.N()-1)
+			}
+		})
+	}
+}
+
+// TestAdminCrawlMatchesMirror: the crawler, talking only to the admin
+// plane, reconstructs exactly the tree the coordinator's mirror holds.
+func TestAdminCrawlMatchesMirror(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	g := graph.RandomConnected(12, 0.3, rng)
+	cl, err := New(g, switching.Algorithm{}, NewChanTransport(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	cl.InitArbitrary(rng)
+	converge(t, cl, 6000)
+
+	start := g.Nodes()[rng.Intn(g.N())]
+	rep, err := ops.Crawl(cl.AdminHub(), start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Visited() != g.N() {
+		t.Fatalf("crawl visited %d of %d", rep.Visited(), g.N())
+	}
+	if len(rep.Errors) != 0 {
+		t.Fatalf("crawl errors: %v", rep.Errors)
+	}
+	if diffs := rep.DiffParents(mirrorParents(t, cl)); len(diffs) != 0 {
+		t.Fatalf("crawl diverges from mirror:\n%s", strings.Join(diffs, "\n"))
+	}
+	if roots := rep.Roots(); len(roots) != 1 || roots[0] != g.MinID() {
+		t.Fatalf("crawled roots %v, want [%d]", roots, g.MinID())
+	}
+}
+
+// TestAdminPeersStaleness: after a total heartbeat blackout longer than
+// the TTL, every peer entry reads stale (and ages past the TTL), the
+// expiry counters advance, and gettree children empty out — the admin
+// plane reports exactly what the protocol's staleness filter sees.
+func TestAdminPeersStaleness(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := graph.Ring(6)
+	ft := NewFaultTransport(NewChanTransport(), FaultConfig{Seed: 43, Loss: 1})
+	ft.SetEnabled(false) // converge over a clean network first
+	cl, err := New(g, spanning.Algorithm{}, ft, Config{StalenessTTL: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	cl.InitArbitrary(rng)
+	converge(t, cl, 4000)
+	if n := cl.Stats().StalenessExpiries; n != 0 {
+		t.Fatalf("expiries before blackout: %d", n)
+	}
+
+	ft.SetEnabled(true) // blackout: every heartbeat is lost
+	for i := 0; i < cl.cfg.StalenessTTL+3; i++ {
+		cl.Tick()
+	}
+
+	hub := cl.AdminHub()
+	for _, v := range g.Nodes() {
+		peers, err := hub.Peers(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range peers.Peers {
+			if !p.Stale {
+				t.Fatalf("node %d: peer %+v not stale after blackout", v, p)
+			}
+			if p.AgeTicks <= int64(cl.cfg.StalenessTTL) {
+				t.Fatalf("node %d: stale peer age %d within TTL %d", v, p.AgeTicks, cl.cfg.StalenessTTL)
+			}
+		}
+		ti := nodeAdmin{c: cl, nd: cl.Node(v)}.AdminTree()
+		if len(ti.Children) != 0 {
+			t.Fatalf("node %d: stale cache still yields children %v", v, ti.Children)
+		}
+	}
+	if n := cl.Stats().StalenessExpiries; n != 2*g.N() {
+		t.Fatalf("expiries = %d, want one per directed ring edge (%d)", n, 2*g.N())
+	}
+}
+
+// TestMetricsMatchStats: between ticks, a metrics snapshot and Stats()
+// agree exactly — both read the same per-node atomics.
+func TestMetricsMatchStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	g := graph.RandomConnected(9, 0.35, rng)
+	cl, err := New(g, spanning.Algorithm{}, NewChanTransport(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	cl.InitArbitrary(rng)
+	ticks, ok := cl.RunUntilQuiet(4000, quietTicks)
+	if !ok {
+		t.Fatal("no quiet")
+	}
+
+	st := cl.Stats()
+	snap := cl.Metrics().Snapshot()
+	checks := map[string]int{
+		"ss_cluster_frames_sent_total":        st.FramesSent,
+		"ss_cluster_bytes_sent_total":         st.BytesSent,
+		"ss_cluster_frames_received_total":    st.FramesRecv,
+		"ss_cluster_frames_rejected_total":    st.RxRejected,
+		"ss_cluster_heartbeats_applied_total": st.HeartbeatsApplied,
+		"ss_cluster_register_writes_total":    st.RegisterWrites,
+		"ss_cluster_staleness_expiries_total": st.StalenessExpiries,
+		"ss_cluster_packets_forwarded_total":  st.PacketsForwarded,
+		"ss_cluster_packets_dropped_total":    st.PacketsDropped,
+		"ss_cluster_nodes":                    g.N(),
+		"ss_cluster_ticks":                    int(cl.Ticks()),
+		"ss_cluster_changed_last_tick":        cl.ChangedLastTick(),
+		"ss_cluster_ticks_to_quiet":           ticks,
+	}
+	for name, want := range checks {
+		got, ok := snap[name]
+		if !ok {
+			t.Errorf("metric %s not exposed", name)
+			continue
+		}
+		if got != float64(want) {
+			t.Errorf("%s = %v, Stats says %d", name, got, want)
+		}
+	}
+	if snap["ss_cluster_quiet_ticks"] < float64(quietTicks) {
+		t.Errorf("quiet_ticks = %v, want >= %d", snap["ss_cluster_quiet_ticks"], quietTicks)
+	}
+	if snap["ss_cluster_heartbeat_interval_ticks_count"] == 0 {
+		t.Error("heartbeat cadence histogram empty")
+	}
+	if snap[`ss_transport_frames_delivered_total{transport="chan"}`] == 0 {
+		t.Error("chan transport counters not registered")
+	}
+	// Once quiet, register writes stay flat — the observable silence.
+	writesBefore := cl.Stats().RegisterWrites
+	for i := 0; i < 20; i++ {
+		cl.Tick()
+	}
+	if w := cl.Stats().RegisterWrites; w != writesBefore {
+		t.Errorf("register writes moved after quiet: %d -> %d", writesBefore, w)
+	}
+}
+
+// TestFaultTransportMetrics: the fault wrapper exposes its accounting
+// under its own transport label and forwards the inner transport's.
+func TestFaultTransportMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	g := graph.Ring(6)
+	ft := NewFaultTransport(NewChanTransport(), FaultConfig{Seed: 59, Loss: 0.3})
+	cl, err := New(g, spanning.Algorithm{}, ft, Config{StalenessTTL: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	cl.InitArbitrary(rng)
+	converge(t, cl, 20000)
+
+	snap := cl.Metrics().Snapshot()
+	if snap[`ss_transport_frames_offered_total{transport="fault"}`] == 0 {
+		t.Error("fault wrapper counters not registered")
+	}
+	if snap[`ss_transport_frames_lost_total{transport="fault"}`] == 0 {
+		t.Error("losses not exposed")
+	}
+	if snap[`ss_transport_frames_delivered_total{transport="chan"}`] == 0 {
+		t.Error("inner chan transport not forwarded")
+	}
+}
+
+// TestScrapeDuringServe: the free-running cluster is observed while it
+// runs — Stats, metrics snapshots, admin endpoints over live HTTP, and
+// a full crawl, all concurrent with Serve. Run under -race this is the
+// "observe a live cluster" safety contract.
+func TestScrapeDuringServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets in -short mode")
+	}
+	rng := rand.New(rand.NewSource(61))
+	g := graph.RandomConnected(10, 0.3, rng)
+	tr := NewUDPTransport()
+	defer tr.Close()
+	cl, err := New(g, spanning.Algorithm{}, tr, Config{Interval: time.Millisecond, StalenessTTL: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.InitArbitrary(rng)
+
+	admin, err := cl.ServeAdmin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- cl.Serve(ctx) }()
+	defer func() { cancel(); <-served }()
+
+	// Hammer the observation plane while the cluster free-runs.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	hub := cl.AdminHub()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cl.Stats()
+				cl.Metrics().Snapshot()
+				for _, v := range g.Nodes() {
+					hub.Self(v)
+					hub.Peers(v)
+				}
+			}
+		}()
+	}
+
+	// Wait for the free-running cluster to stabilize.
+	deadline := time.Now().Add(20 * time.Second)
+	silent := false
+	for time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		net, err := cl.Mirror()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.Silent() {
+			if _, err := spanning.ExtractTree(net); err == nil {
+				silent = true
+				break
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if !silent {
+		t.Fatal("no silent tree within deadline")
+	}
+
+	// Crawl the live deployment over HTTP from one seed address.
+	hc := ops.NewHTTPClient(5 * time.Second)
+	rep, err := ops.CrawlAddr(hc, admin.Addr(g.MinID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Visited() != g.N() || len(rep.Errors) != 0 {
+		t.Fatalf("crawl visited %d of %d, errors %v", rep.Visited(), g.N(), rep.Errors)
+	}
+	if diffs := rep.DiffParents(mirrorParents(t, cl)); len(diffs) != 0 {
+		t.Fatalf("live crawl diverges from mirror:\n%s", strings.Join(diffs, "\n"))
+	}
+	// Every crawled node carries its own admin address for the next hop.
+	for id, info := range rep.Nodes {
+		if info.AdminAddr != admin.Addr(id) {
+			t.Fatalf("node %d advertises %q, bound at %q", id, info.AdminAddr, admin.Addr(id))
+		}
+	}
+}
+
+// TestMetricsWideCluster: aggregate (not per-node) exposition keeps the
+// scrape small and consistent on a wide deployment.
+func TestMetricsWideCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide cluster in -short mode")
+	}
+	g := graph.Ring(2048)
+	cl, err := New(g, spanning.Algorithm{}, NewChanTransport(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	cl.InitArbitrary(rand.New(rand.NewSource(67)))
+	for i := 0; i < 3; i++ {
+		cl.Tick()
+	}
+	var b strings.Builder
+	cl.Metrics().WritePrometheus(&b)
+	if lines := strings.Count(b.String(), "\n"); lines > 200 {
+		t.Fatalf("exposition is %d lines for 2048 nodes — per-node series leaked into the registry", lines)
+	}
+	st := cl.Stats()
+	snap := cl.Metrics().Snapshot()
+	if snap["ss_cluster_frames_sent_total"] != float64(st.FramesSent) {
+		t.Fatalf("wide scrape inconsistent: %v vs %d", snap["ss_cluster_frames_sent_total"], st.FramesSent)
+	}
+}

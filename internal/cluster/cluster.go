@@ -39,9 +39,11 @@ import (
 	"hash"
 	"hash/fnv"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"silentspan/internal/graph"
+	"silentspan/internal/ops"
 	"silentspan/internal/runtime"
 	"silentspan/internal/wire"
 )
@@ -80,11 +82,17 @@ func (c *Config) fill() {
 	}
 }
 
-// Stats aggregates the cluster's transport activity.
+// Stats aggregates the cluster's transport activity. It reads atomic
+// per-node counters, so it is safe to call at any time — including
+// concurrently with Tick or Serve.
 type Stats struct {
 	FramesSent, BytesSent  int
 	FramesRecv, RxRejected int
 	HeartbeatsApplied      int
+	RegisterWrites         int
+	StalenessExpiries      int
+	PacketsForwarded       int
+	PacketsDropped         int
 }
 
 // Cluster binds a graph, an algorithm, a wire codec, and a transport
@@ -105,13 +113,22 @@ type Cluster struct {
 	// even if no δ evaluation changed anything.
 	stateDirty bool
 
-	// Lockstep coordination.
+	// Lockstep coordination. tick/lastChangeTick/changedLast are atomic
+	// so the metrics scrape can read convergence gauges while a tick is
+	// in flight.
 	started        bool
 	tickCh         []chan uint64
 	doneCh         chan struct{}
-	tick           uint64
-	lastChangeTick uint64
-	changedLast    int
+	tick           atomic.Uint64
+	lastChangeTick atomic.Uint64
+	changedLast    atomic.Int64
+
+	// metrics is the cluster's operational registry: counters and
+	// gauges over the hot paths, scraped through the admin plane's
+	// /metrics endpoint or snapshot directly.
+	metrics      *ops.Registry
+	hbCadence    *ops.Histogram
+	ticksToQuiet *ops.Gauge
 
 	// trace, when enabled, folds every register change into a running
 	// hash — the determinism witness.
@@ -147,8 +164,75 @@ func New(g *graph.Graph, alg runtime.Algorithm, tr Transport, cfg Config) (*Clus
 		}
 		c.nodes = append(c.nodes, newNode(d.ID(i), i, d.N(), d.NeighborIDs(i), d.Weights(i), ep, codec, alg))
 	}
+	c.registerMetrics()
 	return c, nil
 }
+
+// registerMetrics builds the cluster's operational registry. Counters
+// over per-node activity are func-backed: the hot paths already
+// maintain atomic per-node counters, and the scrape sums them on
+// demand — a /metrics read is therefore exactly consistent (±0) with
+// Stats(), because both read the same atomics.
+func (c *Cluster) registerMetrics() {
+	reg := ops.NewRegistry()
+	c.metrics = reg
+	sum := func(field func(*nodeCounters) *atomic.Int64) func() float64 {
+		return func() float64 {
+			var t int64
+			for _, nd := range c.nodes {
+				t += field(&nd.stats).Load()
+			}
+			return float64(t)
+		}
+	}
+	reg.GaugeFunc("ss_cluster_nodes", "Cluster size.", nil,
+		func() float64 { return float64(len(c.nodes)) })
+	reg.CounterFunc("ss_cluster_frames_sent_total", "Frames sent by all nodes (heartbeats + data).", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.FramesSent }))
+	reg.CounterFunc("ss_cluster_bytes_sent_total", "Payload bytes sent by all nodes.", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.BytesSent }))
+	reg.CounterFunc("ss_cluster_frames_received_total", "Frames delivered to all nodes.", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.FramesRecv }))
+	reg.CounterFunc("ss_cluster_frames_rejected_total", "Frames rejected (checksum, codec, non-neighbor, stale seq).", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.RxRejected }))
+	reg.CounterFunc("ss_cluster_heartbeats_applied_total", "Heartbeats accepted into neighbor caches.", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.HeartbeatsApplied }))
+	reg.CounterFunc("ss_cluster_register_writes_total", "δ-driven register changes (moves) across all nodes; flat once silent.", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.RegisterWrites }))
+	reg.CounterFunc("ss_cluster_staleness_expiries_total", "Neighbor-cache entries that expired after being heard.", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.StalenessExpiries }))
+	reg.CounterFunc("ss_cluster_packets_forwarded_total", "Routed packet hops forwarded by all nodes.", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.PacketsForwarded }))
+	reg.CounterFunc("ss_cluster_packets_dropped_total", "Routed packets dropped at nodes (hop/stall budget).", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.PacketsDropped }))
+	reg.GaugeFunc("ss_cluster_ticks", "Lockstep ticks driven so far.", nil,
+		func() float64 { return float64(c.tick.Load()) })
+	reg.GaugeFunc("ss_cluster_changed_last_tick", "Registers that changed in the last lockstep tick (0 = converging toward silence).", nil,
+		func() float64 { return float64(c.changedLast.Load()) })
+	reg.GaugeFunc("ss_cluster_quiet_ticks", "Consecutive ticks without a register change.", nil,
+		func() float64 {
+			t, last := c.tick.Load(), c.lastChangeTick.Load()
+			if t < last {
+				return 0
+			}
+			return float64(t - last)
+		})
+	c.ticksToQuiet = reg.Gauge("ss_cluster_ticks_to_quiet",
+		"Ticks the last RunUntilQuiet consumed to reach quiet (0 until reached).", nil)
+	c.hbCadence = reg.Histogram("ss_cluster_heartbeat_interval_ticks",
+		"Local ticks between consecutive heartbeat broadcasts per node.", nil,
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+	for _, nd := range c.nodes {
+		nd.hbCadence = c.hbCadence
+	}
+	if m, ok := c.tr.(interface{ RegisterMetrics(*ops.Registry) }); ok {
+		m.RegisterMetrics(reg)
+	}
+}
+
+// Metrics returns the cluster's operational registry — served at
+// /metrics by the admin plane, snapshot-able for benches.
+func (c *Cluster) Metrics() *ops.Registry { return c.metrics }
 
 // Graph returns the underlying graph.
 func (c *Cluster) Graph() *graph.Graph { return c.g }
@@ -275,40 +359,41 @@ func (c *Cluster) Tick() {
 		panic("cluster: Tick over a transport with no lockstep Step; use Serve")
 	}
 	c.start()
-	c.tick++
+	tick := c.tick.Add(1)
 	for _, ch := range c.tickCh {
-		ch <- c.tick
+		ch <- tick
 	}
 	for range c.nodes {
 		<-c.doneCh
 	}
-	c.step.Step(c.tick)
-	c.changedLast = 0
+	c.step.Step(tick)
+	changed := int64(0)
 	for _, nd := range c.nodes {
 		if nd.changed {
-			c.changedLast++
+			changed++
 			if c.trace != nil {
-				fmt.Fprintf(c.trace, "%d:%d:%s;", c.tick, nd.slot, nd.self)
+				fmt.Fprintf(c.trace, "%d:%d:%s;", tick, nd.slot, nd.self)
 			}
 		}
 	}
-	if c.changedLast > 0 {
-		c.lastChangeTick = c.tick
+	c.changedLast.Store(changed)
+	if changed > 0 {
+		c.lastChangeTick.Store(tick)
 	}
 	// The labeling only moves when some register did: a quiet cluster
 	// skips the O(n) register sweep entirely instead of re-reading every
 	// node per tick forever.
-	if c.gw != nil && (c.changedLast > 0 || c.stateDirty) {
+	if c.gw != nil && (changed > 0 || c.stateDirty) {
 		c.gw.refresh()
 		c.stateDirty = false
 	}
 }
 
 // Ticks returns the lockstep tick count so far.
-func (c *Cluster) Ticks() uint64 { return c.tick }
+func (c *Cluster) Ticks() uint64 { return c.tick.Load() }
 
 // ChangedLastTick returns how many registers changed in the last tick.
-func (c *Cluster) ChangedLastTick() int { return c.changedLast }
+func (c *Cluster) ChangedLastTick() int { return int(c.changedLast.Load()) }
 
 // RunUntilQuiet ticks until no register has changed for quiet
 // consecutive ticks — the message-passing image of the paper's silence
@@ -326,14 +411,16 @@ func (c *Cluster) RunUntilQuiet(maxTicks, quiet int) (int, bool) {
 	if quiet <= c.cfg.HeartbeatEvery {
 		quiet = c.cfg.HeartbeatEvery + 1
 	}
-	start := c.tick
-	for c.tick-start < uint64(maxTicks) {
+	start := c.tick.Load()
+	for c.tick.Load()-start < uint64(maxTicks) {
 		c.Tick()
-		if c.tick-c.lastChangeTick >= uint64(quiet) {
-			return int(c.tick - start), true
+		if c.tick.Load()-c.lastChangeTick.Load() >= uint64(quiet) {
+			ticks := int(c.tick.Load() - start)
+			c.ticksToQuiet.Set(int64(ticks))
+			return ticks, true
 		}
 	}
-	return int(c.tick - start), false
+	return int(c.tick.Load() - start), false
 }
 
 // Serve runs the cluster free-running until ctx is cancelled: every
@@ -414,15 +501,22 @@ func (c *Cluster) Mirror() (*runtime.Network, error) {
 	return net, nil
 }
 
-// Stats sums the per-node transport counters. Call between ticks.
+// Stats sums the per-node transport counters. The counters are atomic,
+// so this is safe at any time — mid-tick, during Serve, or from a
+// metrics scrape.
 func (c *Cluster) Stats() Stats {
 	var s Stats
 	for _, nd := range c.nodes {
-		s.FramesSent += nd.stats.FramesSent
-		s.BytesSent += nd.stats.BytesSent
-		s.FramesRecv += nd.stats.FramesRecv
-		s.RxRejected += nd.stats.RxRejected
-		s.HeartbeatsApplied += nd.stats.HeartbeatsApplied
+		ns := nd.stats.snapshot()
+		s.FramesSent += ns.FramesSent
+		s.BytesSent += ns.BytesSent
+		s.FramesRecv += ns.FramesRecv
+		s.RxRejected += ns.RxRejected
+		s.HeartbeatsApplied += ns.HeartbeatsApplied
+		s.RegisterWrites += ns.RegisterWrites
+		s.StalenessExpiries += ns.StalenessExpiries
+		s.PacketsForwarded += ns.PacketsForwarded
+		s.PacketsDropped += ns.PacketsDropped
 	}
 	return s
 }

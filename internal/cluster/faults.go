@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"silentspan/internal/graph"
+	"silentspan/internal/ops"
 )
 
 // FaultConfig parameterizes the adversarial transport: per-frame
@@ -117,6 +118,28 @@ func (ft *FaultTransport) Stats() FaultStats {
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
 	return ft.stats
+}
+
+// RegisterMetrics exposes the fault accounting and forwards to the
+// wrapped transport's own counters.
+func (ft *FaultTransport) RegisterMetrics(reg *ops.Registry) {
+	labels := ops.Labels{"transport": "fault"}
+	stat := func(field func(FaultStats) int) func() float64 {
+		return func() float64 { return float64(field(ft.Stats())) }
+	}
+	reg.CounterFunc("ss_transport_frames_offered_total", "Frames entering the fault pipeline.", labels,
+		stat(func(s FaultStats) int { return s.Sent }))
+	reg.CounterFunc("ss_transport_frames_lost_total", "Frames the adversary silently dropped.", labels,
+		stat(func(s FaultStats) int { return s.Lost }))
+	reg.CounterFunc("ss_transport_frames_duplicated_total", "Frames delivered twice.", labels,
+		stat(func(s FaultStats) int { return s.Duplicated }))
+	reg.CounterFunc("ss_transport_frames_corrupted_total", "Frames with flipped bytes (caught by the checksum downstream).", labels,
+		stat(func(s FaultStats) int { return s.Corrupted }))
+	reg.CounterFunc("ss_transport_frames_delayed_total", "Frames held back (reordering).", labels,
+		stat(func(s FaultStats) int { return s.Delayed }))
+	if m, ok := ft.inner.(interface{ RegisterMetrics(*ops.Registry) }); ok {
+		m.RegisterMetrics(reg)
+	}
 }
 
 // Open implements Transport.

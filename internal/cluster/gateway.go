@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"silentspan/internal/graph"
+	"silentspan/internal/ops"
 	"silentspan/internal/routing"
 	"silentspan/internal/runtime"
 	"silentspan/internal/spanning"
@@ -108,7 +109,28 @@ func NewGateway(c *Cluster) *Gateway {
 	gw.router = routing.NewRouter(c.g, lb.Labeling(), routing.Options{})
 	gw.maxHops = gw.router.MaxHops()
 	c.gw = gw
+	gw.registerMetrics(c.metrics)
 	return gw
+}
+
+// registerMetrics exposes the data-plane accounting: counters are
+// func-backed reads of the mutex-guarded stats, taken at scrape time.
+func (gw *Gateway) registerMetrics(reg *ops.Registry) {
+	stat := func(field func(GatewayStats) int) func() float64 {
+		return func() float64 { return float64(field(gw.Stats())) }
+	}
+	reg.CounterFunc("ss_gateway_packets_launched_total", "Packets injected by the gateway.", nil,
+		stat(func(s GatewayStats) int { return s.Launched }))
+	reg.CounterFunc("ss_gateway_packets_delivered_total", "Packets that reached their destination.", nil,
+		stat(func(s GatewayStats) int { return s.Delivered }))
+	reg.CounterFunc("ss_gateway_packets_dropped_total", "Packets dropped at nodes (hop/stall budget).", nil,
+		stat(func(s GatewayStats) int { return s.Dropped }))
+	reg.CounterFunc("ss_gateway_packets_expired_total", "Outstanding packets reaped as lost in transit (Expire).", nil,
+		stat(func(s GatewayStats) int { return s.Lost }))
+	reg.CounterFunc("ss_gateway_hops_total", "Hops accumulated by delivered packets.", nil,
+		stat(func(s GatewayStats) int { return s.HopsTotal }))
+	reg.GaugeFunc("ss_gateway_packets_outstanding", "Launched packets not yet resolved.", nil,
+		func() float64 { return float64(gw.Outstanding()) })
 }
 
 // refresh folds the current registers into the incremental labeling and

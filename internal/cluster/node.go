@@ -3,9 +3,11 @@ package cluster
 import (
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"silentspan/internal/bits"
 	"silentspan/internal/graph"
+	"silentspan/internal/ops"
 	"silentspan/internal/runtime"
 	"silentspan/internal/wire"
 )
@@ -33,11 +35,16 @@ type Node struct {
 	// Neighbor-state cache, parallel to neighbors. lastSeen is the local
 	// tick of the last accepted heartbeat (0 = never); lastSeq the
 	// highest accepted sequence number, which rejects duplicated and
-	// reordered-stale heartbeats.
+	// reordered-stale heartbeats. Cache writes happen under mu so the
+	// admin plane can snapshot a live node; the owning goroutine's own
+	// reads stay lock-free (it is the only writer).
 	cache    []runtime.State
 	lastSeen []uint64
 	lastSeq  []uint64
 	peers    []runtime.State // per-tick effective view (staleness applied)
+	// wasStale tracks each entry's staleness as of the last step, so
+	// fresh→stale transitions are counted exactly once per expiry.
+	wasStale []bool
 
 	// dataQ holds routed packets parked at this node (in flight, or
 	// stalled on an unroutable labeling). heldSince is parallel.
@@ -46,22 +53,62 @@ type Node struct {
 
 	seq       uint64 // own heartbeat counter
 	localTick uint64
-	changed   bool // register changed during the last tick
+	changed   bool   // register changed during the last tick
+	lastHB    uint64 // local tick of the last broadcast (cadence metric)
 
 	enc      bits.Builder
 	drainBuf [][]byte
 
-	stats NodeStats
+	stats nodeCounters
+	// hbCadence is the cluster-shared heartbeat-interval histogram
+	// (nil when the cluster runs without a metrics registry).
+	hbCadence *ops.Histogram
 }
 
-// NodeStats counts one node's transport-visible activity.
+// NodeStats is a snapshot of one node's transport-visible activity.
 type NodeStats struct {
 	FramesSent, BytesSent  int
 	FramesRecv, RxRejected int
 	HeartbeatsApplied      int
 	PacketsForwarded       int
 	PacketsDropped         int
+	// RegisterWrites counts δ-driven register changes (the node's
+	// moves); StalenessExpiries counts fresh→stale cache transitions.
+	RegisterWrites    int
+	StalenessExpiries int
 }
+
+// nodeCounters is the live counter set. All fields are atomic: the
+// owning goroutine increments them mid-tick while Stats / the metrics
+// scrape / the admin API read them, so observation is safe during
+// Serve — no "call between ticks" footgun.
+type nodeCounters struct {
+	FramesSent, BytesSent  atomic.Int64
+	FramesRecv, RxRejected atomic.Int64
+	HeartbeatsApplied      atomic.Int64
+	PacketsForwarded       atomic.Int64
+	PacketsDropped         atomic.Int64
+	RegisterWrites         atomic.Int64
+	StalenessExpiries      atomic.Int64
+}
+
+// snapshot reads every counter once.
+func (c *nodeCounters) snapshot() NodeStats {
+	return NodeStats{
+		FramesSent:        int(c.FramesSent.Load()),
+		BytesSent:         int(c.BytesSent.Load()),
+		FramesRecv:        int(c.FramesRecv.Load()),
+		RxRejected:        int(c.RxRejected.Load()),
+		HeartbeatsApplied: int(c.HeartbeatsApplied.Load()),
+		PacketsForwarded:  int(c.PacketsForwarded.Load()),
+		PacketsDropped:    int(c.PacketsDropped.Load()),
+		RegisterWrites:    int(c.RegisterWrites.Load()),
+		StalenessExpiries: int(c.StalenessExpiries.Load()),
+	}
+}
+
+// Stats returns a snapshot of the node's counters, safe at any time.
+func (nd *Node) Stats() NodeStats { return nd.stats.snapshot() }
 
 func newNode(id graph.NodeID, slot, n int, neighbors []graph.NodeID, weights []graph.Weight,
 	ep Endpoint, codec wire.Codec, alg runtime.Algorithm) *Node {
@@ -74,6 +121,7 @@ func newNode(id graph.NodeID, slot, n int, neighbors []graph.NodeID, weights []g
 		lastSeen: make([]uint64, deg),
 		lastSeq:  make([]uint64, deg),
 		peers:    make([]runtime.State, deg),
+		wasStale: make([]bool, deg),
 	}
 }
 
@@ -135,7 +183,7 @@ func (nd *Node) tick(now uint64, cfg *Config, gw *Gateway) {
 	// Heartbeat: immediately after a register change (convergence
 	// latency), and periodically as keep-alive (staleness ground truth).
 	if nd.changed || now%uint64(cfg.HeartbeatEvery) == 0 {
-		nd.broadcast()
+		nd.broadcast(now)
 	}
 }
 
@@ -145,34 +193,38 @@ func (nd *Node) tick(now uint64, cfg *Config, gw *Gateway) {
 // node its neighbors' registers); duplicated or reordered-stale
 // heartbeats are rejected by sequence number.
 func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
-	nd.stats.FramesRecv++
+	nd.stats.FramesRecv.Add(1)
 	f, err := wire.Decode(nd.codec, data)
 	if err != nil {
-		nd.stats.RxRejected++
+		nd.stats.RxRejected.Add(1)
 		return
 	}
 	switch f.Kind {
 	case wire.KindHeartbeat:
 		if f.Alg != nd.codec.Code() {
-			nd.stats.RxRejected++
+			nd.stats.RxRejected.Add(1)
 			return
 		}
 		j, ok := slices.BinarySearch(nd.neighbors, f.Src)
 		if !ok {
-			nd.stats.RxRejected++
+			nd.stats.RxRejected.Add(1)
 			return
 		}
 		if f.Seq <= nd.lastSeq[j] {
-			nd.stats.RxRejected++ // duplicate or reordered-stale
+			nd.stats.RxRejected.Add(1) // duplicate or reordered-stale
 			return
 		}
+		// Under mu: the admin plane snapshots the cache from outside the
+		// actor goroutine.
+		nd.mu.Lock()
 		nd.lastSeq[j] = f.Seq
 		nd.cache[j] = f.State
 		nd.lastSeen[j] = now
-		nd.stats.HeartbeatsApplied++
+		nd.mu.Unlock()
+		nd.stats.HeartbeatsApplied.Add(1)
 	case wire.KindData:
 		if gw == nil {
-			nd.stats.RxRejected++
+			nd.stats.RxRejected.Add(1)
 			return
 		}
 		if f.Data.Dst == nd.id {
@@ -193,17 +245,24 @@ func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
 // would read in the shared-memory model.
 func (nd *Node) step(now uint64, cfg *Config) {
 	for j := range nd.peers {
-		if nd.lastSeen[j] == 0 || now-nd.lastSeen[j] > uint64(cfg.StalenessTTL) {
+		stale := nd.lastSeen[j] == 0 || now-nd.lastSeen[j] > uint64(cfg.StalenessTTL)
+		if stale {
 			nd.peers[j] = nil
+			// Count only heard-then-expired entries, not never-heard ones.
+			if !nd.wasStale[j] && nd.lastSeen[j] != 0 {
+				nd.stats.StalenessExpiries.Add(1)
+			}
 		} else {
 			nd.peers[j] = nd.cache[j]
 		}
+		nd.wasStale[j] = stale
 	}
 	v := runtime.NewView(nd.id, nd.n, nd.neighbors, nd.weights, nd.self, nd.peers)
 	next := nd.alg.Step(v)
 	if nd.self == nil || !next.Equal(nd.self) {
 		nd.setState(next)
 		nd.changed = true
+		nd.stats.RegisterWrites.Add(1)
 	} else {
 		nd.changed = false
 	}
@@ -225,28 +284,28 @@ func (nd *Node) pump(now uint64, cfg *Config, gw *Gateway) {
 		switch {
 		case !ok:
 			if now-held[i] > uint64(cfg.MaxHold) {
-				nd.stats.PacketsDropped++
+				nd.stats.PacketsDropped.Add(1)
 				gw.drop(p)
 				continue
 			}
 			keepQ = append(keepQ, p)
 			keepH = append(keepH, held[i])
 		case p.Hops+1 > gw.maxHops:
-			nd.stats.PacketsDropped++
+			nd.stats.PacketsDropped.Add(1)
 			gw.drop(p)
 		default:
 			p.Hops++
 			data, err := wire.Encode(wire.Frame{Kind: wire.KindData, Src: nd.id, Data: p},
 				nd.codec, &nd.enc, nil)
 			if err != nil {
-				nd.stats.PacketsDropped++
+				nd.stats.PacketsDropped.Add(1)
 				gw.drop(p)
 				continue
 			}
 			nd.ep.Send(next, data)
-			nd.stats.PacketsForwarded++
-			nd.stats.FramesSent++
-			nd.stats.BytesSent += len(data)
+			nd.stats.PacketsForwarded.Add(1)
+			nd.stats.FramesSent.Add(1)
+			nd.stats.BytesSent.Add(int64(len(data)))
 		}
 	}
 	if len(keepQ) > 0 {
@@ -259,7 +318,11 @@ func (nd *Node) pump(now uint64, cfg *Config, gw *Gateway) {
 
 // broadcast sends the node's register to every neighbor as one
 // heartbeat frame (a shared byte slice: recipients only read).
-func (nd *Node) broadcast() {
+func (nd *Node) broadcast(now uint64) {
+	if nd.hbCadence != nil && nd.lastHB != 0 {
+		nd.hbCadence.Observe(float64(now - nd.lastHB))
+	}
+	nd.lastHB = now
 	nd.seq++
 	data, err := wire.Encode(wire.Frame{
 		Kind: wire.KindHeartbeat, Alg: nd.codec.Code(),
@@ -272,7 +335,7 @@ func (nd *Node) broadcast() {
 	}
 	for _, u := range nd.neighbors {
 		nd.ep.Send(u, data)
-		nd.stats.FramesSent++
-		nd.stats.BytesSent += len(data)
+		nd.stats.FramesSent.Add(1)
+		nd.stats.BytesSent.Add(int64(len(data)))
 	}
 }

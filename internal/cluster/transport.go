@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"silentspan/internal/graph"
+	"silentspan/internal/ops"
 )
 
 // Transport wires a cluster together: one Endpoint per node, opened
@@ -63,10 +65,20 @@ type ChanTransport struct {
 	mu     sync.Mutex // guards Open bookkeeping only
 	eps    map[graph.NodeID]*chanEndpoint
 	sorted []*chanEndpoint
-	// dropped counts frames addressed to nodes that were never opened.
-	dropped int
-	// delivered counts frames moved into inboxes, for stats.
-	delivered int
+	// dropped counts frames addressed to nodes that were never opened;
+	// delivered counts frames moved into inboxes. Atomic so a metrics
+	// scrape can read them while Step runs.
+	dropped   atomic.Int64
+	delivered atomic.Int64
+}
+
+// RegisterMetrics exposes the transport's delivery counters.
+func (tr *ChanTransport) RegisterMetrics(reg *ops.Registry) {
+	labels := ops.Labels{"transport": "chan"}
+	reg.CounterFunc("ss_transport_frames_delivered_total", "Frames moved into recipient inboxes.", labels,
+		func() float64 { return float64(tr.delivered.Load()) })
+	reg.CounterFunc("ss_transport_frames_dropped_total", "Frames addressed to unopened nodes.", labels,
+		func() float64 { return float64(tr.dropped.Load()) })
 }
 
 // NewChanTransport returns an empty in-process transport.
@@ -114,11 +126,11 @@ func (tr *ChanTransport) Step(uint64) {
 		for _, req := range ep.out {
 			dst, ok := tr.eps[req.to]
 			if !ok {
-				tr.dropped++
+				tr.dropped.Add(1)
 				continue
 			}
 			dst.in = append(dst.in, req.data)
-			tr.delivered++
+			tr.delivered.Add(1)
 		}
 		ep.out = ep.out[:0]
 	}
@@ -134,7 +146,7 @@ func (tr *ChanTransport) InFlight() int {
 }
 
 // Delivered returns the total frames delivered so far.
-func (tr *ChanTransport) Delivered() int { return tr.delivered }
+func (tr *ChanTransport) Delivered() int { return int(tr.delivered.Load()) }
 
 // Send implements Endpoint (sender-owned buffer; no locking by design —
 // see the type comment).

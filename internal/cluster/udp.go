@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"silentspan/internal/graph"
+	"silentspan/internal/ops"
 )
 
 // UDPTransport carries frames over real loopback UDP sockets: each
@@ -22,6 +24,21 @@ type UDPTransport struct {
 	mu    sync.Mutex
 	addrs map[graph.NodeID]*net.UDPAddr
 	eps   []*udpEndpoint
+
+	datagramsSent atomic.Int64
+	datagramsRecv atomic.Int64
+	sendErrors    atomic.Int64
+}
+
+// RegisterMetrics exposes the socket-level counters.
+func (tr *UDPTransport) RegisterMetrics(reg *ops.Registry) {
+	labels := ops.Labels{"transport": "udp"}
+	reg.CounterFunc("ss_transport_datagrams_sent_total", "Datagrams written to loopback sockets.", labels,
+		func() float64 { return float64(tr.datagramsSent.Load()) })
+	reg.CounterFunc("ss_transport_datagrams_received_total", "Datagrams read from loopback sockets.", labels,
+		func() float64 { return float64(tr.datagramsRecv.Load()) })
+	reg.CounterFunc("ss_transport_send_errors_total", "Socket write failures.", labels,
+		func() float64 { return float64(tr.sendErrors.Load()) })
 }
 
 // NewUDPTransport returns an empty UDP transport on loopback.
@@ -84,6 +101,7 @@ func (ep *udpEndpoint) readLoop() {
 			return // socket closed
 		}
 		frame := append([]byte(nil), buf[:n]...)
+		ep.tr.datagramsRecv.Add(1)
 		ep.mu.Lock()
 		ep.in = append(ep.in, frame)
 		ep.mu.Unlock()
@@ -103,6 +121,11 @@ func (ep *udpEndpoint) Send(to graph.NodeID, frame []byte) error {
 		return fmt.Errorf("cluster: node %d not attached", to)
 	}
 	_, err := ep.conn.WriteToUDP(frame, addr)
+	if err != nil {
+		ep.tr.sendErrors.Add(1)
+	} else {
+		ep.tr.datagramsSent.Add(1)
+	}
 	return err
 }
 

@@ -1,0 +1,194 @@
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"silentspan/internal/graph"
+)
+
+// None is the "no parent / unknown" identity in admin responses.
+// Registers encode the root's parent as trees.None (0) and foreign or
+// absent states as routing.NoParent (-1); admin providers normalize
+// both to None so crawlers diff tree shapes, not encodings.
+const None graph.NodeID = 0
+
+// SelfInfo is the getself response: the node's tree position, register
+// dump, and protocol identity.
+type SelfInfo struct {
+	ID graph.NodeID `json:"id"`
+	// N is the network size bound the node was configured with.
+	N         int    `json:"n"`
+	Algorithm string `json:"algorithm"`
+	Codec     string `json:"codec"`
+	// Register is the rendered register content; RegisterBits its width
+	// under the natural encoding (the paper's space measure).
+	Register     string `json:"register"`
+	RegisterBits int    `json:"register_bits"`
+	// Root / Parent / Distance are the tree position claimed by the
+	// register (None when the node is a root or the claim is unknown;
+	// Distance -1 when the register carries no distance).
+	Root     graph.NodeID `json:"root"`
+	Parent   graph.NodeID `json:"parent"`
+	Distance int          `json:"distance"`
+	// Port is the parent's index in the node's sorted neighbor list
+	// (-1 when there is no parent).
+	Port      int    `json:"port"`
+	LocalTick uint64 `json:"local_tick"`
+	// AdminAddr is this node's own admin endpoint address, when served
+	// over HTTP (empty for in-process handles).
+	AdminAddr string `json:"admin_addr,omitempty"`
+}
+
+// PeerInfo is one entry of the getpeers response: the node's cached
+// view of a neighbor.
+type PeerInfo struct {
+	ID graph.NodeID `json:"id"`
+	// Seq is the highest heartbeat sequence number accepted from this
+	// neighbor (0 = never heard).
+	Seq uint64 `json:"seq"`
+	// AgeTicks is the local-tick age of the cached state (-1 = never
+	// heard).
+	AgeTicks int64 `json:"age_ticks"`
+	// Stale reports the entry is expired: the protocol reads this
+	// neighbor as unknown (nil), exactly as step does.
+	Stale bool `json:"stale"`
+	// Parent is the parent pointer of the cached register (None when
+	// unknown), Register its rendered content.
+	Parent   graph.NodeID `json:"parent"`
+	Register string       `json:"register,omitempty"`
+	// AdminAddr is the peer's admin endpoint, when known — the hop the
+	// crawler follows.
+	AdminAddr string `json:"admin_addr,omitempty"`
+}
+
+// PeersInfo is the getpeers response: the neighbor cache with staleness
+// applied.
+type PeersInfo struct {
+	Node         graph.NodeID `json:"node"`
+	StalenessTTL int          `json:"staleness_ttl"`
+	Peers        []PeerInfo   `json:"peers"`
+}
+
+// TreeInfo is the gettree response: the node's one-hop view of the
+// tree — its parent, and the children it learned from heartbeats
+// (fresh neighbors whose cached register points at this node).
+type TreeInfo struct {
+	Node     graph.NodeID   `json:"node"`
+	Root     graph.NodeID   `json:"root"`
+	Parent   graph.NodeID   `json:"parent"`
+	Children []graph.NodeID `json:"children"`
+	Distance int            `json:"distance"`
+}
+
+// StatsInfo is the getstats response: the node's transport-visible
+// counters.
+type StatsInfo struct {
+	Node              graph.NodeID `json:"node"`
+	FramesSent        int64        `json:"frames_sent"`
+	BytesSent         int64        `json:"bytes_sent"`
+	FramesRecv        int64        `json:"frames_recv"`
+	RxRejected        int64        `json:"rx_rejected"`
+	HeartbeatsApplied int64        `json:"heartbeats_applied"`
+	RegisterWrites    int64        `json:"register_writes"`
+	StalenessExpiries int64        `json:"staleness_expiries"`
+	PacketsForwarded  int64        `json:"packets_forwarded"`
+	PacketsDropped    int64        `json:"packets_dropped"`
+}
+
+// NodeAdmin is one node's admin surface. Implementations must be safe
+// to call concurrently with the node's own protocol activity — the
+// whole point is observing a live cluster.
+type NodeAdmin interface {
+	AdminSelf() SelfInfo
+	AdminPeers() PeersInfo
+	AdminTree() TreeInfo
+	AdminStats() StatsInfo
+}
+
+// Server serves one node's admin API over a loopback HTTP socket:
+// /getself, /getpeers, /gettree, /getstats as JSON, and /metrics in
+// Prometheus text format (the registry is shared across the cluster's
+// servers, so any node answers for the whole deployment's counters).
+type Server struct {
+	admin NodeAdmin
+	reg   *Registry
+
+	mu sync.Mutex
+	ln net.Listener
+	hs *http.Server
+}
+
+// NewServer wraps a node admin (and an optional metrics registry) into
+// an HTTP server. Call Start to bind it.
+func NewServer(admin NodeAdmin, reg *Registry) *Server {
+	return &Server{admin: admin, reg: reg}
+}
+
+// Handler returns the admin routes (also usable without a socket).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	serveJSON := func(get func() any) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(get())
+		}
+	}
+	mux.Handle("/getself", serveJSON(func() any { return s.admin.AdminSelf() }))
+	mux.Handle("/getpeers", serveJSON(func() any { return s.admin.AdminPeers() }))
+	mux.Handle("/gettree", serveJSON(func() any { return s.admin.AdminTree() }))
+	mux.Handle("/getstats", serveJSON(func() any { return s.admin.AdminStats() }))
+	if s.reg != nil {
+		mux.Handle("/metrics", s.reg.Handler())
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "silentspan admin: /getself /getpeers /gettree /getstats /metrics")
+	})
+	return mux
+}
+
+// Start binds a fresh loopback port and serves until Close. It returns
+// the bound address ("127.0.0.1:port").
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("ops: admin bind: %w", err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.ln, s.hs = ln, hs
+	s.mu.Unlock()
+	go hs.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address (empty before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down (idempotent).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	hs := s.hs
+	s.hs, s.ln = nil, nil
+	s.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Close()
+}

@@ -1,0 +1,317 @@
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"maps"
+	"net/http"
+	"slices"
+	"sync"
+	"time"
+
+	"silentspan/internal/graph"
+)
+
+// Client is what the crawler needs from the admin plane: per-node
+// getself and getpeers. Implementations must return promptly —
+// unreachable nodes are reported, never waited on forever.
+type Client interface {
+	Self(id graph.NodeID) (SelfInfo, error)
+	Peers(id graph.NodeID) (PeersInfo, error)
+}
+
+// Hub is the in-process admin client: a registry of NodeAdmin handles,
+// one per live node. Tests and the certification campaigns crawl
+// through it without sockets; removing a node simulates a partitioned
+// or dead admin endpoint.
+type Hub struct {
+	mu     sync.RWMutex
+	admins map[graph.NodeID]NodeAdmin
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{admins: make(map[graph.NodeID]NodeAdmin)}
+}
+
+// Register attaches a node's admin handle.
+func (h *Hub) Register(id graph.NodeID, a NodeAdmin) {
+	h.mu.Lock()
+	h.admins[id] = a
+	h.mu.Unlock()
+}
+
+// Remove detaches a node — subsequent calls for it fail, as a dead
+// admin endpoint would.
+func (h *Hub) Remove(id graph.NodeID) {
+	h.mu.Lock()
+	delete(h.admins, id)
+	h.mu.Unlock()
+}
+
+func (h *Hub) get(id graph.NodeID) (NodeAdmin, error) {
+	h.mu.RLock()
+	a := h.admins[id]
+	h.mu.RUnlock()
+	if a == nil {
+		return nil, fmt.Errorf("ops: node %d unreachable", id)
+	}
+	return a, nil
+}
+
+// Self implements Client.
+func (h *Hub) Self(id graph.NodeID) (SelfInfo, error) {
+	a, err := h.get(id)
+	if err != nil {
+		return SelfInfo{}, err
+	}
+	return a.AdminSelf(), nil
+}
+
+// Peers implements Client.
+func (h *Hub) Peers(id graph.NodeID) (PeersInfo, error) {
+	a, err := h.get(id)
+	if err != nil {
+		return PeersInfo{}, err
+	}
+	return a.AdminPeers(), nil
+}
+
+// HTTPClient crawls over the loopback admin sockets. It learns the
+// id→address directory as it goes: seed it with one node's address
+// (Seed or SelfAt), and every getpeers response teaches it the
+// addresses of the peers — hop-by-hop discovery with no coordinator.
+type HTTPClient struct {
+	hc *http.Client
+
+	mu    sync.Mutex
+	addrs map[graph.NodeID]string
+}
+
+// NewHTTPClient returns a client with the given per-request timeout
+// (default 5s) — the no-hang guarantee on partitioned clusters.
+func NewHTTPClient(timeout time.Duration) *HTTPClient {
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	return &HTTPClient{
+		hc:    &http.Client{Timeout: timeout},
+		addrs: make(map[graph.NodeID]string),
+	}
+}
+
+// Seed teaches the client one node's admin address.
+func (c *HTTPClient) Seed(id graph.NodeID, addr string) {
+	c.mu.Lock()
+	c.addrs[id] = addr
+	c.mu.Unlock()
+}
+
+// SelfAt fetches getself from an admin address directly and learns the
+// binding — the crawl entry point when only an address is known.
+func (c *HTTPClient) SelfAt(addr string) (SelfInfo, error) {
+	var info SelfInfo
+	if err := c.getJSON(addr, "/getself", &info); err != nil {
+		return info, err
+	}
+	c.Seed(info.ID, addr)
+	return info, nil
+}
+
+func (c *HTTPClient) addrOf(id graph.NodeID) (string, error) {
+	c.mu.Lock()
+	addr := c.addrs[id]
+	c.mu.Unlock()
+	if addr == "" {
+		return "", fmt.Errorf("ops: no admin address known for node %d", id)
+	}
+	return addr, nil
+}
+
+func (c *HTTPClient) getJSON(addr, path string, into any) error {
+	resp, err := c.hc.Get("http://" + addr + path)
+	if err != nil {
+		return fmt.Errorf("ops: %s%s: %w", addr, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("ops: %s%s: HTTP %d", addr, path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// Self implements Client.
+func (c *HTTPClient) Self(id graph.NodeID) (SelfInfo, error) {
+	addr, err := c.addrOf(id)
+	if err != nil {
+		return SelfInfo{}, err
+	}
+	var info SelfInfo
+	err = c.getJSON(addr, "/getself", &info)
+	return info, err
+}
+
+// Peers implements Client, learning every peer's admin address from
+// the response.
+func (c *HTTPClient) Peers(id graph.NodeID) (PeersInfo, error) {
+	addr, err := c.addrOf(id)
+	if err != nil {
+		return PeersInfo{}, err
+	}
+	var info PeersInfo
+	if err := c.getJSON(addr, "/getpeers", &info); err != nil {
+		return PeersInfo{}, err
+	}
+	for _, p := range info.Peers {
+		if p.AdminAddr != "" {
+			c.Seed(p.ID, p.AdminAddr)
+		}
+	}
+	return info, nil
+}
+
+// CrawlReport is a reconstructed view of the cluster, assembled from
+// admin responses alone.
+type CrawlReport struct {
+	// Start is the crawl's entry node.
+	Start graph.NodeID `json:"start"`
+	// Nodes holds every successfully visited node's getself response,
+	// keyed by identity.
+	Nodes map[graph.NodeID]SelfInfo `json:"nodes"`
+	// Peers holds each visited node's neighbor list — the discovered
+	// communication graph.
+	Peers map[graph.NodeID][]graph.NodeID `json:"peers"`
+	// Errors maps nodes that were discovered but could not be queried
+	// (dead or partitioned admin endpoints) to the failure.
+	Errors map[graph.NodeID]string `json:"errors,omitempty"`
+}
+
+// Visited returns the number of successfully queried nodes.
+func (r *CrawlReport) Visited() int { return len(r.Nodes) }
+
+// Parents returns the crawled parent map (None for roots).
+func (r *CrawlReport) Parents() map[graph.NodeID]graph.NodeID {
+	out := make(map[graph.NodeID]graph.NodeID, len(r.Nodes))
+	for id, info := range r.Nodes {
+		out[id] = info.Parent
+	}
+	return out
+}
+
+// Roots returns the visited nodes with no parent, ascending.
+func (r *CrawlReport) Roots() []graph.NodeID {
+	var roots []graph.NodeID
+	for id, info := range r.Nodes {
+		if info.Parent == None {
+			roots = append(roots, id)
+		}
+	}
+	slices.Sort(roots)
+	return roots
+}
+
+// Edges returns the crawled tree edges as sorted (child, parent) pairs.
+func (r *CrawlReport) Edges() [][2]graph.NodeID {
+	var edges [][2]graph.NodeID
+	for id, info := range r.Nodes {
+		if info.Parent != None {
+			edges = append(edges, [2]graph.NodeID{id, info.Parent})
+		}
+	}
+	slices.SortFunc(edges, func(a, b [2]graph.NodeID) int {
+		if a[0] != b[0] {
+			return int(a[0] - b[0])
+		}
+		return int(a[1] - b[1])
+	})
+	return edges
+}
+
+// DiffParents compares the crawled tree edge-by-edge against an
+// expected parent map (None for roots) and returns human-readable
+// divergences: missing nodes, extra nodes, and parent mismatches.
+// Empty means the crawl reconstructed exactly the expected tree.
+func (r *CrawlReport) DiffParents(want map[graph.NodeID]graph.NodeID) []string {
+	var diffs []string
+	ids := slices.Sorted(maps.Keys(want))
+	for _, id := range ids {
+		got, ok := r.Nodes[id]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("node %d: expected but not crawled", id))
+			continue
+		}
+		if got.Parent != want[id] {
+			diffs = append(diffs, fmt.Sprintf("node %d: crawled parent %d, mirror says %d", id, got.Parent, want[id]))
+		}
+	}
+	crawled := slices.Sorted(maps.Keys(r.Nodes))
+	for _, id := range crawled {
+		if _, ok := want[id]; !ok {
+			diffs = append(diffs, fmt.Sprintf("node %d: crawled but not in the mirror", id))
+		}
+	}
+	return diffs
+}
+
+// Crawl walks the cluster hop-by-hop from start: query getself and
+// getpeers, enqueue every newly discovered peer, repeat. It visits
+// exactly the component reachable through live admin endpoints —
+// unreachable nodes land in Errors and their neighborhoods stay
+// unexplored, so a partitioned cluster yields a partial (never hung)
+// report. The coordinator is never consulted.
+func Crawl(c Client, start graph.NodeID) (*CrawlReport, error) {
+	rep := &CrawlReport{
+		Start: start,
+		Nodes: make(map[graph.NodeID]SelfInfo),
+		Peers: make(map[graph.NodeID][]graph.NodeID),
+	}
+	seen := map[graph.NodeID]bool{start: true}
+	queue := []graph.NodeID{start}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		self, err := c.Self(id)
+		if err != nil {
+			if id == start {
+				return rep, fmt.Errorf("ops: crawl start %d: %w", start, err)
+			}
+			if rep.Errors == nil {
+				rep.Errors = make(map[graph.NodeID]string)
+			}
+			rep.Errors[id] = err.Error()
+			continue
+		}
+		peers, err := c.Peers(id)
+		if err != nil {
+			if rep.Errors == nil {
+				rep.Errors = make(map[graph.NodeID]string)
+			}
+			rep.Errors[id] = err.Error()
+			continue
+		}
+		rep.Nodes[id] = self
+		ps := make([]graph.NodeID, 0, len(peers.Peers))
+		for _, p := range peers.Peers {
+			ps = append(ps, p.ID)
+			if !seen[p.ID] {
+				seen[p.ID] = true
+				queue = append(queue, p.ID)
+			}
+		}
+		rep.Peers[id] = ps
+	}
+	return rep, nil
+}
+
+// CrawlAddr crawls over HTTP starting from one admin address — the
+// operator's entry point: any node's socket reconstructs the whole
+// reachable cluster.
+func CrawlAddr(c *HTTPClient, seedAddr string) (*CrawlReport, error) {
+	self, err := c.SelfAt(seedAddr)
+	if err != nil {
+		return nil, err
+	}
+	return Crawl(c, self.ID)
+}
