@@ -79,6 +79,11 @@ func main() {
 	treeOut := flag.String("tree-out", "", "serve mode: write the stabilized parent map (one 'child parent' line per node, 0 = root) to this file once the cluster is quiet")
 	serveFor := flag.Duration("serve-for", 0, "serve mode: exit after this duration (0 = run until signalled)")
 	interval := flag.Duration("interval", 5*time.Millisecond, "serve mode: per-node tick period; shorter converges faster but saturates small machines (staleness flapping)")
+	backoffCap := flag.Int("backoff-cap", 0, "serve mode: max keep-alive gap in ticks while quiet (0 = derive from the staleness TTL, ≈64; clamped so live peers never expire)")
+	minGap := flag.Int("min-gap", 0, "serve mode: min ticks between change-triggered frames (0 = 1; raise to coalesce bursts)")
+	fullEvery := flag.Int("full-every", 0, "serve mode: re-anchor the delta stream with a full frame every this many broadcasts (0 = 16)")
+	legacyWire := flag.Bool("legacy-wire", false, "serve mode: classic full-state heartbeat frames instead of delta frames (baseline/bisection)")
+	noBackoff := flag.Bool("no-backoff", false, "serve mode: keep-alive every heartbeat period even when quiet (baseline/bisection)")
 	flag.Parse()
 
 	g, err := parseGraph(*graphSpec, *seed)
@@ -110,7 +115,18 @@ func main() {
 	}
 
 	if *serve {
-		runServe(*algName, g, *seed, *adminDir, *treeOut, *serveFor, *interval)
+		// Heartbeat every other tick and a generous TTL: a node goroutine
+		// starved for a scheduling quantum on a loaded machine must not
+		// see its whole neighborhood expire, or the cluster churns
+		// forever. The wide TTL also derives a wide keep-alive back-off
+		// cap ((TTL−2)/4 = 64 ticks), so an idle cluster's frame rate sits
+		// well over an order of magnitude below the converging rate.
+		cfg := cluster.Config{
+			Interval: *interval, HeartbeatEvery: 2, StalenessTTL: 258,
+			BackoffCap: *backoffCap, MinGap: *minGap, FullEvery: *fullEvery,
+			DisableDelta: *legacyWire, DisableBackoff: *noBackoff,
+		}
+		runServe(*algName, g, *seed, *adminDir, *treeOut, *serveFor, cfg)
 		return
 	}
 
@@ -165,15 +181,12 @@ func extractAlwaysOn(algName string, net *runtime.Network) (*trees.Tree, error) 
 // to -tree-out, so an external crawler (sscrawl -diff) can certify
 // that the admin plane's reconstruction matches the coordinator's
 // ground truth.
-func runServe(algName string, g *graph.Graph, seed int64, adminDir, treeOut string, serveFor, interval time.Duration) {
+func runServe(algName string, g *graph.Graph, seed int64, adminDir, treeOut string, serveFor time.Duration, cfg cluster.Config) {
 	alg := alwaysOn(algName, "-serve")
 	rng := rand.New(rand.NewSource(seed))
 	tr := cluster.NewUDPTransport()
 	defer tr.Close()
-	// Heartbeat every other tick and a generous TTL: a node goroutine
-	// starved for a scheduling quantum on a loaded machine must not see
-	// its whole neighborhood expire, or the cluster churns forever.
-	cl, err := cluster.New(g, alg, tr, cluster.Config{Interval: interval, HeartbeatEvery: 2, StalenessTTL: 64})
+	cl, err := cluster.New(g, alg, tr, cfg)
 	if err != nil {
 		fatal(err)
 	}

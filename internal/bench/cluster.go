@@ -33,7 +33,11 @@ func E13Cluster(ns []int, packets int, seed int64) (*Table, error) {
 	for _, n := range ns {
 		rng := rand.New(rand.NewSource(seed + int64(n)))
 		g := graph.RandomConnected(n, 8/float64(n), rng)
-		cl, err := cluster.New(g, spanning.Algorithm{}, cluster.NewChanTransport(), cluster.Config{})
+		// E13 pins the classic wire behavior — full-state frame every
+		// tick — so it stays the fixed baseline the delta protocol (E14)
+		// is measured against.
+		cl, err := cluster.New(g, spanning.Algorithm{}, cluster.NewChanTransport(),
+			cluster.Config{DisableDelta: true, DisableBackoff: true})
 		if err != nil {
 			return nil, fmt.Errorf("E13 n=%d: %w", n, err)
 		}
@@ -79,6 +83,116 @@ func E13Cluster(ns []int, packets int, seed int64) (*Table, error) {
 			fmt.Sprintf("%.0f", float64(gws.Launched)/routeDur.Seconds()/1000),
 			fmt.Sprintf("%.1f", gws.MeanHops()),
 		})
+	}
+	return tb, nil
+}
+
+// e14Run is one E14 episode measurement.
+type e14Run struct {
+	ticks         int     // RunUntilQuiet ticks (convergence + quiet window)
+	frames        int     // episode frames: converge + idle window + routed batch
+	bytes         int     // episode bytes, same scope
+	idleFrPerTick float64 // frames per tick per node over the idle window
+	delivered     float64 // post-quiet batch delivery rate
+}
+
+// e14One runs one E14 episode: converge the spanning substrate from the
+// benign self-root start, sit idle for `idle` ticks, then serve a
+// routed batch over the quiet cluster. Legacy mode pins the classic
+// full-state-every-tick wire behavior; otherwise the delta protocol and
+// keep-alive back-off run at their defaults.
+func e14One(n, packets, idle int, seed int64, legacy bool) (e14Run, error) {
+	var r e14Run
+	rng := rand.New(rand.NewSource(seed + int64(n)))
+	g := graph.RandomConnected(n, 8/float64(n), rng)
+	cfg := cluster.Config{StalenessTTL: 128}
+	if legacy {
+		cfg.DisableDelta, cfg.DisableBackoff = true, true
+	}
+	cl, err := cluster.New(g, spanning.Algorithm{}, cluster.NewChanTransport(), cfg)
+	if err != nil {
+		return r, err
+	}
+	defer cl.Stop()
+	gw := cluster.NewGateway(cl)
+	for _, v := range g.Nodes() {
+		cl.SetState(v, spanning.State{Root: v, Parent: trees.None, Dist: 0})
+	}
+	ticks, quiet := cl.RunUntilQuiet(32*n, 4)
+	if !quiet {
+		return r, fmt.Errorf("no quiet within %d ticks", 32*n)
+	}
+	r.ticks = ticks
+	if !gw.Labeling().Complete() {
+		return r, fmt.Errorf("labeling incomplete after quiet")
+	}
+
+	// The idle window: the converged cluster doing nothing but staying
+	// alive — the regime the delta keep-alives and the cadence back-off
+	// are for.
+	idleStart := cl.Stats()
+	for i := 0; i < idle; i++ {
+		cl.Tick()
+	}
+	r.idleFrPerTick = float64(cl.Stats().FramesSent-idleStart.FramesSent) / float64(idle) / float64(n)
+
+	// A routed batch over the quiet cluster: the delta frames must not
+	// have cost any delivery fidelity.
+	gw.Launch(routing.UniformPairs(g.Nodes(), packets, rng))
+	for i := 0; i < 8*n && gw.Outstanding() > 0; i++ {
+		cl.Tick()
+	}
+	gws := gw.Stats()
+	r.delivered = gws.DeliveryRate()
+	st := cl.Stats()
+	r.frames, r.bytes = st.FramesSent, st.BytesSent
+	return r, nil
+}
+
+// E14DeltaWire measures what the delta heartbeats and the
+// silence-aware cadence buy on the wire: for each n, one full episode
+// (converge → idle window → routed batch) under the classic
+// full-state-every-tick framing and one under the delta protocol, over
+// identical graphs and packet workloads. The table reports the
+// episode's frame and byte totals, the idle-window frame rate — the
+// cost of merely existing once converged — and the byte reduction
+// factor.
+func E14DeltaWire(ns []int, packets, idle int, seed int64) (*Table, error) {
+	tb := &Table{
+		Title:  "E14: delta heartbeats + cadence back-off — wire cost of the quiet cluster",
+		Header: []string{"n", "mode", "ticks", "frames", "MB", "idle-fr/t/n", "delivered", "MB-x"},
+		Notes: []string{
+			"episode = converge from self-root start + idle window + routed batch over the quiet cluster",
+			fmt.Sprintf("idle window = %d ticks; StalenessTTL=128 both modes; legacy pins full-state frames every tick", idle),
+			"idle-fr/t/n: frames per tick per node while idle (legacy ≈ mean degree; delta ≈ degree/backoff-cap)",
+		},
+	}
+	for _, n := range ns {
+		legacy, err := e14One(n, packets, idle, seed, true)
+		if err != nil {
+			return nil, fmt.Errorf("E14 n=%d legacy: %w", n, err)
+		}
+		delta, err := e14One(n, packets, idle, seed, false)
+		if err != nil {
+			return nil, fmt.Errorf("E14 n=%d delta: %w", n, err)
+		}
+		for _, row := range []struct {
+			mode string
+			r    e14Run
+			x    string
+		}{
+			{"legacy", legacy, "1.0"},
+			{"delta", delta, fmt.Sprintf("%.1f", float64(legacy.bytes)/float64(delta.bytes))},
+		} {
+			tb.Rows = append(tb.Rows, []string{
+				itoa(n), row.mode, itoa(row.r.ticks),
+				itoa(row.r.frames),
+				fmt.Sprintf("%.1f", float64(row.r.bytes)/(1<<20)),
+				fmt.Sprintf("%.2f", row.r.idleFrPerTick),
+				fmt.Sprintf("%.2f%%", 100*row.r.delivered),
+				row.x,
+			})
+		}
 	}
 	return tb, nil
 }

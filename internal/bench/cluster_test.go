@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // TestE13ClusterSmoke: the cluster scale table at a CI-friendly size.
 func TestE13ClusterSmoke(t *testing.T) {
@@ -17,5 +20,34 @@ func TestE13ClusterSmoke(t *testing.T) {
 	}
 	if tb.Rows[0][8] != "100.00%" {
 		t.Fatalf("delivery column: %v", tb.Rows[0])
+	}
+}
+
+// TestE14DeltaWireSmoke: the delta-vs-legacy wire comparison at a
+// CI-friendly size, asserting the episode actually got cheaper and
+// that routed delivery stayed perfect under the delta protocol.
+func TestE14DeltaWireSmoke(t *testing.T) {
+	n := 2000
+	if testing.Short() {
+		n = 500
+	}
+	tb, err := E14DeltaWire([]int{n}, 500, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows: %v", tb.Rows)
+	}
+	for _, row := range tb.Rows {
+		if row[6] != "100.00%" {
+			t.Fatalf("delivery column: %v", row)
+		}
+	}
+	var x float64
+	if _, err := fmt.Sscanf(tb.Rows[1][7], "%f", &x); err != nil {
+		t.Fatalf("reduction column: %v", tb.Rows[1])
+	}
+	if x < 5 {
+		t.Fatalf("delta mode only %.1fx cheaper on the wire: %v", x, tb.Rows)
 	}
 }

@@ -228,6 +228,15 @@ func (r *Reader) ReadBit() (bool, error) {
 	return b, nil
 }
 
+// Skip consumes k bits without materializing them.
+func (r *Reader) Skip(k int) error {
+	if k < 0 || r.Remaining() < k {
+		return fmt.Errorf("bits: cannot skip %d bits, have %d", k, r.Remaining())
+	}
+	r.pos += k
+	return nil
+}
+
 // ReadString consumes k bits and returns them as a bit string.
 func (r *Reader) ReadString(k int) (String, error) {
 	if r.Remaining() < k {

@@ -83,18 +83,37 @@ func (s String) Bytes() []byte {
 // whose zero-padding carries set bits, so a corrupted length field
 // cannot smuggle silent extra state past a decoder.
 func FromBytes(data []byte, nbits int) (String, error) {
+	s, _, err := FromBytesBuf(nil, data, nbits)
+	return s, err
+}
+
+// FromBytesBuf is FromBytes with a caller-provided scratch word slice:
+// the returned String aliases buf (grown when too small, and returned
+// for the next call), so a decoder on a hot path reuses one buffer
+// across frames instead of allocating per call. The String — and
+// anything still referencing its bits — is invalidated by the next
+// FromBytesBuf call with the same buffer.
+func FromBytesBuf(buf []uint64, data []byte, nbits int) (String, []uint64, error) {
 	if nbits < 0 {
-		return String{}, fmt.Errorf("bits: negative bit count %d", nbits)
+		return String{}, buf, fmt.Errorf("bits: negative bit count %d", nbits)
 	}
 	if want := (nbits + 7) / 8; len(data) != want {
-		return String{}, fmt.Errorf("bits: %d bytes for %d bits, want %d", len(data), nbits, want)
+		return String{}, buf, fmt.Errorf("bits: %d bytes for %d bits, want %d", len(data), nbits, want)
 	}
 	if pad := len(data)*8 - nbits; pad > 0 && data[len(data)-1]&(1<<uint(pad)-1) != 0 {
-		return String{}, fmt.Errorf("bits: nonzero padding in final byte")
+		return String{}, buf, fmt.Errorf("bits: nonzero padding in final byte")
 	}
-	words := make([]uint64, (nbits+63)/64)
+	nw := (nbits + 63) / 64
+	if cap(buf) < nw {
+		buf = make([]uint64, nw)
+	} else {
+		buf = buf[:nw]
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
 	for j, by := range data {
-		words[j/8] |= uint64(by) << (56 - 8*uint(j%8))
+		buf[j/8] |= uint64(by) << (56 - 8*uint(j%8))
 	}
-	return String{words: words, n: nbits}, nil
+	return String{words: buf, n: nbits}, buf, nil
 }

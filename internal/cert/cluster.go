@@ -256,7 +256,15 @@ func runOneCluster(a Algo, ng NamedGraph, prof ClusterProfile, cfg ClusterConfig
 	faults := prof.Faults
 	faults.Seed = seed + 1
 	ft := cluster.NewFaultTransport(cluster.NewChanTransport(), faults)
-	cl, err := cluster.New(g, alg, ft, cluster.Config{StalenessTTL: 4 * cfg.QuietTicks})
+	// BackoffCap is tightened below its TTL-derived default so the
+	// QuietTicks stability window always spans several keep-alives per
+	// edge: the silence verdict is read off the registers alone, and
+	// under a lossy adversary it is only as trustworthy as the number of
+	// refresh opportunities inside the window.
+	cl, err := cluster.New(g, alg, ft, cluster.Config{
+		StalenessTTL: 4 * cfg.QuietTicks,
+		BackoffCap:   max(1, cfg.QuietTicks/3),
+	})
 	if err != nil {
 		return 0, 0, st, gws, err
 	}

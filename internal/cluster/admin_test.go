@@ -234,6 +234,10 @@ func TestMetricsMatchStats(t *testing.T) {
 		"ss_cluster_staleness_expiries_total": st.StalenessExpiries,
 		"ss_cluster_packets_forwarded_total":  st.PacketsForwarded,
 		"ss_cluster_packets_dropped_total":    st.PacketsDropped,
+		"ss_cluster_anchor_frames_total":      st.AnchorsSent,
+		"ss_cluster_delta_frames_total":       st.DeltasSent,
+		"ss_cluster_resync_frames_total":      st.ResyncsSent,
+		"ss_cluster_delta_misses_total":       st.DeltaMisses,
 		"ss_cluster_nodes":                    g.N(),
 		"ss_cluster_ticks":                    int(cl.Ticks()),
 		"ss_cluster_changed_last_tick":        cl.ChangedLastTick(),
@@ -254,6 +258,14 @@ func TestMetricsMatchStats(t *testing.T) {
 	}
 	if snap["ss_cluster_heartbeat_interval_ticks_count"] == 0 {
 		t.Error("heartbeat cadence histogram empty")
+	}
+	if snap["ss_cluster_frame_bytes_count"] == 0 {
+		t.Error("frame-size histogram empty")
+	}
+	// The default config runs the delta protocol: a converged run has
+	// both anchors (initial + periodic re-anchors) and deltas on record.
+	if st.AnchorsSent == 0 || st.DeltasSent == 0 {
+		t.Errorf("delta protocol idle: anchors=%d deltas=%d", st.AnchorsSent, st.DeltasSent)
 	}
 	if snap[`ss_transport_frames_delivered_total{transport="chan"}`] == 0 {
 		t.Error("chan transport counters not registered")

@@ -65,6 +65,29 @@ type Config struct {
 	MaxHold int
 	// Interval is the free-running tick period (default 2ms).
 	Interval time.Duration
+	// BackoffCap bounds the keep-alive back-off in ticks: while a node's
+	// register is quiet its heartbeat gap doubles per keep-alive up to
+	// this cap. The default is max(HeartbeatEvery, (StalenessTTL−2)/4),
+	// so a peer's observed age stays under StalenessTTL even through
+	// three consecutive lost keep-alives; fill hard-clamps any explicit
+	// value to (StalenessTTL−2)/2 (one tolerated loss) — beyond that a
+	// merely quiet neighbor would flap stale.
+	BackoffCap int
+	// MinGap is the minimum ticks between frames triggered by register
+	// changes (default 1): a burst of moves coalesces instead of
+	// broadcasting per change.
+	MinGap int
+	// FullEvery re-anchors the delta stream with a self-contained frame
+	// every this many broadcasts (default 16), bounding how long a
+	// receiver that lost the anchor waits before the stream self-heals
+	// even without its resync request getting through.
+	FullEvery int
+	// DisableDelta reverts to classic full-state heartbeat frames —
+	// the pre-delta wire behavior, kept for baselines and bisection.
+	DisableDelta bool
+	// DisableBackoff pins the keep-alive gap to HeartbeatEvery — the
+	// pre-cadence behavior, kept for baselines and bisection.
+	DisableBackoff bool
 }
 
 func (c *Config) fill() {
@@ -80,6 +103,22 @@ func (c *Config) fill() {
 	if c.Interval == 0 {
 		c.Interval = 2 * time.Millisecond
 	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = max(c.HeartbeatEvery, (c.StalenessTTL-2)/4)
+	}
+	// Safety clamp: a quiet sender emits one keep-alive per BackoffCap
+	// ticks, and the receiver's view of it must never age past the TTL
+	// even if one keep-alive is lost (observed age ≈ 2·gap at the loss).
+	if hard := (c.StalenessTTL - 2) / 2; c.BackoffCap > hard {
+		c.BackoffCap = hard
+	}
+	c.BackoffCap = max(c.BackoffCap, c.HeartbeatEvery, 1)
+	if c.MinGap == 0 {
+		c.MinGap = 1
+	}
+	if c.FullEvery == 0 {
+		c.FullEvery = 16
+	}
 }
 
 // Stats aggregates the cluster's transport activity. It reads atomic
@@ -93,6 +132,11 @@ type Stats struct {
 	StalenessExpiries      int
 	PacketsForwarded       int
 	PacketsDropped         int
+	// Delta-protocol accounting (all zero with DisableDelta).
+	AnchorsSent int
+	DeltasSent  int
+	ResyncsSent int
+	DeltaMisses int
 }
 
 // Cluster binds a graph, an algorithm, a wire codec, and a transport
@@ -128,6 +172,7 @@ type Cluster struct {
 	// /metrics endpoint or snapshot directly.
 	metrics      *ops.Registry
 	hbCadence    *ops.Histogram
+	frameBytes   *ops.Histogram
 	ticksToQuiet *ops.Gauge
 
 	// trace, when enabled, folds every register change into a running
@@ -205,6 +250,14 @@ func (c *Cluster) registerMetrics() {
 		sum(func(s *nodeCounters) *atomic.Int64 { return &s.PacketsForwarded }))
 	reg.CounterFunc("ss_cluster_packets_dropped_total", "Routed packets dropped at nodes (hop/stall budget).", nil,
 		sum(func(s *nodeCounters) *atomic.Int64 { return &s.PacketsDropped }))
+	reg.CounterFunc("ss_cluster_anchor_frames_total", "Self-contained (anchor) heartbeat frames broadcast.", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.AnchorsSent }))
+	reg.CounterFunc("ss_cluster_delta_frames_total", "Delta heartbeat frames broadcast.", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.DeltasSent }))
+	reg.CounterFunc("ss_cluster_resync_frames_total", "Re-anchor requests sent.", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.ResyncsSent }))
+	reg.CounterFunc("ss_cluster_delta_misses_total", "Received deltas dropped for want of their anchor.", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.DeltaMisses }))
 	reg.GaugeFunc("ss_cluster_ticks", "Lockstep ticks driven so far.", nil,
 		func() float64 { return float64(c.tick.Load()) })
 	reg.GaugeFunc("ss_cluster_changed_last_tick", "Registers that changed in the last lockstep tick (0 = converging toward silence).", nil,
@@ -221,9 +274,13 @@ func (c *Cluster) registerMetrics() {
 		"Ticks the last RunUntilQuiet consumed to reach quiet (0 until reached).", nil)
 	c.hbCadence = reg.Histogram("ss_cluster_heartbeat_interval_ticks",
 		"Local ticks between consecutive heartbeat broadcasts per node.", nil,
-		[]float64{1, 2, 4, 8, 16, 32, 64})
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	c.frameBytes = reg.Histogram("ss_cluster_frame_bytes",
+		"Encoded size of each distinct frame sent (one observation per broadcast, not per fan-out copy).", nil,
+		[]float64{8, 16, 24, 32, 48, 64, 128})
 	for _, nd := range c.nodes {
 		nd.hbCadence = c.hbCadence
+		nd.frameBytes = c.frameBytes
 	}
 	if m, ok := c.tr.(interface{ RegisterMetrics(*ops.Registry) }); ok {
 		m.RegisterMetrics(reg)
@@ -458,12 +515,21 @@ func (c *Cluster) Serve(ctx context.Context) error {
 		go func() {
 			ticker := time.NewTicker(c.cfg.Interval)
 			defer ticker.Stop()
+			// The labeling only moves when some register did: a quiet
+			// cluster skips the O(n) register sweep instead of re-reading
+			// every node per tick forever. RegisterWrites is monotone, so
+			// polling it is a safe progress signal (stateDirty is not — it
+			// belongs to the lockstep coordinator).
+			lastWrites := -1
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					c.gw.refresh()
+					if w := c.Stats().RegisterWrites; w != lastWrites {
+						lastWrites = w
+						c.gw.refresh()
+					}
 				}
 			}
 		}()
@@ -517,6 +583,10 @@ func (c *Cluster) Stats() Stats {
 		s.StalenessExpiries += ns.StalenessExpiries
 		s.PacketsForwarded += ns.PacketsForwarded
 		s.PacketsDropped += ns.PacketsDropped
+		s.AnchorsSent += ns.AnchorsSent
+		s.DeltasSent += ns.DeltasSent
+		s.ResyncsSent += ns.ResyncsSent
+		s.DeltaMisses += ns.DeltaMisses
 	}
 	return s
 }

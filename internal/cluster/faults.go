@@ -301,6 +301,29 @@ func (ep *faultEndpoint) Send(to graph.NodeID, frame []byte) error {
 	return sendErr
 }
 
+// Broadcast implements Endpoint. The fault pipeline fates every
+// destination's copy independently — exactly as the per-Send path did —
+// so batching upstream does not weaken the adversary: one neighbor may
+// lose the frame another receives twice. The deterministic lockstep
+// decision order (senders ascending, frames in send order, destinations
+// in neighbor order) is preserved by unrolling the batch here.
+func (ep *faultEndpoint) Broadcast(dsts []graph.NodeID, frame []byte) error {
+	ft := ep.ft
+	if ft.stepper != nil {
+		for _, to := range dsts {
+			ep.out = append(ep.out, sendReq{to: to, data: frame})
+		}
+		return nil
+	}
+	var firstErr error
+	for _, to := range dsts {
+		if err := ep.Send(to, frame); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Drain implements Endpoint.
 func (ep *faultEndpoint) Drain(into [][]byte) [][]byte { return ep.inner.Drain(into) }
 

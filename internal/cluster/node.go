@@ -46,6 +46,14 @@ type Node struct {
 	// fresh→stale transitions are counted exactly once per expiry.
 	wasStale []bool
 
+	// Receiver-side delta anchors, parallel to neighbors: the register
+	// and seq of the last self-contained frame accepted per neighbor —
+	// the base the sender's deltas are applied against. lastResync
+	// rate-limits re-anchor requests to one per neighbor per tick.
+	anchorRx    []runtime.State
+	anchorSeqRx []uint64
+	lastResync  []uint64
+
 	// dataQ holds routed packets parked at this node (in flight, or
 	// stalled on an unroutable labeling). heldSince is parallel.
 	dataQ     []wire.Packet
@@ -56,13 +64,26 @@ type Node struct {
 	changed   bool   // register changed during the last tick
 	lastHB    uint64 // local tick of the last broadcast (cadence metric)
 
+	// Sender-side delta and cadence state (actor-owned; changedSince is
+	// also set under mu by out-of-band register writes between ticks).
+	anchorState   runtime.State // register as of the last self-contained broadcast
+	anchorSeq     uint64
+	sinceFull     int  // broadcasts since the last self-contained frame
+	resyncPending bool // some neighbor asked to re-anchor
+	changedSince  bool // register changed since the last broadcast
+	gap           uint64
+	nextHB        uint64 // local tick the next keep-alive is due
+
 	enc      bits.Builder
+	decBuf   []uint64 // reusable frame-decode scratch
 	drainBuf [][]byte
 
 	stats nodeCounters
-	// hbCadence is the cluster-shared heartbeat-interval histogram
-	// (nil when the cluster runs without a metrics registry).
-	hbCadence *ops.Histogram
+	// hbCadence (heartbeat intervals) and frameBytes (encoded frame
+	// sizes) are cluster-shared histograms, nil when the cluster runs
+	// without a metrics registry.
+	hbCadence  *ops.Histogram
+	frameBytes *ops.Histogram
 }
 
 // NodeStats is a snapshot of one node's transport-visible activity.
@@ -76,6 +97,13 @@ type NodeStats struct {
 	// moves); StalenessExpiries counts fresh→stale cache transitions.
 	RegisterWrites    int
 	StalenessExpiries int
+	// Delta-protocol accounting: self-contained anchor frames vs delta
+	// frames broadcast, re-anchor requests sent, and received deltas
+	// dropped for want of their anchor.
+	AnchorsSent int
+	DeltasSent  int
+	ResyncsSent int
+	DeltaMisses int
 }
 
 // nodeCounters is the live counter set. All fields are atomic: the
@@ -90,6 +118,10 @@ type nodeCounters struct {
 	PacketsDropped         atomic.Int64
 	RegisterWrites         atomic.Int64
 	StalenessExpiries      atomic.Int64
+	AnchorsSent            atomic.Int64
+	DeltasSent             atomic.Int64
+	ResyncsSent            atomic.Int64
+	DeltaMisses            atomic.Int64
 }
 
 // snapshot reads every counter once.
@@ -104,6 +136,10 @@ func (c *nodeCounters) snapshot() NodeStats {
 		PacketsDropped:    int(c.PacketsDropped.Load()),
 		RegisterWrites:    int(c.RegisterWrites.Load()),
 		StalenessExpiries: int(c.StalenessExpiries.Load()),
+		AnchorsSent:       int(c.AnchorsSent.Load()),
+		DeltasSent:        int(c.DeltasSent.Load()),
+		ResyncsSent:       int(c.ResyncsSent.Load()),
+		DeltaMisses:       int(c.DeltaMisses.Load()),
 	}
 }
 
@@ -117,11 +153,14 @@ func newNode(id graph.NodeID, slot, n int, neighbors []graph.NodeID, weights []g
 		id: id, slot: slot, n: n,
 		neighbors: neighbors, weights: weights,
 		ep: ep, codec: codec, alg: alg,
-		cache:    make([]runtime.State, deg),
-		lastSeen: make([]uint64, deg),
-		lastSeq:  make([]uint64, deg),
-		peers:    make([]runtime.State, deg),
-		wasStale: make([]bool, deg),
+		cache:       make([]runtime.State, deg),
+		lastSeen:    make([]uint64, deg),
+		lastSeq:     make([]uint64, deg),
+		peers:       make([]runtime.State, deg),
+		wasStale:    make([]bool, deg),
+		anchorRx:    make([]runtime.State, deg),
+		anchorSeqRx: make([]uint64, deg),
+		lastResync:  make([]uint64, deg),
 	}
 }
 
@@ -135,10 +174,13 @@ func (nd *Node) State() runtime.State {
 	return nd.self
 }
 
-// setState publishes a new register content.
+// setState publishes a new register content and flags the cadence
+// machinery: any register write — δ-driven or out-of-band (SetState,
+// Corrupt) — snaps the heartbeat back to the base interval.
 func (nd *Node) setState(s runtime.State) {
 	nd.mu.Lock()
 	nd.self = s
+	nd.changedSince = true
 	nd.mu.Unlock()
 }
 
@@ -180,10 +222,16 @@ func (nd *Node) tick(now uint64, cfg *Config, gw *Gateway) {
 	if gw != nil {
 		nd.pump(now, cfg, gw)
 	}
-	// Heartbeat: immediately after a register change (convergence
-	// latency), and periodically as keep-alive (staleness ground truth).
-	if nd.changed || now%uint64(cfg.HeartbeatEvery) == 0 {
-		nd.broadcast(now)
+	// Heartbeat policy: immediately on a re-anchor request, after a
+	// register change once MinGap ticks have passed since the last frame
+	// (convergence latency), and when the keep-alive falls due. The
+	// keep-alive gap backs off exponentially while the register is quiet
+	// (see sendHB), so a converged cluster goes nearly silent.
+	nd.mu.Lock()
+	changed := nd.changedSince
+	nd.mu.Unlock()
+	if nd.resyncPending || (changed && now-nd.lastHB >= uint64(cfg.MinGap)) || now >= nd.nextHB {
+		nd.sendHB(now, changed, cfg)
 	}
 }
 
@@ -191,16 +239,20 @@ func (nd *Node) tick(now uint64, cfg *Config, gw *Gateway) {
 // corrupted (checksum), foreign codec — are rejected and counted;
 // heartbeats from non-neighbors are rejected (the model only grants a
 // node its neighbors' registers); duplicated or reordered-stale
-// heartbeats are rejected by sequence number.
+// heartbeats are rejected by sequence number. Delta frames apply
+// against the sender's last self-contained anchor; a delta whose
+// anchor this node never accepted (lost or reordered away) is dropped
+// without refreshing the cache and answered with a resync request.
 func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
 	nd.stats.FramesRecv.Add(1)
-	f, err := wire.Decode(nd.codec, data)
+	f, buf, err := wire.DecodeBuf(nd.codec, data, nd.decBuf)
+	nd.decBuf = buf
 	if err != nil {
 		nd.stats.RxRejected.Add(1)
 		return
 	}
 	switch f.Kind {
-	case wire.KindHeartbeat:
+	case wire.KindHeartbeat, wire.KindDelta:
 		if f.Alg != nd.codec.Code() {
 			nd.stats.RxRejected.Add(1)
 			return
@@ -214,14 +266,57 @@ func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
 			nd.stats.RxRejected.Add(1) // duplicate or reordered-stale
 			return
 		}
+		st := f.State
+		anchor := f.Kind == wire.KindDelta && f.BaseSeq == f.Seq
+		if f.Kind == wire.KindDelta && !anchor {
+			switch {
+			case nd.anchorRx[j] != nil && nd.anchorSeqRx[j] == f.BaseSeq:
+				st, err = wire.ApplyDelta(nd.codec, f, nd.anchorRx[j])
+				if err != nil {
+					// Matching anchor but an unappliable payload: the
+					// sender and this node disagree on the base. Re-anchor.
+					nd.stats.RxRejected.Add(1)
+					nd.requestResync(j, f.Src, now)
+					return
+				}
+			case nd.anchorSeqRx[j] > f.BaseSeq:
+				// A delta against an anchor this node has already replaced
+				// — a straggler overtaken by a newer full frame. The newer
+				// anchor carries fresher state than this delta would yield.
+				nd.stats.RxRejected.Add(1)
+				return
+			default:
+				// The delta's anchor never arrived here (lost, or the
+				// sender re-anchored while this node was partitioned). The
+				// cache must not be refreshed by a frame that cannot be
+				// read; ask the sender for a new self-contained frame.
+				nd.stats.DeltaMisses.Add(1)
+				nd.requestResync(j, f.Src, now)
+				return
+			}
+		}
 		// Under mu: the admin plane snapshots the cache from outside the
 		// actor goroutine.
 		nd.mu.Lock()
 		nd.lastSeq[j] = f.Seq
-		nd.cache[j] = f.State
+		nd.cache[j] = st
 		nd.lastSeen[j] = now
+		if anchor {
+			nd.anchorRx[j] = st
+			nd.anchorSeqRx[j] = f.Seq
+		}
 		nd.mu.Unlock()
 		nd.stats.HeartbeatsApplied.Add(1)
+	case wire.KindResync:
+		if f.Alg != nd.codec.Code() {
+			nd.stats.RxRejected.Add(1)
+			return
+		}
+		if _, ok := slices.BinarySearch(nd.neighbors, f.Src); !ok {
+			nd.stats.RxRejected.Add(1)
+			return
+		}
+		nd.resyncPending = true
 	case wire.KindData:
 		if gw == nil {
 			nd.stats.RxRejected.Add(1)
@@ -244,8 +339,17 @@ func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
 // never acting on stale data — exactly as a register wiped by a fault
 // would read in the shared-memory model.
 func (nd *Node) step(now uint64, cfg *Config) {
+	// pullAfter is the freshness-pull threshold: a quiet neighbor
+	// legitimately ages up to BackoffCap plus delivery slack between
+	// keep-alives, so an age beyond cap+cap/2+3 means a frame was lost.
+	// Pulling a fresh anchor then repairs the cache in a couple of ticks
+	// instead of waiting out the next backed-off keep-alive — without it
+	// a lost keep-alive could leave a cache stale (but unexpired) long
+	// enough for the cluster to look quiet in a non-silent configuration.
+	pullAfter := uint64(cfg.BackoffCap + cfg.BackoffCap/2 + 3)
 	for j := range nd.peers {
-		stale := nd.lastSeen[j] == 0 || now-nd.lastSeen[j] > uint64(cfg.StalenessTTL)
+		age := now - nd.lastSeen[j]
+		stale := nd.lastSeen[j] == 0 || age > uint64(cfg.StalenessTTL)
 		if stale {
 			nd.peers[j] = nil
 			// Count only heard-then-expired entries, not never-heard ones.
@@ -254,6 +358,9 @@ func (nd *Node) step(now uint64, cfg *Config) {
 			}
 		} else {
 			nd.peers[j] = nd.cache[j]
+			if !cfg.DisableDelta && age > pullAfter {
+				nd.requestResync(j, nd.neighbors[j], now)
+			}
 		}
 		nd.wasStale[j] = stale
 	}
@@ -306,6 +413,9 @@ func (nd *Node) pump(now uint64, cfg *Config, gw *Gateway) {
 			nd.stats.PacketsForwarded.Add(1)
 			nd.stats.FramesSent.Add(1)
 			nd.stats.BytesSent.Add(int64(len(data)))
+			if nd.frameBytes != nil {
+				nd.frameBytes.Observe(float64(len(data)))
+			}
 		}
 	}
 	if len(keepQ) > 0 {
@@ -316,26 +426,90 @@ func (nd *Node) pump(now uint64, cfg *Config, gw *Gateway) {
 	}
 }
 
-// broadcast sends the node's register to every neighbor as one
-// heartbeat frame (a shared byte slice: recipients only read).
-func (nd *Node) broadcast(now uint64) {
+// sendHB runs one heartbeat emission: advance the keep-alive schedule
+// (exponential back-off while quiet, instant reset on any change or
+// re-anchor request) and broadcast. The back-off cap is derived from
+// StalenessTTL in Config.fill so that even consecutive lost keep-alives
+// cannot push a peer's observed age past the TTL.
+func (nd *Node) sendHB(now uint64, changed bool, cfg *Config) {
+	if !changed && !nd.resyncPending && !cfg.DisableBackoff {
+		nd.gap = min(nd.gap*2, uint64(cfg.BackoffCap))
+	} else {
+		nd.gap = uint64(cfg.HeartbeatEvery)
+	}
+	nd.gap = max(nd.gap, uint64(cfg.HeartbeatEvery))
+	nd.nextHB = now + nd.gap
 	if nd.hbCadence != nil && nd.lastHB != 0 {
 		nd.hbCadence.Observe(float64(now - nd.lastHB))
 	}
 	nd.lastHB = now
+	nd.mu.Lock()
+	nd.changedSince = false
+	nd.mu.Unlock()
+	nd.broadcast(now, cfg)
+}
+
+// broadcast sends the node's register to every neighbor as one frame
+// (a shared byte slice: recipients only read). With the delta protocol
+// enabled the frame is self-contained — a fresh anchor — when a
+// neighbor asked for one, when no anchor exists yet, or every FullEvery
+// broadcasts as a drift bound; otherwise it carries only the registers
+// changed since the anchor, which for a quiet register is a bare
+// header: the near-free keep-alive.
+func (nd *Node) broadcast(now uint64, cfg *Config) {
 	nd.seq++
-	data, err := wire.Encode(wire.Frame{
-		Kind: wire.KindHeartbeat, Alg: nd.codec.Code(),
-		Src: nd.id, Seq: nd.seq, State: nd.self,
-	}, nd.codec, &nd.enc, nil)
+	f := wire.Frame{Kind: wire.KindHeartbeat, Alg: nd.codec.Code(),
+		Src: nd.id, Seq: nd.seq, State: nd.self}
+	if !cfg.DisableDelta {
+		f.Kind = wire.KindDelta
+		full := nd.resyncPending || nd.anchorState == nil || nd.self == nil ||
+			nd.sinceFull >= cfg.FullEvery
+		if full {
+			f.BaseSeq = nd.seq
+			nd.anchorState = nd.self
+			nd.anchorSeq = nd.seq
+			nd.sinceFull = 0
+			nd.resyncPending = false
+			nd.stats.AnchorsSent.Add(1)
+		} else {
+			f.BaseSeq = nd.anchorSeq
+			f.Base = nd.anchorState
+			nd.sinceFull++
+			nd.stats.DeltasSent.Add(1)
+		}
+	}
+	data, err := wire.Encode(f, nd.codec, &nd.enc, nil)
 	if err != nil {
 		// A register the codec cannot carry is a wiring bug (foreign
 		// state injected into the cluster); surface it loudly.
 		panic("cluster: encode own register: " + err.Error())
 	}
-	for _, u := range nd.neighbors {
-		nd.ep.Send(u, data)
-		nd.stats.FramesSent.Add(1)
-		nd.stats.BytesSent.Add(int64(len(data)))
+	nd.ep.Broadcast(nd.neighbors, data)
+	nd.stats.FramesSent.Add(int64(len(nd.neighbors)))
+	nd.stats.BytesSent.Add(int64(len(nd.neighbors) * len(data)))
+	if nd.frameBytes != nil {
+		nd.frameBytes.Observe(float64(len(data)))
+	}
+}
+
+// requestResync asks neighbor j (id `to`) for a fresh self-contained
+// frame, at most once per neighbor per local tick: one lost anchor can
+// orphan a whole flight of deltas, and one resync heals them all.
+func (nd *Node) requestResync(j int, to graph.NodeID, now uint64) {
+	if nd.lastResync[j] == now+1 {
+		return
+	}
+	nd.lastResync[j] = now + 1
+	data, err := wire.Encode(wire.Frame{Kind: wire.KindResync, Alg: nd.codec.Code(),
+		Src: nd.id, Seq: nd.anchorSeqRx[j]}, nd.codec, &nd.enc, nil)
+	if err != nil {
+		return // resync carries no state; encode cannot fail in practice
+	}
+	nd.ep.Send(to, data)
+	nd.stats.ResyncsSent.Add(1)
+	nd.stats.FramesSent.Add(1)
+	nd.stats.BytesSent.Add(int64(len(data)))
+	if nd.frameBytes != nil {
+		nd.frameBytes.Observe(float64(len(data)))
 	}
 }

@@ -31,6 +31,12 @@ type Endpoint interface {
 	// the transport. The slice is retained; the caller must not mutate
 	// it after Send.
 	Send(to graph.NodeID, frame []byte) error
+	// Broadcast queues one frame to every destination — a node's
+	// per-tick fan-out coalesced into one transport operation instead of
+	// len(dsts) bookkeeping rounds. Both slices are retained; the caller
+	// must not mutate either after Broadcast. Fault wrappers still fate
+	// each destination's copy independently.
+	Broadcast(dsts []graph.NodeID, frame []byte) error
 	// Drain appends the frames delivered since the last call to `into`
 	// and returns it.
 	Drain(into [][]byte) [][]byte
@@ -66,10 +72,11 @@ type ChanTransport struct {
 	eps    map[graph.NodeID]*chanEndpoint
 	sorted []*chanEndpoint
 	// dropped counts frames addressed to nodes that were never opened;
-	// delivered counts frames moved into inboxes. Atomic so a metrics
-	// scrape can read them while Step runs.
-	dropped   atomic.Int64
-	delivered atomic.Int64
+	// delivered counts frames moved into inboxes, deliveredBytes their
+	// bytes. Atomic so a metrics scrape can read them while Step runs.
+	dropped        atomic.Int64
+	delivered      atomic.Int64
+	deliveredBytes atomic.Int64
 }
 
 // RegisterMetrics exposes the transport's delivery counters.
@@ -77,6 +84,8 @@ func (tr *ChanTransport) RegisterMetrics(reg *ops.Registry) {
 	labels := ops.Labels{"transport": "chan"}
 	reg.CounterFunc("ss_transport_frames_delivered_total", "Frames moved into recipient inboxes.", labels,
 		func() float64 { return float64(tr.delivered.Load()) })
+	reg.CounterFunc("ss_transport_delivered_bytes_total", "Frame bytes moved into recipient inboxes.", labels,
+		func() float64 { return float64(tr.deliveredBytes.Load()) })
 	reg.CounterFunc("ss_transport_frames_dropped_total", "Frames addressed to unopened nodes.", labels,
 		func() float64 { return float64(tr.dropped.Load()) })
 }
@@ -96,8 +105,20 @@ type chanEndpoint struct {
 }
 
 type sendReq struct {
-	to   graph.NodeID
+	to graph.NodeID
+	// dsts, when non-nil, makes this a batched fan-out entry: one frame
+	// to every destination, `to` unused. The slice is the sender's
+	// neighbor list, shared and read-only.
+	dsts []graph.NodeID
 	data []byte
+}
+
+// fanout returns the number of frames this entry carries.
+func (r sendReq) fanout() int {
+	if r.dsts != nil {
+		return len(r.dsts)
+	}
+	return 1
 }
 
 // Open implements Transport.
@@ -124,23 +145,36 @@ func (tr *ChanTransport) Close() error { return nil }
 func (tr *ChanTransport) Step(uint64) {
 	for _, ep := range tr.sorted {
 		for _, req := range ep.out {
-			dst, ok := tr.eps[req.to]
-			if !ok {
-				tr.dropped.Add(1)
+			if req.dsts != nil {
+				for _, to := range req.dsts {
+					tr.deliverOne(to, req.data)
+				}
 				continue
 			}
-			dst.in = append(dst.in, req.data)
-			tr.delivered.Add(1)
+			tr.deliverOne(req.to, req.data)
 		}
 		ep.out = ep.out[:0]
 	}
+}
+
+func (tr *ChanTransport) deliverOne(to graph.NodeID, data []byte) {
+	dst, ok := tr.eps[to]
+	if !ok {
+		tr.dropped.Add(1)
+		return
+	}
+	dst.in = append(dst.in, data)
+	tr.delivered.Add(1)
+	tr.deliveredBytes.Add(int64(len(data)))
 }
 
 // InFlight implements Stepper.
 func (tr *ChanTransport) InFlight() int {
 	n := 0
 	for _, ep := range tr.sorted {
-		n += len(ep.out)
+		for _, req := range ep.out {
+			n += req.fanout()
+		}
 	}
 	return n
 }
@@ -152,6 +186,13 @@ func (tr *ChanTransport) Delivered() int { return int(tr.delivered.Load()) }
 // see the type comment).
 func (ep *chanEndpoint) Send(to graph.NodeID, frame []byte) error {
 	ep.out = append(ep.out, sendReq{to: to, data: frame})
+	return nil
+}
+
+// Broadcast implements Endpoint: the whole fan-out is one buffered
+// entry, unpacked at the barrier.
+func (ep *chanEndpoint) Broadcast(dsts []graph.NodeID, frame []byte) error {
+	ep.out = append(ep.out, sendReq{dsts: dsts, data: frame})
 	return nil
 }
 

@@ -27,6 +27,8 @@ type UDPTransport struct {
 
 	datagramsSent atomic.Int64
 	datagramsRecv atomic.Int64
+	bytesSent     atomic.Int64
+	bytesRecv     atomic.Int64
 	sendErrors    atomic.Int64
 }
 
@@ -37,6 +39,10 @@ func (tr *UDPTransport) RegisterMetrics(reg *ops.Registry) {
 		func() float64 { return float64(tr.datagramsSent.Load()) })
 	reg.CounterFunc("ss_transport_datagrams_received_total", "Datagrams read from loopback sockets.", labels,
 		func() float64 { return float64(tr.datagramsRecv.Load()) })
+	reg.CounterFunc("ss_transport_sent_bytes_total", "Bytes written to loopback sockets.", labels,
+		func() float64 { return float64(tr.bytesSent.Load()) })
+	reg.CounterFunc("ss_transport_received_bytes_total", "Bytes read from loopback sockets.", labels,
+		func() float64 { return float64(tr.bytesRecv.Load()) })
 	reg.CounterFunc("ss_transport_send_errors_total", "Socket write failures.", labels,
 		func() float64 { return float64(tr.sendErrors.Load()) })
 }
@@ -50,6 +56,9 @@ type udpEndpoint struct {
 	tr   *UDPTransport
 	id   graph.NodeID
 	conn *net.UDPConn
+	// bcastAddrs is Broadcast's reusable address scratch (only the
+	// owning node's goroutine broadcasts).
+	bcastAddrs []*net.UDPAddr
 
 	mu     sync.Mutex
 	in     [][]byte
@@ -102,6 +111,7 @@ func (ep *udpEndpoint) readLoop() {
 		}
 		frame := append([]byte(nil), buf[:n]...)
 		ep.tr.datagramsRecv.Add(1)
+		ep.tr.bytesRecv.Add(int64(n))
 		ep.mu.Lock()
 		ep.in = append(ep.in, frame)
 		ep.mu.Unlock()
@@ -120,13 +130,44 @@ func (ep *udpEndpoint) Send(to graph.NodeID, frame []byte) error {
 	if !ok {
 		return fmt.Errorf("cluster: node %d not attached", to)
 	}
+	return ep.write(frame, addr)
+}
+
+func (ep *udpEndpoint) write(frame []byte, addr *net.UDPAddr) error {
 	_, err := ep.conn.WriteToUDP(frame, addr)
 	if err != nil {
 		ep.tr.sendErrors.Add(1)
 	} else {
 		ep.tr.datagramsSent.Add(1)
+		ep.tr.bytesSent.Add(int64(len(frame)))
 	}
 	return err
+}
+
+// Broadcast implements Endpoint: one directory lookup and one
+// counter-bookkeeping round for the whole fan-out, then a write per
+// destination (the portable stdlib has no sendmmsg; the dominant
+// per-Send cost here was the directory lock, not the syscall).
+func (ep *udpEndpoint) Broadcast(dsts []graph.NodeID, frame []byte) error {
+	ep.tr.mu.Lock()
+	ep.bcastAddrs = ep.bcastAddrs[:0]
+	for _, to := range dsts {
+		ep.bcastAddrs = append(ep.bcastAddrs, ep.tr.addrs[to])
+	}
+	ep.tr.mu.Unlock()
+	var firstErr error
+	for i, addr := range ep.bcastAddrs {
+		if addr == nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: node %d not attached", dsts[i])
+			}
+			continue
+		}
+		if err := ep.write(frame, addr); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Drain implements Endpoint.

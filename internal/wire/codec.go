@@ -25,6 +25,15 @@ type Codec interface {
 	AppendState(b *bits.Builder, s runtime.State) error
 	// DecodeState parses one register off the reader.
 	DecodeState(r *bits.Reader) (runtime.State, error)
+	// AppendDelta encodes cur as a change-mask delta against base: one
+	// changed bit per field, then the changed fields in order. Boolean
+	// fields encode as a bare flip bit. An unchanged register encodes as
+	// an all-zero mask — the quiet keep-alive.
+	AppendDelta(b *bits.Builder, base, cur runtime.State) error
+	// ApplyDelta parses one delta off the reader and applies it onto a
+	// copy of base. A changed field carrying its base value is rejected
+	// as non-canonical, keeping decode the exact inverse of encode.
+	ApplyDelta(r *bits.Reader, base runtime.State) (runtime.State, error)
 }
 
 // The codec codes.
@@ -104,6 +113,85 @@ func (Spanning) DecodeState(r *bits.Reader) (runtime.State, error) {
 	return s, nil
 }
 
+// AppendDelta implements Codec.
+func (Spanning) AppendDelta(b *bits.Builder, base, cur runtime.State) error {
+	bs, ok := base.(spanning.State)
+	if !ok {
+		return fmt.Errorf("wire: spanning codec got base %T", base)
+	}
+	cs, ok := cur.(spanning.State)
+	if !ok {
+		return fmt.Errorf("wire: spanning codec got %T", cur)
+	}
+	fields := [...][2]int64{
+		{int64(bs.Root), int64(cs.Root)},
+		{int64(bs.Parent), int64(cs.Parent)},
+		{int64(bs.Dist), int64(cs.Dist)},
+	}
+	for _, f := range fields {
+		b.AppendBit(f[0] != f[1])
+	}
+	for _, f := range fields {
+		if f[0] != f[1] {
+			if err := appendInt(b, f[1]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyDelta implements Codec.
+func (Spanning) ApplyDelta(r *bits.Reader, base runtime.State) (runtime.State, error) {
+	s, ok := base.(spanning.State)
+	if !ok {
+		return nil, fmt.Errorf("wire: spanning codec got base %T", base)
+	}
+	var mask [3]bool
+	for i := range mask {
+		var err error
+		if mask[i], err = r.ReadBit(); err != nil {
+			return nil, err
+		}
+	}
+	if mask[0] {
+		v, err := readChanged(r, int64(s.Root))
+		if err != nil {
+			return nil, err
+		}
+		s.Root = graph.NodeID(v)
+	}
+	if mask[1] {
+		v, err := readChanged(r, int64(s.Parent))
+		if err != nil {
+			return nil, err
+		}
+		s.Parent = graph.NodeID(v)
+	}
+	if mask[2] {
+		v, err := readChanged(r, int64(s.Dist))
+		if err != nil {
+			return nil, err
+		}
+		s.Dist = int(v)
+	}
+	return s, nil
+}
+
+// readChanged reads one delta field and rejects the non-canonical case
+// of a "changed" field carrying its base value: the encoder never
+// emits it, so accepting it would break decode ≡ encode⁻¹.
+func readChanged(r *bits.Reader, old int64) (int64, error) {
+	v, err := readInt(r)
+	if err != nil {
+		return 0, err
+	}
+	if v == old {
+		return 0, fmt.Errorf("wire: non-canonical delta: field unchanged at %d", v)
+	}
+	return v, nil
+}
+
 // Switching is the codec for switching.State registers.
 type Switching struct{}
 
@@ -157,6 +245,88 @@ func (Switching) DecodeState(r *bits.Reader) (runtime.State, error) {
 	s.SwTarget = graph.NodeID(f[5])
 	s.Pr = switching.PrPhase(f[6])
 	s.Sub = switching.SubPhase(f[7])
+	return s, nil
+}
+
+// AppendDelta implements Codec. The two presence booleans encode as
+// flip bits (the mask bit alone carries the change); the eight integer
+// fields follow the mask-then-values layout of the spanning codec.
+func (Switching) AppendDelta(b *bits.Builder, base, cur runtime.State) error {
+	bs, ok := switching.RegOf(base)
+	if !ok {
+		return fmt.Errorf("wire: switching codec got base %T", base)
+	}
+	cs, ok := switching.RegOf(cur)
+	if !ok {
+		return fmt.Errorf("wire: switching codec got %T", cur)
+	}
+	b.AppendBit(bs.HasD != cs.HasD)
+	b.AppendBit(bs.HasS != cs.HasS)
+	fields := [...][2]int64{
+		{int64(bs.Root), int64(cs.Root)},
+		{int64(bs.Parent), int64(cs.Parent)},
+		{int64(bs.D), int64(cs.D)},
+		{int64(bs.S), int64(cs.S)},
+		{int64(bs.Sw), int64(cs.Sw)},
+		{int64(bs.SwTarget), int64(cs.SwTarget)},
+		{int64(bs.Pr), int64(cs.Pr)},
+		{int64(bs.Sub), int64(cs.Sub)},
+	}
+	for _, f := range fields {
+		b.AppendBit(f[0] != f[1])
+	}
+	for _, f := range fields {
+		if f[0] != f[1] {
+			if err := appendInt(b, f[1]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyDelta implements Codec.
+func (Switching) ApplyDelta(r *bits.Reader, base runtime.State) (runtime.State, error) {
+	s, ok := switching.RegOf(base)
+	if !ok {
+		return nil, fmt.Errorf("wire: switching codec got base %T", base)
+	}
+	flipD, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	flipS, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	if flipD {
+		s.HasD = !s.HasD
+	}
+	if flipS {
+		s.HasS = !s.HasS
+	}
+	var mask [8]bool
+	for i := range mask {
+		if mask[i], err = r.ReadBit(); err != nil {
+			return nil, err
+		}
+	}
+	old := [...]int64{int64(s.Root), int64(s.Parent), int64(s.D), int64(s.S),
+		int64(s.Sw), int64(s.SwTarget), int64(s.Pr), int64(s.Sub)}
+	vals := old
+	for i := range mask {
+		if mask[i] {
+			if vals[i], err = readChanged(r, old[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s.Root, s.Parent = graph.NodeID(vals[0]), graph.NodeID(vals[1])
+	s.D, s.S = int(vals[2]), int(vals[3])
+	s.Sw = switching.SwPhase(vals[4])
+	s.SwTarget = graph.NodeID(vals[5])
+	s.Pr = switching.PrPhase(vals[6])
+	s.Sub = switching.SubPhase(vals[7])
 	return s, nil
 }
 

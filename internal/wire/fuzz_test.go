@@ -62,6 +62,10 @@ func FuzzDecodeFrame(f *testing.F) {
 		{Kind: KindHeartbeat, Alg: codeSwitching, Src: 3, Seq: 9, State: switching.SelfRoot(3)},
 		{Kind: KindHeartbeat, Alg: codeSwitching, Src: 4, Seq: 1},
 		{Kind: KindData, Src: 2, Seq: 5, Data: Packet{ID: 7, Origin: 2, Dst: 6, Hops: 3}},
+		{Kind: KindDelta, Alg: codeSwitching, Src: 3, Seq: 9, BaseSeq: 9, State: switching.SelfRoot(3)},
+		{Kind: KindDelta, Alg: codeSwitching, Src: 3, Seq: 9, BaseSeq: 4,
+			Base: switching.SelfRoot(3), State: switching.SelfRoot(3)},
+		{Kind: KindResync, Alg: codeSwitching, Src: 8, Seq: 2},
 	}
 	for _, fr := range seedFrames {
 		data, err := Encode(fr, Switching{}, &b, nil)
@@ -75,6 +79,16 @@ func FuzzDecodeFrame(f *testing.F) {
 		for _, c := range []Codec{Spanning{}, Switching{}} {
 			fr, err := Decode(c, data)
 			if err != nil {
+				continue
+			}
+			if fr.Kind == KindDelta && fr.BaseSeq < fr.Seq {
+				// A non-self-contained delta is only half decoded — the
+				// field bits wait for the receiver's anchor — so it cannot
+				// re-encode. It must still apply (or reject) without
+				// panicking against an arbitrary base.
+				if st, err := ApplyDelta(c, fr, switching.SelfRoot(3)); err == nil && st == nil {
+					t.Fatalf("ApplyDelta returned no state and no error")
+				}
 				continue
 			}
 			re, err := Encode(fr, c, &b, nil)

@@ -105,6 +105,18 @@ type Frame struct {
 	State runtime.State
 	// Data is the packet of a data frame.
 	Data Packet
+	// BaseSeq is a delta frame's anchor (KindDelta): the seq of the
+	// self-contained frame the payload is encoded against. BaseSeq ==
+	// Seq marks a self-contained frame.
+	BaseSeq uint64
+	// Base is the encode-side anchor register for a delta frame with
+	// BaseSeq < Seq. Decode leaves it nil: the receiver supplies its own
+	// cached anchor to ApplyDelta.
+	Base runtime.State
+	// delta parks the undecoded payload of a received delta frame with
+	// BaseSeq < Seq, positioned at deltaOff for ApplyDelta.
+	delta    bits.String
+	deltaOff int
 }
 
 // Encode appends the frame's wire form to dst and returns the grown
@@ -128,6 +140,8 @@ func Encode(f Frame, c Codec, b *bits.Builder, dst []byte) ([]byte, error) {
 				return dst, err
 			}
 		}
+	case KindDelta, KindResync:
+		return encodeCompact(f, c, b, dst)
 	default:
 		return dst, fmt.Errorf("%w: %d", ErrKind, f.Kind)
 	}
@@ -145,19 +159,33 @@ func Encode(f Frame, c Codec, b *bits.Builder, dst []byte) ([]byte, error) {
 // error (ErrTruncated, ErrMagic, ErrVersion, ErrKind, ErrChecksum,
 // ErrPayload).
 func Decode(c Codec, data []byte) (Frame, error) {
+	f, _, err := DecodeBuf(c, data, nil)
+	return f, err
+}
+
+// DecodeBuf is Decode with a reusable scratch word slice backing the
+// payload bit string, so a steady-state receiver decodes without heap
+// allocation. The grown scratch is returned for the next call. Decoded
+// registers are value copies and outlive the buffer, but a delta
+// frame's parked payload aliases it: ApplyDelta before the next
+// DecodeBuf call with the same buffer.
+func DecodeBuf(c Codec, data []byte, scratch []uint64) (Frame, []uint64, error) {
+	if len(data) > 0 && data[0] == magicCompact {
+		return decodeCompact(c, data, scratch)
+	}
 	var f Frame
 	if len(data) < headerLen+trailerLen {
-		return f, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+		return f, scratch, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
 	}
 	if data[0] != magic0 || data[1] != magic1 {
-		return f, ErrMagic
+		return f, scratch, ErrMagic
 	}
 	if data[2] != Version {
-		return f, fmt.Errorf("%w: %d", ErrVersion, data[2])
+		return f, scratch, fmt.Errorf("%w: %d", ErrVersion, data[2])
 	}
 	f.Kind = Kind(data[3])
 	if f.Kind != KindHeartbeat && f.Kind != KindData {
-		return f, fmt.Errorf("%w: %d", ErrKind, data[3])
+		return f, scratch, fmt.Errorf("%w: %d", ErrKind, data[3])
 	}
 	f.Alg = data[4]
 	flags := data[5]
@@ -165,22 +193,22 @@ func Decode(c Codec, data []byte) (Frame, error) {
 	// the exact inverse of encode (canonical frames), or a corrupted bit
 	// the checksum happened to miss could survive a relay re-encode.
 	if flags&^1 != 0 || (f.Kind == KindData && flags != 0) {
-		return f, fmt.Errorf("%w: flags %#x", ErrPayload, flags)
+		return f, scratch, fmt.Errorf("%w: flags %#x", ErrPayload, flags)
 	}
 	f.Src = graph.NodeID(binary.BigEndian.Uint64(data[6:14]))
 	f.Seq = binary.BigEndian.Uint64(data[14:22])
 	payloadBits := int(binary.BigEndian.Uint32(data[22:26]))
 	payloadBytes := (payloadBits + 7) / 8
 	if len(data) != headerLen+payloadBytes+trailerLen {
-		return f, fmt.Errorf("%w: %d bytes for %d payload bits", ErrTruncated, len(data), payloadBits)
+		return f, scratch, fmt.Errorf("%w: %d bytes for %d payload bits", ErrTruncated, len(data), payloadBits)
 	}
 	sum := binary.BigEndian.Uint32(data[len(data)-trailerLen:])
 	if crc32.ChecksumIEEE(data[:len(data)-trailerLen]) != sum {
-		return f, ErrChecksum
+		return f, scratch, ErrChecksum
 	}
-	payload, err := bits.FromBytes(data[headerLen:len(data)-trailerLen], payloadBits)
+	payload, scratch, err := bits.FromBytesBuf(scratch, data[headerLen:len(data)-trailerLen], payloadBits)
 	if err != nil {
-		return f, fmt.Errorf("%w: %v", ErrPayload, err)
+		return f, scratch, fmt.Errorf("%w: %v", ErrPayload, err)
 	}
 	r := bits.NewReader(payload)
 	switch f.Kind {
@@ -188,28 +216,28 @@ func Decode(c Codec, data []byte) (Frame, error) {
 		if flags&1 != 0 {
 			s, err := c.DecodeState(r)
 			if err != nil {
-				return f, fmt.Errorf("%w: %v", ErrPayload, err)
+				return f, scratch, fmt.Errorf("%w: %v", ErrPayload, err)
 			}
 			f.State = s
 		}
 	case KindData:
-		fields := []*int64{new(int64), new(int64), new(int64), new(int64)}
-		for i, p := range fields {
+		var fields [4]int64
+		for i := range fields {
 			v, err := readInt(r)
 			if err != nil {
-				return f, fmt.Errorf("%w: data field %d: %v", ErrPayload, i, err)
+				return f, scratch, fmt.Errorf("%w: data field %d: %v", ErrPayload, i, err)
 			}
-			*p = v
+			fields[i] = v
 		}
 		f.Data = Packet{
-			ID:     uint64(*fields[0]),
-			Origin: graph.NodeID(*fields[1]),
-			Dst:    graph.NodeID(*fields[2]),
-			Hops:   int(*fields[3]),
+			ID:     uint64(fields[0]),
+			Origin: graph.NodeID(fields[1]),
+			Dst:    graph.NodeID(fields[2]),
+			Hops:   int(fields[3]),
 		}
 	}
 	if r.Remaining() != 0 {
-		return f, fmt.Errorf("%w: %d trailing payload bits", ErrPayload, r.Remaining())
+		return f, scratch, fmt.Errorf("%w: %d trailing payload bits", ErrPayload, r.Remaining())
 	}
-	return f, nil
+	return f, scratch, nil
 }
