@@ -25,6 +25,12 @@
 //
 //	sscert -cluster -cluster-maxn 6
 //
+// Add -cluster-churn N to inject N membership-churn operations (joins,
+// leaves, crashes, link flaps) into every cluster run mid-flight; the
+// post-quiet battery then certifies the final graph:
+//
+//	sscert -cluster -cluster-maxn 6 -cluster-churn 8
+//
 // Chaos campaign (fault bursts + register wipes + weight churn + live
 // traffic over the recovering tree on a large random graph):
 //
@@ -58,9 +64,10 @@ func main() {
 		schedules = flag.Int("schedules", 2, "churn schedules per (graph, algorithm, daemon)")
 		churnLen  = flag.Int("churn-len", 10, "churn ops per schedule")
 
-		clusterRun  = flag.Bool("cluster", false, "run the message-passing cluster certification campaign")
-		clusterMaxN = flag.Int("cluster-maxn", 6, "cluster graphs on 3..this many nodes")
-		clusterRuns = flag.Int("cluster-runs", 1, "cluster runs per (graph, algorithm, fault profile)")
+		clusterRun   = flag.Bool("cluster", false, "run the message-passing cluster certification campaign")
+		clusterMaxN  = flag.Int("cluster-maxn", 6, "cluster graphs on 3..this many nodes")
+		clusterRuns  = flag.Int("cluster-runs", 1, "cluster runs per (graph, algorithm, fault profile)")
+		clusterChurn = flag.Int("cluster-churn", 0, "membership-churn ops (join/leave/crash/link flap) injected per cluster run; 0 disables")
 
 		chaos     = flag.Bool("chaos", false, "run a randomized chaos campaign")
 		n         = flag.Int("n", 10000, "chaos graph size")
@@ -149,9 +156,10 @@ func main() {
 
 	if *clusterRun {
 		rep, err := cert.RunCluster(cert.ClusterConfig{
-			MaxN: *clusterMaxN,
-			Runs: *clusterRuns,
-			Seed: *seed,
+			MaxN:     *clusterMaxN,
+			Runs:     *clusterRuns,
+			ChurnOps: *clusterChurn,
+			Seed:     *seed,
 		}, logf)
 		file.Cluster = rep
 		if err != nil {
@@ -163,6 +171,10 @@ func main() {
 			if rep.Certified() && err == nil {
 				fmt.Printf("CERTIFIED: %d graphs, %d runs, %d frames, packets %d/%d, zero counterexamples\n",
 					rep.Graphs, rep.Runs, rep.FramesSent, rep.PacketsArrived, rep.PacketsSent)
+				if *clusterChurn > 0 {
+					fmt.Printf("  churn: %d joins, %d leaves, %d crashes survived\n",
+						rep.Joins, rep.Leaves, rep.Crashes)
+				}
 			} else if !rep.Certified() {
 				fmt.Printf("FALSIFIED: %d counterexamples\n", len(rep.Counterexamples))
 				failed = true

@@ -84,6 +84,8 @@ func main() {
 	fullEvery := flag.Int("full-every", 0, "serve mode: re-anchor the delta stream with a full frame every this many broadcasts (0 = 16)")
 	legacyWire := flag.Bool("legacy-wire", false, "serve mode: classic full-state heartbeat frames instead of delta frames (baseline/bisection)")
 	noBackoff := flag.Bool("no-backoff", false, "serve mode: keep-alive every heartbeat period even when quiet (baseline/bisection)")
+	churnKill := flag.Int("churn-kill", 0, "serve mode: once quiet, crash this many non-root nodes (connectivity-preserving), then rejoin the same ids after -churn-rejoin-after; tree-out and admin-dir are republished when quiet again")
+	churnRejoin := flag.Duration("churn-rejoin-after", 2*time.Second, "serve mode: how long the killed nodes stay dead before rejoining")
 	flag.Parse()
 
 	g, err := parseGraph(*graphSpec, *seed)
@@ -126,7 +128,7 @@ func main() {
 			BackoffCap: *backoffCap, MinGap: *minGap, FullEvery: *fullEvery,
 			DisableDelta: *legacyWire, DisableBackoff: *noBackoff,
 		}
-		runServe(*algName, g, *seed, *adminDir, *treeOut, *serveFor, cfg)
+		runServe(*algName, g, *seed, *adminDir, *treeOut, *serveFor, *churnKill, *churnRejoin, cfg)
 		return
 	}
 
@@ -180,8 +182,12 @@ func extractAlwaysOn(algName string, net *runtime.Network) (*trees.Tree, error) 
 // Once the registers go quiet the stabilized parent map is published
 // to -tree-out, so an external crawler (sscrawl -diff) can certify
 // that the admin plane's reconstruction matches the coordinator's
-// ground truth.
-func runServe(algName string, g *graph.Graph, seed int64, adminDir, treeOut string, serveFor time.Duration, cfg cluster.Config) {
+// ground truth. With -churn-kill the quiet cluster then loses that
+// many members mid-flight, gets them back after -churn-rejoin-after,
+// and must re-stabilize — the published artifacts describe the
+// post-churn cluster, so the external certification covers live
+// membership, not just the boot path.
+func runServe(algName string, g *graph.Graph, seed int64, adminDir, treeOut string, serveFor time.Duration, churnKill int, churnRejoin time.Duration, cfg cluster.Config) {
 	alg := alwaysOn(algName, "-serve")
 	rng := rand.New(rand.NewSource(seed))
 	tr := cluster.NewUDPTransport()
@@ -197,14 +203,18 @@ func runServe(algName string, g *graph.Graph, seed int64, adminDir, treeOut stri
 	}
 	defer admin.Close()
 
-	if adminDir != "" {
+	publishDir := func() error {
+		if adminDir == "" {
+			return nil
+		}
 		var b strings.Builder
 		for _, e := range admin.Addrs() {
 			fmt.Fprintf(&b, "%d %s\n", e.ID, e.Addr)
 		}
-		if err := writeFileAtomic(adminDir, b.String()); err != nil {
-			fatal(err)
-		}
+		return writeFileAtomic(adminDir, b.String())
+	}
+	if err := publishDir(); err != nil {
+		fatal(err)
 	}
 	seedID := g.MinID()
 	fmt.Printf("serving %d %s actors over loopback UDP\n", cl.Nodes(), alg.Name())
@@ -222,36 +232,85 @@ func runServe(algName string, g *graph.Graph, seed int64, adminDir, treeOut stri
 	go func() { served <- cl.Serve(ctx) }()
 
 	// Quiet watcher: poll the mirror until it projects to a silent tree,
-	// then publish the parent map for external certification.
+	// optionally put the membership through a kill/rejoin cycle, then
+	// publish the parent map for external certification.
 	go func() {
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-time.After(200 * time.Millisecond):
-			}
-			net, err := cl.Mirror()
-			if err != nil || !net.Silent() {
-				continue
-			}
-			tree, err := extractAlwaysOn(algName, net)
-			if err != nil {
-				continue // silent snapshot of a mid-flight moment; keep polling
-			}
-			if treeOut != "" {
-				var b strings.Builder
-				for _, v := range g.Nodes() {
-					fmt.Fprintf(&b, "%d %d\n", v, tree.Parent(v))
+		waitSilent := func() *trees.Tree {
+			for {
+				select {
+				case <-ctx.Done():
+					return nil
+				case <-time.After(200 * time.Millisecond):
 				}
-				if err := writeFileAtomic(treeOut, b.String()); err != nil {
+				net, err := cl.Mirror()
+				if err != nil || !net.Silent() {
+					continue
+				}
+				tree, err := extractAlwaysOn(algName, net)
+				if err != nil {
+					continue // silent snapshot of a mid-flight moment; keep polling
+				}
+				return tree
+			}
+		}
+		tree := waitSilent()
+		if tree == nil {
+			return
+		}
+		st := cl.Stats()
+		fmt.Printf("quiet: silent tree root=%d, %d frames sent, %d register writes; still serving\n",
+			tree.Root(), st.FramesSent, st.RegisterWrites)
+
+		if churnKill > 0 {
+			victims, adj := pickVictims(cl, churnKill)
+			for _, v := range victims {
+				if err := cl.Crash(v); err != nil {
 					fmt.Fprintln(os.Stderr, "sstsim:", err)
 					return
 				}
 			}
-			st := cl.Stats()
-			fmt.Printf("quiet: silent tree root=%d, %d frames sent, %d register writes; still serving\n",
-				tree.Root(), st.FramesSent, st.RegisterWrites)
-			return
+			fmt.Printf("churn: crashed %v; rejoining in %s\n", victims, churnRejoin)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(churnRejoin):
+			}
+			// Rejoin in crash order: an edge between two victims is
+			// carried by whichever of them rejoins second.
+			for _, v := range victims {
+				var edges []graph.Edge
+				for _, e := range adj[v] {
+					if cl.Node(e.V) != nil {
+						edges = append(edges, e)
+					}
+				}
+				if err := cl.Join(v, edges); err != nil {
+					fmt.Fprintln(os.Stderr, "sstsim:", err)
+					return
+				}
+			}
+			fmt.Printf("churn: rejoined %v; waiting for re-stabilization\n", victims)
+			if tree = waitSilent(); tree == nil {
+				return
+			}
+			st = cl.Stats()
+			fmt.Printf("requiet: silent tree root=%d after %d joins/%d crashes, %d frames sent; still serving\n",
+				tree.Root(), st.Joins, st.Crashes, st.FramesSent)
+			if err := publishDir(); err != nil {
+				fmt.Fprintln(os.Stderr, "sstsim:", err)
+				return
+			}
+		}
+
+		if treeOut != "" {
+			var b strings.Builder
+			for _, v := range cl.Graph().Nodes() {
+				fmt.Fprintf(&b, "%d %d\n", v, tree.Parent(v))
+			}
+			if err := writeFileAtomic(treeOut, b.String()); err != nil {
+				fmt.Fprintln(os.Stderr, "sstsim:", err)
+				return
+			}
 		}
 	}()
 
@@ -260,6 +319,41 @@ func runServe(algName string, g *graph.Graph, seed int64, adminDir, treeOut stri
 	st := cl.Stats()
 	fmt.Printf("shut down: %d frames sent (%d rejected), %d heartbeats applied\n",
 		st.FramesSent, st.RxRejected, st.HeartbeatsApplied)
+}
+
+// pickVictims selects up to k crash victims from the live cluster —
+// never the root (the crawler's stable seed), and only nodes whose
+// cumulative removal keeps the survivors connected — and records each
+// victim's adjacency so the same identity can rejoin over the same
+// links.
+func pickVictims(cl *cluster.Cluster, k int) ([]graph.NodeID, map[graph.NodeID][]graph.Edge) {
+	g := cl.Graph()
+	root := g.MinID()
+	survivors := g.Clone()
+	var victims []graph.NodeID
+	adj := make(map[graph.NodeID][]graph.Edge)
+	for _, v := range g.Nodes() {
+		if len(victims) == k {
+			break
+		}
+		if v == root {
+			continue
+		}
+		trial := survivors.Clone()
+		trial.RemoveNode(v)
+		if !trial.Connected() {
+			continue
+		}
+		var es []graph.Edge
+		for _, u := range g.Neighbors(v) {
+			w, _ := g.EdgeWeight(v, u)
+			es = append(es, graph.Edge{U: v, V: u, W: w})
+		}
+		adj[v] = es
+		victims = append(victims, v)
+		survivors = trial
+	}
+	return victims, adj
 }
 
 // writeFileAtomic publishes content under path via a same-directory

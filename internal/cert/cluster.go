@@ -62,6 +62,11 @@ type ClusterConfig struct {
 	// exceed the heartbeat period plus the worst fault delay
 	// (default 12).
 	QuietTicks int `json:"quiet_ticks"`
+	// ChurnOps is the length of the live-membership churn schedule
+	// driven through Cluster.Join/Leave/Crash/AddEdge/RemoveEdge after
+	// the first stabilization, followed by a crash-and-rejoin coda on a
+	// surviving member (0 disables the churn phase entirely).
+	ChurnOps int `json:"churn_ops"`
 	// Seed drives graphs, inits, fault schedules, and cohorts.
 	Seed int64 `json:"seed"`
 	// Algos restricts the algorithm set (default all five).
@@ -110,6 +115,9 @@ type ClusterReport struct {
 	FramesRejected  int                     `json:"frames_rejected"`
 	PacketsSent     int                     `json:"packets_sent"`
 	PacketsArrived  int                     `json:"packets_arrived"`
+	Joins           int                     `json:"joins,omitempty"`
+	Leaves          int                     `json:"leaves,omitempty"`
+	Crashes         int                     `json:"crashes,omitempty"`
 	Worst           map[string]ClusterWorst `json:"worst"`
 	Counterexamples []Counterexample        `json:"counterexamples"`
 }
@@ -140,6 +148,9 @@ func RunCluster(cfg ClusterConfig, logf func(format string, args ...any)) (*Clus
 					rep.FramesRejected += st.RxRejected
 					rep.PacketsSent += gws.Launched
 					rep.PacketsArrived += gws.Delivered
+					rep.Joins += st.Joins
+					rep.Leaves += st.Leaves
+					rep.Crashes += st.Crashes
 					if err == nil {
 						w := rep.Worst[a.String()]
 						if ticks > w.Ticks.Value {
@@ -248,6 +259,12 @@ func checkCrawl(cl *cluster.Cluster, net *runtime.Network, g *graph.Graph, rng *
 func runOneCluster(a Algo, ng NamedGraph, prof ClusterProfile, cfg ClusterConfig, seed int64) (
 	ticks, registerBits int, st cluster.Stats, gws cluster.GatewayStats, err error) {
 	g := ng.G
+	if cfg.ChurnOps > 0 {
+		// The churn phase mutates the graph through the cluster's
+		// membership mutators; the campaign's shared instance must not
+		// carry those mutations into the next run.
+		g = g.Clone()
+	}
 	rng := rand.New(rand.NewSource(seed))
 	alg, init, err := clusterAlgorithm(a, g)
 	if err != nil {
@@ -285,6 +302,28 @@ func runOneCluster(a Algo, ng NamedGraph, prof ClusterProfile, cfg ClusterConfig
 	gws = gw.Stats()
 	if !quiet {
 		return ticks, cl.MaxRegisterBits(), st, gws, fmt.Errorf("no quiet within %d ticks", cfg.MaxTicks)
+	}
+
+	// Live-membership churn: drive a validated schedule through the
+	// cluster's own mutators — actors spawn and retire mid-run, neighbor
+	// rows remap, goodbyes and adverts fly over the same faulty
+	// transport — then assert the cluster re-stabilizes and every
+	// downstream check holds on the final graph. The first cohort is
+	// still in flight while members leave, so the ledger check below
+	// also certifies that departing destinations orphan (not leak) their
+	// parked packets.
+	if cfg.ChurnOps > 0 {
+		if err := driveClusterChurn(cl, g, cfg, rng, seed); err != nil {
+			return ticks, cl.MaxRegisterBits(), cl.Stats(), gw.Stats(), err
+		}
+		churnTicks, quiet := cl.RunUntilQuiet(cfg.MaxTicks, cfg.QuietTicks)
+		ticks += churnTicks
+		st = cl.Stats()
+		gws = gw.Stats()
+		if !quiet {
+			return ticks, cl.MaxRegisterBits(), st, gws,
+				fmt.Errorf("no re-stabilization after churn within %d ticks", cfg.MaxTicks)
+		}
 	}
 
 	// Project into the shared-memory model: silence, closure, spec, and
@@ -349,4 +388,75 @@ func runOneCluster(a Algo, ng NamedGraph, prof ClusterProfile, cfg ClusterConfig
 			gws.Delivered-mid.Delivered, batch)
 	}
 	return ticks, registerBits, st, gws, nil
+}
+
+// driveClusterChurn replays a validated churn schedule through the
+// cluster's live-membership mutators, a few repair ticks after each op,
+// then runs the crash-and-rejoin coda: one surviving member crashes
+// without a goodbye and the same id rejoins over the same links —
+// the acceptance scenario in lockstep form. Leaves alternate between
+// cooperative (goodbye broadcast) and crash (staleness-TTL discovery)
+// so both eviction paths are exercised.
+func driveClusterChurn(cl *cluster.Cluster, g *graph.Graph, cfg ClusterConfig, rng *rand.Rand, seed int64) error {
+	sched := GenerateChurnSchedule(g, cfg.ChurnOps, seed+5)
+	repair := func() {
+		for i := 0; i < 6; i++ {
+			cl.Tick()
+		}
+	}
+	crashNext := false
+	for _, op := range sched {
+		var err error
+		switch op.Kind {
+		case ChurnJoin:
+			err = cl.Join(op.Node, op.Edges)
+		case ChurnLeave:
+			if crashNext {
+				err = cl.Crash(op.Node)
+			} else {
+				err = cl.Leave(op.Node)
+			}
+			crashNext = !crashNext
+		case ChurnLinkDown, ChurnPartition:
+			for _, e := range op.Edges {
+				if err = cl.RemoveEdge(e.U, e.V); err != nil {
+					break
+				}
+			}
+		case ChurnLinkUp, ChurnHeal:
+			for _, e := range op.Edges {
+				if err = cl.AddEdge(e.U, e.V, e.W); err != nil {
+					break
+				}
+			}
+		case ChurnCorrupt:
+			cl.Corrupt(op.Count, rng)
+		}
+		if err != nil {
+			return fmt.Errorf("churn %s: %w", op, err)
+		}
+		repair()
+	}
+	// Crash-and-rejoin coda. The victim's links are recorded before the
+	// crash; the rejoining incarnation must slot back in against
+	// neighbors that may still hold in-flight frames from its previous
+	// life.
+	nodes := g.Nodes()
+	victim := nodes[rng.Intn(len(nodes))]
+	var edges []graph.Edge
+	for _, u := range g.Neighbors(victim) {
+		w, _ := g.EdgeWeight(victim, u)
+		edges = append(edges, graph.Edge{U: victim, V: u, W: w})
+	}
+	if err := cl.Crash(victim); err != nil {
+		return fmt.Errorf("coda crash %d: %w", victim, err)
+	}
+	for i := 0; i < 4; i++ {
+		cl.Tick()
+	}
+	if err := cl.Join(victim, edges); err != nil {
+		return fmt.Errorf("coda rejoin %d: %w", victim, err)
+	}
+	repair()
+	return nil
 }

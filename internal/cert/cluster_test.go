@@ -35,6 +35,32 @@ func TestClusterCampaignSlice(t *testing.T) {
 	}
 }
 
+// TestClusterChurnCampaignSlice: the membership-churn variant — every
+// run injects a schedule of joins, leaves, crashes, and link flaps into
+// the live cluster mid-campaign, then the full post-quiet battery
+// (spec, closure, register bound, crawl, delivery ledger) must still
+// certify on the final graph. The full churn sweep runs in CI via
+// sscert -cluster -cluster-churn.
+func TestClusterChurnCampaignSlice(t *testing.T) {
+	cfg := ClusterConfig{MaxN: 4, Seed: 3, ChurnOps: 4}
+	if testing.Short() {
+		cfg.Algos = []Algo{AlgoSpanning, AlgoBFS}
+	}
+	rep, err := RunCluster(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ce := range rep.Counterexamples {
+		t.Errorf("counterexample: %s", ce)
+	}
+	if rep.Runs == 0 {
+		t.Fatalf("campaign ran nothing: %+v", rep)
+	}
+	if rep.Joins == 0 || rep.Leaves+rep.Crashes == 0 {
+		t.Fatalf("churn never exercised membership: %+v", rep)
+	}
+}
+
 // TestClusterCampaignDeterministic: the campaign is replayable — same
 // config, same outcome counters.
 func TestClusterCampaignDeterministic(t *testing.T) {

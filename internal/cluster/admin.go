@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"slices"
 	"sync"
 
@@ -66,17 +67,21 @@ type peerSnap struct {
 	seq   uint64
 }
 
-// adminSnapshot copies the node's register, clock, and neighbor cache
-// under the mutex — the admin plane's consistent read of a live actor.
-func (nd *Node) adminSnapshot(peers []peerSnap) (runtime.State, uint64, []peerSnap) {
+// adminSnapshot copies the node's register, clock, neighbor row, and
+// neighbor cache under the mutex — the admin plane's consistent read of
+// a live actor. The neighbor row is cloned because membership churn
+// remaps it in place between reads: peers[j] is always the entry for
+// neighbors[j] of the same snapshot.
+func (nd *Node) adminSnapshot(peers []peerSnap) (runtime.State, uint64, []graph.NodeID, []peerSnap) {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	self, tick := nd.self, nd.localTick
+	neighbors := append([]graph.NodeID(nil), nd.neighbors...)
 	peers = peers[:0]
 	for j := range nd.cache {
 		peers = append(peers, peerSnap{state: nd.cache[j], seen: nd.lastSeen[j], seq: nd.lastSeq[j]})
 	}
-	return self, tick, peers
+	return self, tick, neighbors, peers
 }
 
 // nodeAdmin implements ops.NodeAdmin over one node actor. addrOf, when
@@ -97,7 +102,7 @@ func (a nodeAdmin) addr(id graph.NodeID) string {
 
 // AdminSelf implements ops.NodeAdmin.
 func (a nodeAdmin) AdminSelf() ops.SelfInfo {
-	self, tick, _ := a.nd.adminSnapshot(nil)
+	self, tick, neighbors, _ := a.nd.adminSnapshot(nil)
 	info := ops.SelfInfo{
 		ID:        a.nd.id,
 		N:         a.nd.n,
@@ -115,7 +120,7 @@ func (a nodeAdmin) AdminSelf() ops.SelfInfo {
 		info.RegisterBits = self.EncodedBits()
 	}
 	if info.Parent != ops.None {
-		if j, ok := slices.BinarySearch(a.nd.neighbors, info.Parent); ok {
+		if j, ok := slices.BinarySearch(neighbors, info.Parent); ok {
 			info.Port = j
 		}
 	}
@@ -125,16 +130,16 @@ func (a nodeAdmin) AdminSelf() ops.SelfInfo {
 // AdminPeers implements ops.NodeAdmin: the neighbor cache with the
 // same staleness rule the protocol's step applies.
 func (a nodeAdmin) AdminPeers() ops.PeersInfo {
-	_, tick, peers := a.nd.adminSnapshot(nil)
+	_, tick, neighbors, peers := a.nd.adminSnapshot(nil)
 	ttl := uint64(a.c.cfg.StalenessTTL)
 	out := ops.PeersInfo{Node: a.nd.id, StalenessTTL: int(ttl), Peers: make([]ops.PeerInfo, 0, len(peers))}
 	for j, p := range peers {
 		pi := ops.PeerInfo{
-			ID:        a.nd.neighbors[j],
+			ID:        neighbors[j],
 			Seq:       p.seq,
 			AgeTicks:  -1,
 			Stale:     true,
-			AdminAddr: a.addr(a.nd.neighbors[j]),
+			AdminAddr: a.addr(neighbors[j]),
 		}
 		if p.seen != 0 {
 			pi.AgeTicks = int64(tick - p.seen)
@@ -153,7 +158,7 @@ func (a nodeAdmin) AdminPeers() ops.PeersInfo {
 // its own parent claim plus the children it learned from heartbeats
 // (fresh neighbors whose cached register points here).
 func (a nodeAdmin) AdminTree() ops.TreeInfo {
-	self, tick, peers := a.nd.adminSnapshot(nil)
+	self, tick, neighbors, peers := a.nd.adminSnapshot(nil)
 	ttl := uint64(a.c.cfg.StalenessTTL)
 	info := ops.TreeInfo{
 		Node:     a.nd.id,
@@ -167,7 +172,7 @@ func (a nodeAdmin) AdminTree() ops.TreeInfo {
 			continue
 		}
 		if adminParent(p.state) == a.nd.id {
-			info.Children = append(info.Children, a.nd.neighbors[j])
+			info.Children = append(info.Children, neighbors[j])
 		}
 	}
 	return info
@@ -190,22 +195,29 @@ func (a nodeAdmin) AdminStats() ops.StatsInfo {
 	}
 }
 
-// AdminHub returns the in-process admin plane: every node's handle
+// AdminHub returns the in-process admin plane: every live node's handle
 // registered in an ops.Hub, crawlable without sockets. Each call
 // builds a fresh hub, so tests can Remove nodes to simulate dead admin
 // endpoints without affecting other observers.
 func (c *Cluster) AdminHub() *ops.Hub {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
 	h := ops.NewHub()
 	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
 		h.Register(nd.id, nodeAdmin{c: c, nd: nd})
 	}
 	return h
 }
 
-// AdminServers is a running per-node admin HTTP deployment.
+// AdminServers is a running per-node admin HTTP deployment. Once bound
+// to a cluster by ServeAdmin it follows membership: a joining node gets
+// its own socket, a retiring node's socket closes with it.
 type AdminServers struct {
 	mu      sync.RWMutex
-	servers []*ops.Server
+	servers map[graph.NodeID]*ops.Server
 	addrs   map[graph.NodeID]string
 	order   []graph.NodeID
 }
@@ -217,7 +229,8 @@ func (a *AdminServers) Addr(id graph.NodeID) string {
 	return a.addrs[id]
 }
 
-// Addrs returns (id, address) pairs in dense-slot order.
+// Addrs returns (id, address) pairs in bind order (retired nodes
+// dropped).
 func (a *AdminServers) Addrs() []struct {
 	ID   graph.NodeID
 	Addr string
@@ -229,10 +242,12 @@ func (a *AdminServers) Addrs() []struct {
 		Addr string
 	}, 0, len(a.order))
 	for _, id := range a.order {
-		out = append(out, struct {
-			ID   graph.NodeID
-			Addr string
-		}{id, a.addrs[id]})
+		if addr, ok := a.addrs[id]; ok {
+			out = append(out, struct {
+				ID   graph.NodeID
+				Addr string
+			}{id, addr})
+		}
 	}
 	return out
 }
@@ -248,25 +263,69 @@ func (a *AdminServers) Close() {
 	}
 }
 
-// ServeAdmin binds one loopback admin HTTP socket per node, each
+// add binds a socket for nd and records its address in the node's
+// adverts. Best-effort: a node whose socket fails to bind simply runs
+// without an admin endpoint. Caller holds the cluster's memMu.
+func (a *AdminServers) add(c *Cluster, nd *Node) {
+	srv := ops.NewServer(nodeAdmin{c: c, nd: nd, addrOf: a.Addr}, c.metrics)
+	addr, err := srv.Start()
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	if a.servers == nil { // closed while we were binding
+		a.mu.Unlock()
+		srv.Close()
+		return
+	}
+	a.servers[nd.id] = srv
+	a.addrs[nd.id] = addr
+	a.order = append(a.order, nd.id)
+	a.mu.Unlock()
+	nd.mu.Lock()
+	nd.adminAddr = addr
+	nd.mu.Unlock()
+}
+
+// remove closes a retiring node's socket and drops its directory entry.
+func (a *AdminServers) remove(id graph.NodeID) {
+	a.mu.Lock()
+	srv := a.servers[id]
+	delete(a.servers, id)
+	delete(a.addrs, id)
+	i := slices.Index(a.order, id)
+	if i >= 0 {
+		a.order = slices.Delete(a.order, i, i+1)
+	}
+	a.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// ServeAdmin binds one loopback admin HTTP socket per live node, each
 // serving that node's getself/getpeers/gettree/getstats plus the
 // cluster's /metrics. Peer entries carry their admin addresses, so a
 // crawler seeded with any single socket can walk the whole cluster.
+// The deployment is bound to the cluster's membership: later joins and
+// leaves add and remove sockets.
 func (c *Cluster) ServeAdmin() (*AdminServers, error) {
-	as := &AdminServers{addrs: make(map[graph.NodeID]string, len(c.nodes))}
-	addrOf := as.Addr
-	for _, nd := range c.nodes {
-		srv := ops.NewServer(nodeAdmin{c: c, nd: nd, addrOf: addrOf}, c.metrics)
-		addr, err := srv.Start()
-		if err != nil {
-			as.Close()
-			return nil, err
-		}
-		as.mu.Lock()
-		as.servers = append(as.servers, srv)
-		as.addrs[nd.id] = addr
-		as.order = append(as.order, nd.id)
-		as.mu.Unlock()
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
+	as := &AdminServers{
+		servers: make(map[graph.NodeID]*ops.Server, len(c.nodes)),
+		addrs:   make(map[graph.NodeID]string, len(c.nodes)),
 	}
+	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
+		as.add(c, nd)
+		if as.Addr(nd.id) == "" {
+			as.Close()
+			return nil, fmt.Errorf("cluster: admin socket for node %d failed to bind", nd.id)
+		}
+	}
+	c.admin = as
 	return as, nil
 }

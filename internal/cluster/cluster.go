@@ -39,6 +39,7 @@ import (
 	"hash"
 	"hash/fnv"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -137,6 +138,12 @@ type Stats struct {
 	DeltasSent  int
 	ResyncsSent int
 	DeltaMisses int
+	// Membership accounting (all zero in a churn-free run).
+	AdvertsSent       int
+	NeighborEvictions int
+	Joins             int
+	Leaves            int
+	Crashes           int
 }
 
 // Cluster binds a graph, an algorithm, a wire codec, and a transport
@@ -150,8 +157,31 @@ type Cluster struct {
 	step  Stepper // nil when the transport is async-only
 	cfg   Config
 
-	nodes []*Node // dense-slot order
-	gw    *Gateway
+	// net is the membership engine: a runtime.Network over the same
+	// graph whose registers stay untouched — the cluster uses only its
+	// validated topology mutators (AddNode/RemoveNode/AddEdge/
+	// RemoveEdge) and their TopoEvent stream, which the gateway's
+	// labeler subscribes to. Mirror() builds fresh networks per call;
+	// this one persists so slot recycling and event fan-out match the
+	// simulator's churn semantics exactly.
+	net *runtime.Network
+
+	// memMu guards the membership view: the nodes slice (nil-holed at
+	// vacated dense slots), the seq floors of departed incarnations, and
+	// the admin server set. Read-locked for every iteration (ticks,
+	// stats, scrapes, snapshots); write-locked by Join/Leave/Crash/
+	// AddEdge/RemoveEdge. Lock order is memMu → (nd.mu | gw.labMu);
+	// nothing acquires memMu while holding either.
+	memMu sync.RWMutex
+	nodes []*Node // dense-slot order; nil = vacated slot
+	// seqFloor remembers the last heartbeat seq of every departed id: a
+	// rejoining incarnation opens its counter above it, so old in-flight
+	// frames can never shadow the rejoiner behind receivers' duplicate
+	// filters.
+	seqFloor map[graph.NodeID]uint64
+	admin    *AdminServers // non-nil once ServeAdmin ran
+
+	gw *Gateway
 	// stateDirty marks out-of-band register writes (SetState,
 	// InitArbitrary, Corrupt) so the next tick refreshes the gateway
 	// even if no δ evaluation changed anything.
@@ -161,11 +191,24 @@ type Cluster struct {
 	// so the metrics scrape can read convergence gauges while a tick is
 	// in flight.
 	started        bool
-	tickCh         []chan uint64
 	doneCh         chan struct{}
 	tick           atomic.Uint64
 	lastChangeTick atomic.Uint64
 	changedLast    atomic.Int64
+
+	// Free-running coordination: Join/Leave/Crash spawn and retire
+	// actors mid-Serve. serving is flipped under memMu; serveWG carries
+	// one unit per live actor plus a sentinel held by Serve itself.
+	serving  bool
+	serveCtx context.Context
+	serveWG  sync.WaitGroup
+
+	// Membership accounting. departed folds retired nodes' final
+	// counters so cluster totals stay monotone across churn (a scrape
+	// must never see ss_cluster_frames_sent_total decrease because a
+	// node left).
+	joins, leaves, crashes atomic.Int64
+	departed               nodeCounters
 
 	// metrics is the cluster's operational registry: counters and
 	// gauges over the hot paths, scraped through the admin plane's
@@ -181,9 +224,9 @@ type Cluster struct {
 }
 
 // New builds a cluster over g running alg, opening one endpoint per
-// node on tr. The codec is derived from the algorithm. The graph's
-// topology is fixed for the cluster's lifetime (live topology churn
-// stays a simulator feature for now; see DESIGN.md §8).
+// node on tr. The codec is derived from the algorithm. Membership is
+// live: Join, Leave, and Crash reshape the cluster at any point,
+// including mid-Serve (see membership.go and DESIGN.md §12).
 func New(g *graph.Graph, alg runtime.Algorithm, tr Transport, cfg Config) (*Cluster, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("cluster: empty graph")
@@ -195,9 +238,14 @@ func New(g *graph.Graph, alg runtime.Algorithm, tr Transport, cfg Config) (*Clus
 	if err != nil {
 		return nil, err
 	}
+	net, err := runtime.NewNetwork(g, alg)
+	if err != nil {
+		return nil, err
+	}
 	d := g.Dense()
 	st, _ := tr.(Stepper)
-	c := &Cluster{g: g, d: d, alg: alg, codec: codec, tr: tr, step: st, cfg: cfg}
+	c := &Cluster{g: g, d: d, alg: alg, codec: codec, tr: tr, step: st, cfg: cfg,
+		net: net, seqFloor: make(map[graph.NodeID]uint64)}
 	c.cfg.fill()
 	for i := 0; i < d.Slots(); i++ {
 		if !d.LiveAt(i) {
@@ -207,10 +255,23 @@ func New(g *graph.Graph, alg runtime.Algorithm, tr Transport, cfg Config) (*Clus
 		if err != nil {
 			return nil, err
 		}
-		c.nodes = append(c.nodes, newNode(d.ID(i), i, d.N(), d.NeighborIDs(i), d.Weights(i), ep, codec, alg))
+		c.nodes = append(c.nodes, c.newMember(d.ID(i), i, ep))
 	}
 	c.registerMetrics()
 	return c, nil
+}
+
+// newMember builds the actor for dense slot i with a cloned neighbor
+// row (the dense rows mutate in place under churn) and its lifecycle
+// channels.
+func (c *Cluster) newMember(id graph.NodeID, i int, ep Endpoint) *Node {
+	neighbors := append([]graph.NodeID(nil), c.d.NeighborIDs(i)...)
+	weights := append([]graph.Weight(nil), c.d.Weights(i)...)
+	nd := newNode(id, i, c.d.N(), neighbors, weights, ep, c.codec, c.alg)
+	nd.tickCh = make(chan uint64, 1)
+	nd.stop = make(chan struct{})
+	nd.stopped = make(chan struct{})
+	return nd
 }
 
 // registerMetrics builds the cluster's operational registry. Counters
@@ -223,15 +284,34 @@ func (c *Cluster) registerMetrics() {
 	c.metrics = reg
 	sum := func(field func(*nodeCounters) *atomic.Int64) func() float64 {
 		return func() float64 {
-			var t int64
+			c.memMu.RLock()
+			defer c.memMu.RUnlock()
+			t := field(&c.departed).Load()
 			for _, nd := range c.nodes {
+				if nd == nil {
+					continue
+				}
 				t += field(&nd.stats).Load()
 			}
 			return float64(t)
 		}
 	}
-	reg.GaugeFunc("ss_cluster_nodes", "Cluster size.", nil,
-		func() float64 { return float64(len(c.nodes)) })
+	reg.GaugeFunc("ss_cluster_nodes", "Live cluster size.", nil,
+		func() float64 {
+			c.memMu.RLock()
+			defer c.memMu.RUnlock()
+			return float64(c.d.N())
+		})
+	reg.CounterFunc("ss_cluster_joins_total", "Nodes joined into the running cluster.", nil,
+		func() float64 { return float64(c.joins.Load()) })
+	reg.CounterFunc("ss_cluster_leaves_total", "Nodes retired cooperatively (goodbye broadcast).", nil,
+		func() float64 { return float64(c.leaves.Load()) })
+	reg.CounterFunc("ss_cluster_crashes_total", "Nodes killed without a goodbye.", nil,
+		func() float64 { return float64(c.crashes.Load()) })
+	reg.CounterFunc("ss_cluster_adverts_sent_total", "Membership beacons broadcast by (re)joining nodes.", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.AdvertsSent }))
+	reg.CounterFunc("ss_cluster_neighbor_evictions_total", "Neighbor cache entries evicted by goodbyes or reset by adverts.", nil,
+		sum(func(s *nodeCounters) *atomic.Int64 { return &s.NeighborEvictions }))
 	reg.CounterFunc("ss_cluster_frames_sent_total", "Frames sent by all nodes (heartbeats + data).", nil,
 		sum(func(s *nodeCounters) *atomic.Int64 { return &s.FramesSent }))
 	reg.CounterFunc("ss_cluster_bytes_sent_total", "Payload bytes sent by all nodes.", nil,
@@ -300,13 +380,24 @@ func (c *Cluster) Algorithm() runtime.Algorithm { return c.alg }
 // Codec returns the wire codec in use.
 func (c *Cluster) Codec() wire.Codec { return c.codec }
 
-// Nodes returns the node count.
-func (c *Cluster) Nodes() int { return len(c.nodes) }
+// Nodes returns the live node count.
+func (c *Cluster) Nodes() int {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return c.d.N()
+}
 
 // Node returns the actor for id, or nil.
 func (c *Cluster) Node(id graph.NodeID) *Node {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return c.nodeLocked(id)
+}
+
+// nodeLocked resolves id to its live actor; caller holds memMu.
+func (c *Cluster) nodeLocked(id graph.NodeID) *Node {
 	i, ok := c.d.IndexOf(id)
-	if !ok {
+	if !ok || i >= len(c.nodes) {
 		return nil
 	}
 	return c.nodes[i]
@@ -337,7 +428,12 @@ func (c *Cluster) SetState(id graph.NodeID, s runtime.State) {
 // Neighbor caches start empty regardless: a booting cluster knows
 // nothing about its neighbors until heartbeats arrive.
 func (c *Cluster) InitArbitrary(rng *rand.Rand) {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
 	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
 		v := runtime.NewView(nd.id, nd.n, nd.neighbors, nd.weights, nil, nd.peers)
 		nd.setState(c.alg.ArbitraryState(rng, v))
 	}
@@ -348,12 +444,20 @@ func (c *Cluster) InitArbitrary(rng *rand.Rand) {
 // from the algorithm — transient faults striking a live deployment.
 // Call between ticks. It returns the victims in activation order.
 func (c *Cluster) Corrupt(k int, rng *rand.Rand) []graph.NodeID {
-	if k > len(c.nodes) {
-		k = len(c.nodes)
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	live := make([]*Node, 0, len(c.nodes))
+	for _, nd := range c.nodes {
+		if nd != nil {
+			live = append(live, nd)
+		}
+	}
+	if k > len(live) {
+		k = len(live)
 	}
 	victims := make([]graph.NodeID, 0, k)
-	for _, i := range rng.Perm(len(c.nodes))[:k] {
-		nd := c.nodes[i]
+	for _, i := range rng.Perm(len(live))[:k] {
+		nd := live[i]
 		v := runtime.NewView(nd.id, nd.n, nd.neighbors, nd.weights, nd.State(), nd.peers)
 		nd.setState(c.alg.ArbitraryState(rng, v))
 		victims = append(victims, nd.id)
@@ -376,36 +480,64 @@ func (c *Cluster) TraceSum() uint64 {
 	return c.trace.Sum64()
 }
 
-// start launches the per-node actor goroutines (lockstep mode).
+// start launches the per-node actor goroutines (lockstep mode). Caller
+// holds memMu (read suffices: the lifecycle fields it writes are only
+// touched by the single coordinator goroutine).
 func (c *Cluster) start() {
 	if c.started {
 		return
 	}
 	c.started = true
-	c.doneCh = make(chan struct{}, len(c.nodes))
-	c.tickCh = make([]chan uint64, len(c.nodes))
-	for i, nd := range c.nodes {
-		ch := make(chan uint64, 1)
-		c.tickCh[i] = ch
-		go func(nd *Node, ch chan uint64) {
-			for t := range ch {
-				nd.tick(t, &c.cfg, c.gw)
-				c.doneCh <- struct{}{}
-			}
-		}(nd, ch)
+	c.doneCh = make(chan struct{}, 4*len(c.nodes)+64)
+	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
+		c.spawnLockstep(nd)
 	}
 }
 
-// Stop terminates the actor goroutines (lockstep mode; idempotent).
+// spawnLockstep runs one node's lockstep actor loop: park on the tick
+// channel, run the round, signal the barrier. A closed stop channel
+// retires the actor between rounds. Caller holds memMu.
+func (c *Cluster) spawnLockstep(nd *Node) {
+	if nd.running {
+		return
+	}
+	nd.running = true
+	go func() {
+		defer close(nd.stopped)
+		for {
+			select {
+			case <-nd.stop:
+				return
+			case t := <-nd.tickCh:
+				nd.tick(t, &c.cfg, c.gw)
+				c.doneCh <- struct{}{}
+			}
+		}
+	}()
+}
+
+// Stop retires the actor goroutines (idempotent). The cluster can be
+// ticked again afterwards: the next Tick respawns the actors.
 func (c *Cluster) Stop() {
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
 	if !c.started {
 		return
 	}
 	c.started = false
-	for _, ch := range c.tickCh {
-		close(ch)
+	for _, nd := range c.nodes {
+		if nd == nil || !nd.running {
+			continue
+		}
+		close(nd.stop)
+		<-nd.stopped
+		nd.running = false
+		nd.stop = make(chan struct{})
+		nd.stopped = make(chan struct{})
 	}
-	c.tickCh = nil
 }
 
 // Tick runs one lockstep round: all node actors execute their tick
@@ -415,17 +547,27 @@ func (c *Cluster) Tick() {
 	if c.step == nil {
 		panic("cluster: Tick over a transport with no lockstep Step; use Serve")
 	}
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
 	c.start()
 	tick := c.tick.Add(1)
-	for _, ch := range c.tickCh {
-		ch <- tick
+	live := 0
+	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
+		nd.tickCh <- tick
+		live++
 	}
-	for range c.nodes {
+	for i := 0; i < live; i++ {
 		<-c.doneCh
 	}
 	c.step.Step(tick)
 	changed := int64(0)
 	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
 		if nd.changed {
 			changed++
 			if c.trace != nil {
@@ -485,32 +627,28 @@ func (c *Cluster) RunUntilQuiet(maxTicks, quiet int) (int, bool) {
 // global coordination, the deployment shape. Requires endpoints with a
 // notify channel (async transports such as UDPTransport).
 func (c *Cluster) Serve(ctx context.Context) error {
+	c.memMu.Lock()
 	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
 		if nd.ep.Notify() == nil {
+			c.memMu.Unlock()
 			return fmt.Errorf("cluster: transport endpoint of node %d has no notify channel; use Tick", nd.id)
 		}
 	}
-	done := make(chan struct{}, len(c.nodes))
+	c.serving = true
+	c.serveCtx = ctx
+	// The sentinel keeps serveWG's counter positive for the whole
+	// serving window, so Join may Add concurrently with the final Wait.
+	c.serveWG.Add(1)
 	for _, nd := range c.nodes {
-		go func(nd *Node) {
-			defer func() { done <- struct{}{} }()
-			ticker := time.NewTicker(c.cfg.Interval)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-nd.ep.Notify():
-					// Receive path: ingest only. Stepping and broadcasting
-					// stay on the ticker, so the send rate is bound to
-					// Interval no matter how fast frames arrive.
-					nd.absorb(&c.cfg, c.gw)
-				case <-ticker.C:
-					nd.tick(nd.localTick+1, &c.cfg, c.gw)
-				}
-			}
-		}(nd)
+		if nd == nil {
+			continue
+		}
+		c.spawnServe(nd)
 	}
+	c.memMu.Unlock()
 	if c.gw != nil {
 		go func() {
 			ticker := time.NewTicker(c.cfg.Interval)
@@ -528,17 +666,64 @@ func (c *Cluster) Serve(ctx context.Context) error {
 				case <-ticker.C:
 					if w := c.Stats().RegisterWrites; w != lastWrites {
 						lastWrites = w
+						c.memMu.RLock()
 						c.gw.refresh()
+						c.memMu.RUnlock()
 					}
 				}
 			}
 		}()
 	}
 	<-ctx.Done()
-	for range c.nodes {
-		<-done
-	}
+	c.memMu.Lock()
+	c.serving = false
+	c.memMu.Unlock()
+	c.serveWG.Done()
+	c.serveWG.Wait()
 	return ctx.Err()
+}
+
+// spawnServe runs one node's free-running actor loop on its own timer
+// and notify channel. Caller holds memMu with serving true (the
+// sentinel guarantees serveWG's counter is positive, making the Add
+// here safe against the final Wait).
+func (c *Cluster) spawnServe(nd *Node) {
+	if nd.running {
+		return
+	}
+	nd.running = true
+	c.serveWG.Add(1)
+	ctx := c.serveCtx
+	go func() {
+		defer c.serveWG.Done()
+		defer close(nd.stopped)
+		ticker := time.NewTicker(c.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			// A closed stop channel must win even when the ticker is also
+			// ready, so retirement is checked on its own first.
+			select {
+			case <-ctx.Done():
+				return
+			case <-nd.stop:
+				return
+			default:
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-nd.stop:
+				return
+			case <-nd.ep.Notify():
+				// Receive path: ingest only. Stepping and broadcasting
+				// stay on the ticker, so the send rate is bound to
+				// Interval no matter how fast frames arrive.
+				nd.absorb(&c.cfg, c.gw)
+			case <-ticker.C:
+				nd.tick(nd.localTick+1, &c.cfg, c.gw)
+			}
+		}
+	}()
 }
 
 // Snapshot appends every node's current register in dense-slot order —
@@ -546,7 +731,12 @@ func (c *Cluster) Serve(ctx context.Context) error {
 // runtime.Network over the same graph and every shared-memory assertion
 // (silence, closure, spec, register bounds) applies verbatim.
 func (c *Cluster) Snapshot(into []runtime.State) []runtime.State {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
 	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
 		into = append(into, nd.State())
 	}
 	return into
@@ -555,11 +745,16 @@ func (c *Cluster) Snapshot(into []runtime.State) []runtime.State {
 // Mirror loads the cluster's registers into a fresh runtime.Network
 // over the same graph, for spec checking.
 func (c *Cluster) Mirror() (*runtime.Network, error) {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
 	net, err := runtime.NewNetwork(c.g, c.alg)
 	if err != nil {
 		return nil, err
 	}
 	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
 		if s := nd.State(); s != nil {
 			net.SetState(nd.id, s)
 		}
@@ -571,9 +766,22 @@ func (c *Cluster) Mirror() (*runtime.Network, error) {
 // so this is safe at any time — mid-tick, during Serve, or from a
 // metrics scrape.
 func (c *Cluster) Stats() Stats {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
 	var s Stats
+	s.Joins = int(c.joins.Load())
+	s.Leaves = int(c.leaves.Load())
+	s.Crashes = int(c.crashes.Load())
+	// Retired nodes' final counters live on in the departed aggregate,
+	// so totals are monotone across churn.
+	snaps := []NodeStats{c.departed.snapshot()}
 	for _, nd := range c.nodes {
-		ns := nd.stats.snapshot()
+		if nd == nil {
+			continue
+		}
+		snaps = append(snaps, nd.stats.snapshot())
+	}
+	for _, ns := range snaps {
 		s.FramesSent += ns.FramesSent
 		s.BytesSent += ns.BytesSent
 		s.FramesRecv += ns.FramesRecv
@@ -587,6 +795,8 @@ func (c *Cluster) Stats() Stats {
 		s.DeltasSent += ns.DeltasSent
 		s.ResyncsSent += ns.ResyncsSent
 		s.DeltaMisses += ns.DeltaMisses
+		s.AdvertsSent += ns.AdvertsSent
+		s.NeighborEvictions += ns.NeighborEvictions
 	}
 	return s
 }
@@ -595,8 +805,13 @@ func (c *Cluster) Stats() Stats {
 // natural encoding — the space measure of the paper, unchanged by the
 // transform.
 func (c *Cluster) MaxRegisterBits() int {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
 	max := 0
 	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
 		if s := nd.State(); s != nil {
 			if b := s.EncodedBits(); b > max {
 				max = b

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"cmp"
+	"fmt"
 	"math/rand"
 	"slices"
 	"sync"
@@ -151,15 +152,62 @@ func (ft *FaultTransport) Open(id graph.NodeID) (Endpoint, error) {
 	ep := &faultEndpoint{ft: ft, id: id, inner: inner}
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
-	i, _ := slices.BinarySearchFunc(ft.eps, ep, func(a, b *faultEndpoint) int {
+	i, found := slices.BinarySearchFunc(ft.eps, ep, func(a, b *faultEndpoint) int {
 		return cmp.Compare(a.id, b.id)
 	})
+	if found {
+		// Never insert a shadow endpoint: the stale entry's tick buffer
+		// would still be visited at every barrier. (The inner transport
+		// normally rejects the duplicate first; this guards against
+		// wrappers that don't.)
+		inner.Close()
+		return nil, fmt.Errorf("cluster: node %d already attached", id)
+	}
 	ft.eps = slices.Insert(ft.eps, i, ep)
 	return ep, nil
 }
 
 // Close implements Transport.
 func (ft *FaultTransport) Close() error { return ft.inner.Close() }
+
+// Evict implements the membership hook (see the evictor interface):
+// flush the departing node's buffered sends straight to the inner
+// transport — bypassing the fault pipeline, so the teardown consumes no
+// rng draws and the survivors' fault schedule is untouched — drop the
+// delayed frames it originated (they would otherwise Send through an
+// endpoint the inner transport no longer steps, vanishing without being
+// accounted), and forward the eviction down.
+func (ft *FaultTransport) Evict(id graph.NodeID) {
+	ft.mu.Lock()
+	var inner Endpoint
+	for i, ep := range ft.eps {
+		if ep.id == id {
+			inner = ep.inner
+			for _, req := range ep.out {
+				ep.inner.Send(req.to, req.data)
+			}
+			ep.out = nil
+			ft.eps = slices.Delete(ft.eps, i, i+1)
+			break
+		}
+	}
+	if inner != nil {
+		n := 0
+		for _, df := range ft.delayed {
+			if df.ep == inner {
+				ft.stats.Lost++
+				continue
+			}
+			ft.delayed[n] = df
+			n++
+		}
+		ft.delayed = ft.delayed[:n]
+	}
+	ft.mu.Unlock()
+	if ev, ok := ft.inner.(evictor); ok {
+		ev.Evict(id)
+	}
+}
 
 // Step implements Stepper: take the fault decision for every frame sent
 // during the tick (deterministic order), deliver matured delayed

@@ -94,11 +94,17 @@ func (s GatewayStats) MeanHops() float64 {
 // NewGateway attaches a gateway to the cluster. Call before the first
 // tick (the gateway wires itself into every node's data path).
 func NewGateway(c *Cluster) *Gateway {
+	c.memMu.RLock()
 	parents := make([]graph.NodeID, c.d.Slots())
 	for i, nd := range c.nodes {
+		if nd == nil {
+			parents[i] = routing.NoParent
+			continue
+		}
 		parents[i] = ParentOf(nd.State())
 	}
 	lb := routing.NewLiveLabeler(c.g, parents)
+	c.memMu.RUnlock()
 	gw := &Gateway{
 		c:             c,
 		lb:            lb,
@@ -109,6 +115,16 @@ func NewGateway(c *Cluster) *Gateway {
 	gw.router = routing.NewRouter(c.g, lb.Labeling(), routing.Options{})
 	gw.maxHops = gw.router.MaxHops()
 	c.gw = gw
+	// Membership changes flow into the labeling as topology events: the
+	// labeler adds/removes slots and the router republishes. Events fire
+	// from the cluster's mutators under memMu, so the lock order is
+	// always memMu → labMu.
+	c.net.AddTopologyListener(func(ev runtime.TopoEvent) {
+		gw.labMu.Lock()
+		gw.lb.ApplyTopo(ev)
+		gw.router.SetLabeling(gw.lb.Labeling())
+		gw.labMu.Unlock()
+	})
 	gw.registerMetrics(c.metrics)
 	return gw
 }
@@ -135,10 +151,14 @@ func (gw *Gateway) registerMetrics(reg *ops.Registry) {
 
 // refresh folds the current registers into the incremental labeling and
 // republishes it to the router. Called by the cluster between lockstep
-// ticks, or periodically in free-running mode.
+// ticks, or periodically in free-running mode. The caller holds the
+// cluster's membership read lock (memMu); labMu nests inside it.
 func (gw *Gateway) refresh() {
 	gw.labMu.Lock()
 	for _, nd := range gw.c.nodes {
+		if nd == nil {
+			continue
+		}
 		gw.lb.SetParent(nd.id, ParentOf(nd.State()))
 	}
 	gw.router.SetLabeling(gw.lb.Labeling())
@@ -196,29 +216,52 @@ func (gw *Gateway) resolve(id uint64) {
 	}
 }
 
-// deliver records a packet reaching its destination.
-func (gw *Gateway) deliver(p wire.Packet) {
+// deliver records a packet reaching its destination. It reports whether
+// this call resolved the packet: resolution is single-shot, so a
+// duplicated frame's second arrival returns false and must not be
+// counted anywhere.
+func (gw *Gateway) deliver(p wire.Packet) bool {
 	gw.mu.Lock()
 	defer gw.mu.Unlock()
 	if gw.isResolved(p.ID) {
-		return
+		return false
 	}
 	gw.resolve(p.ID)
 	delete(gw.pending, p.ID)
 	gw.stats.Delivered++
 	gw.stats.HopsTotal += p.Hops
+	return true
 }
 
-// drop records a packet exceeding its budgets at some node.
-func (gw *Gateway) drop(p wire.Packet) {
+// drop records a packet exceeding its budgets at some node. It reports
+// whether this call resolved the packet — a duplicate copy dying after
+// its sibling resolved contributes to no counter, so `dropped`,
+// `delivered`, `expired`, and `orphaned` stay mutually exclusive.
+func (gw *Gateway) drop(p wire.Packet) bool {
 	gw.mu.Lock()
 	defer gw.mu.Unlock()
 	if gw.isResolved(p.ID) {
-		return
+		return false
 	}
 	gw.resolve(p.ID)
 	delete(gw.pending, p.ID)
 	gw.stats.Dropped++
+	return true
+}
+
+// orphan reaps a packet parked at a node that is leaving the cluster:
+// its queue dies with it, so the packet is accounted lost in transit —
+// exactly once, even if a duplicate copy later resolves elsewhere.
+func (gw *Gateway) orphan(p wire.Packet) bool {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	if gw.isResolved(p.ID) {
+		return false
+	}
+	gw.resolve(p.ID)
+	delete(gw.pending, p.ID)
+	gw.stats.Lost++
+	return true
 }
 
 // Outstanding returns the number of launched packets not yet resolved.

@@ -23,14 +23,36 @@ type Node struct {
 	id        graph.NodeID
 	slot      int
 	n         int            // network size (the model's known bound)
-	neighbors []graph.NodeID // ascending, shared with graph.Dense
-	weights   []graph.Weight // parallel to neighbors, shared
+	neighbors []graph.NodeID // ascending; cloned from graph.Dense
+	weights   []graph.Weight // parallel to neighbors, cloned
 	ep        Endpoint
 	codec     wire.Codec
 	alg       runtime.Algorithm
 
+	// Lifecycle plumbing, owned by the cluster coordinator (under
+	// c.memMu): tickCh drives lockstep rounds, stop retires the actor in
+	// either mode, stopped is closed by the actor goroutine on exit.
+	tickCh  chan uint64
+	stop    chan struct{}
+	stopped chan struct{}
+	running bool
+
 	mu   sync.Mutex
 	self runtime.State
+
+	// pendingRemap carries a neighbor-row update queued by the
+	// coordinator while the actor may be mid-tick (Serve mode); the
+	// actor applies it at the top of its next tick or absorb. Guarded by
+	// mu. Lockstep remaps apply synchronously instead (actors are parked
+	// between ticks).
+	pendingRemap *nodeRemap
+	// advertPending arms the membership beacon: the node's next tick
+	// opens with a KindAdvert broadcast (set on Join, before the actor
+	// spawns; consumed by the actor).
+	advertPending bool
+	// adminAddr is the ops-plane address carried in this node's adverts
+	// (empty without an admin server). Guarded by mu.
+	adminAddr string
 
 	// Neighbor-state cache, parallel to neighbors. lastSeen is the local
 	// tick of the last accepted heartbeat (0 = never); lastSeq the
@@ -53,6 +75,9 @@ type Node struct {
 	anchorRx    []runtime.State
 	anchorSeqRx []uint64
 	lastResync  []uint64
+	// peerAdmin holds advert-learned ops-plane addresses, parallel to
+	// neighbors — the decentralized leg of admin discovery.
+	peerAdmin []string
 
 	// dataQ holds routed packets parked at this node (in flight, or
 	// stalled on an unroutable labeling). heldSince is parallel.
@@ -104,6 +129,10 @@ type NodeStats struct {
 	DeltasSent  int
 	ResyncsSent int
 	DeltaMisses int
+	// Membership accounting: adverts broadcast on (re)join, and neighbor
+	// cache entries evicted by goodbyes or reset by adverts.
+	AdvertsSent       int
+	NeighborEvictions int
 }
 
 // nodeCounters is the live counter set. All fields are atomic: the
@@ -122,6 +151,8 @@ type nodeCounters struct {
 	DeltasSent             atomic.Int64
 	ResyncsSent            atomic.Int64
 	DeltaMisses            atomic.Int64
+	AdvertsSent            atomic.Int64
+	NeighborEvictions      atomic.Int64
 }
 
 // snapshot reads every counter once.
@@ -140,6 +171,8 @@ func (c *nodeCounters) snapshot() NodeStats {
 		DeltasSent:        int(c.DeltasSent.Load()),
 		ResyncsSent:       int(c.ResyncsSent.Load()),
 		DeltaMisses:       int(c.DeltaMisses.Load()),
+		AdvertsSent:       int(c.AdvertsSent.Load()),
+		NeighborEvictions: int(c.NeighborEvictions.Load()),
 	}
 }
 
@@ -161,6 +194,63 @@ func newNode(id graph.NodeID, slot, n int, neighbors []graph.NodeID, weights []g
 		anchorRx:    make([]runtime.State, deg),
 		anchorSeqRx: make([]uint64, deg),
 		lastResync:  make([]uint64, deg),
+		peerAdmin:   make([]string, deg),
+	}
+}
+
+// nodeRemap is a queued neighbor-row update: the dense row recomputed
+// by the coordinator after a membership or link change, plus the ids
+// whose receive state must start fresh (a neighbor id recycled by a
+// join — its old incarnation's seq filter and anchors must not shadow
+// the new one).
+type nodeRemap struct {
+	n         int
+	neighbors []graph.NodeID
+	weights   []graph.Weight
+	reset     []graph.NodeID
+}
+
+// applyRemapLocked rebuilds the per-neighbor parallel arrays for a new
+// neighbor row, carrying over receive state for neighbors that persist
+// and zeroing entries for new, departed-then-returned, or reset ids.
+// Caller holds nd.mu.
+func (nd *Node) applyRemapLocked(r *nodeRemap) {
+	deg := len(r.neighbors)
+	cache := make([]runtime.State, deg)
+	lastSeen := make([]uint64, deg)
+	lastSeq := make([]uint64, deg)
+	wasStale := make([]bool, deg)
+	anchorRx := make([]runtime.State, deg)
+	anchorSeqRx := make([]uint64, deg)
+	lastResync := make([]uint64, deg)
+	peerAdmin := make([]string, deg)
+	for j, id := range r.neighbors {
+		if slices.Contains(r.reset, id) {
+			continue
+		}
+		if k, ok := slices.BinarySearch(nd.neighbors, id); ok {
+			cache[j] = nd.cache[k]
+			lastSeen[j] = nd.lastSeen[k]
+			lastSeq[j] = nd.lastSeq[k]
+			wasStale[j] = nd.wasStale[k]
+			anchorRx[j] = nd.anchorRx[k]
+			anchorSeqRx[j] = nd.anchorSeqRx[k]
+			lastResync[j] = nd.lastResync[k]
+			peerAdmin[j] = nd.peerAdmin[k]
+		}
+	}
+	nd.n = r.n
+	nd.neighbors, nd.weights = r.neighbors, r.weights
+	nd.cache, nd.lastSeen, nd.lastSeq, nd.wasStale = cache, lastSeen, lastSeq, wasStale
+	nd.peers = make([]runtime.State, deg)
+	nd.anchorRx, nd.anchorSeqRx, nd.lastResync, nd.peerAdmin = anchorRx, anchorSeqRx, lastResync, peerAdmin
+}
+
+// applyPendingLocked applies a queued remap, if any. Caller holds nd.mu.
+func (nd *Node) applyPendingLocked() {
+	if r := nd.pendingRemap; r != nil {
+		nd.pendingRemap = nil
+		nd.applyRemapLocked(r)
 	}
 }
 
@@ -199,6 +289,9 @@ func (nd *Node) Inject(p wire.Packet) {
 // frame would provoke an immediate rebroadcast and adjacent nodes
 // would drive each other into a frame storm decoupled from Interval.
 func (nd *Node) absorb(cfg *Config, gw *Gateway) {
+	nd.mu.Lock()
+	nd.applyPendingLocked()
+	nd.mu.Unlock()
 	nd.drainBuf = nd.ep.Drain(nd.drainBuf[:0])
 	for _, data := range nd.drainBuf {
 		nd.ingest(data, nd.localTick, cfg, gw)
@@ -211,7 +304,10 @@ func (nd *Node) absorb(cfg *Config, gw *Gateway) {
 func (nd *Node) tick(now uint64, cfg *Config, gw *Gateway) {
 	// localTick is written under the mutex: Gateway.Launch's Inject
 	// reads it from outside the actor goroutine to date parked packets.
+	// Queued neighbor-row updates apply here, before the drain, so
+	// frames from a just-added neighbor are not rejected as foreign.
 	nd.mu.Lock()
+	nd.applyPendingLocked()
 	nd.localTick = now
 	nd.mu.Unlock()
 	nd.drainBuf = nd.ep.Drain(nd.drainBuf[:0])
@@ -227,6 +323,14 @@ func (nd *Node) tick(now uint64, cfg *Config, gw *Gateway) {
 	// (convergence latency), and when the keep-alive falls due. The
 	// keep-alive gap backs off exponentially while the register is quiet
 	// (see sendHB), so a converged cluster goes nearly silent.
+	// A (re)joining node precedes its first heartbeat with an advert:
+	// receivers reset the id's cached state before fresh frames land.
+	// Join also arms resyncPending, so the heartbeat that follows in
+	// this same tick is a self-contained anchor.
+	if nd.advertPending {
+		nd.advertPending = false
+		nd.sendAdvert()
+	}
 	nd.mu.Lock()
 	changed := nd.changedSince
 	nd.mu.Unlock()
@@ -317,6 +421,75 @@ func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
 			return
 		}
 		nd.resyncPending = true
+	case wire.KindAdvert:
+		if f.Alg != nd.codec.Code() {
+			nd.stats.RxRejected.Add(1)
+			return
+		}
+		j, ok := slices.BinarySearch(nd.neighbors, f.Src)
+		if !ok {
+			// Membership never derives from the wire: an advert from a
+			// non-neighbor — forged, corrupted-but-decodable, or ahead of
+			// this node's own topology update — is rejected outright, so
+			// no frame can ever create a phantom member.
+			nd.stats.RxRejected.Add(1)
+			return
+		}
+		if f.Seq < nd.lastSeq[j] {
+			nd.stats.RxRejected.Add(1) // straggler from a previous incarnation
+			return
+		}
+		if len(f.Neighbors) > 0 {
+			if _, ok := slices.BinarySearch(f.Neighbors, nd.id); !ok {
+				// The digest does not list this node: the advertiser does
+				// not consider us a neighbor, so its entry must not be
+				// refreshed on its behalf.
+				nd.stats.RxRejected.Add(1)
+				return
+			}
+		}
+		// A fresh incarnation of the id: wipe everything cached about the
+		// old one and pin the seq filter at the advertised floor, so the
+		// rejoiner's early (low-seq) heartbeats are not dropped as
+		// stragglers and old in-flight frames cannot shadow it.
+		nd.mu.Lock()
+		nd.lastSeq[j] = f.Seq
+		nd.cache[j] = nil
+		nd.lastSeen[j] = 0
+		nd.wasStale[j] = false
+		nd.anchorRx[j] = nil
+		nd.anchorSeqRx[j] = 0
+		nd.lastResync[j] = 0
+		nd.peerAdmin[j] = f.AdminAddr
+		nd.mu.Unlock()
+		nd.stats.NeighborEvictions.Add(1)
+	case wire.KindLeave:
+		if f.Alg != nd.codec.Code() {
+			nd.stats.RxRejected.Add(1)
+			return
+		}
+		j, ok := slices.BinarySearch(nd.neighbors, f.Src)
+		if !ok {
+			nd.stats.RxRejected.Add(1)
+			return
+		}
+		if f.Seq < nd.lastSeq[j] {
+			nd.stats.RxRejected.Add(1) // goodbye overtaken by fresher frames
+			return
+		}
+		// Cooperative eviction: drop the leaver's cached register and
+		// anchors now instead of waiting out the staleness TTL.
+		nd.mu.Lock()
+		nd.lastSeq[j] = f.Seq
+		nd.cache[j] = nil
+		nd.lastSeen[j] = 0
+		nd.wasStale[j] = false
+		nd.anchorRx[j] = nil
+		nd.anchorSeqRx[j] = 0
+		nd.lastResync[j] = 0
+		nd.peerAdmin[j] = ""
+		nd.mu.Unlock()
+		nd.stats.NeighborEvictions.Add(1)
 	case wire.KindData:
 		if gw == nil {
 			nd.stats.RxRejected.Add(1)
@@ -356,6 +529,17 @@ func (nd *Node) step(now uint64, cfg *Config) {
 			if !nd.wasStale[j] && nd.lastSeen[j] != 0 {
 				nd.stats.StalenessExpiries.Add(1)
 			}
+			// A neighbor this node has never heard from — a joiner's empty
+			// row, or an entry wiped by a rejoiner's advert whose first
+			// anchor was then lost — has no age to grow past the freshness
+			// pull below, so without an explicit pull a lost anchor leaves
+			// the row empty until the peer's next register change: the
+			// cluster can go quiet in a non-silent configuration. Past the
+			// startup grace (frames normally land within a tick or two),
+			// pull an anchor outright.
+			if !cfg.DisableDelta && nd.lastSeen[j] == 0 && now > pullAfter {
+				nd.requestResync(j, nd.neighbors[j], now)
+			}
 		} else {
 			nd.peers[j] = nd.cache[j]
 			if !cfg.DisableDelta && age > pullAfter {
@@ -391,22 +575,28 @@ func (nd *Node) pump(now uint64, cfg *Config, gw *Gateway) {
 		switch {
 		case !ok:
 			if now-held[i] > uint64(cfg.MaxHold) {
-				nd.stats.PacketsDropped.Add(1)
-				gw.drop(p)
+				// The node counter follows the gateway's single-shot
+				// resolution: a duplicate copy dying here after its sibling
+				// resolved is invisible in both ledgers.
+				if gw.drop(p) {
+					nd.stats.PacketsDropped.Add(1)
+				}
 				continue
 			}
 			keepQ = append(keepQ, p)
 			keepH = append(keepH, held[i])
 		case p.Hops+1 > gw.maxHops:
-			nd.stats.PacketsDropped.Add(1)
-			gw.drop(p)
+			if gw.drop(p) {
+				nd.stats.PacketsDropped.Add(1)
+			}
 		default:
 			p.Hops++
 			data, err := wire.Encode(wire.Frame{Kind: wire.KindData, Src: nd.id, Data: p},
 				nd.codec, &nd.enc, nil)
 			if err != nil {
-				nd.stats.PacketsDropped.Add(1)
-				gw.drop(p)
+				if gw.drop(p) {
+					nd.stats.PacketsDropped.Add(1)
+				}
 				continue
 			}
 			nd.ep.Send(next, data)
@@ -485,6 +675,29 @@ func (nd *Node) broadcast(now uint64, cfg *Config) {
 		panic("cluster: encode own register: " + err.Error())
 	}
 	nd.ep.Broadcast(nd.neighbors, data)
+	nd.stats.FramesSent.Add(int64(len(nd.neighbors)))
+	nd.stats.BytesSent.Add(int64(len(nd.neighbors) * len(data)))
+	if nd.frameBytes != nil {
+		nd.frameBytes.Observe(float64(len(data)))
+	}
+}
+
+// sendAdvert broadcasts the membership beacon: identity, opening seq
+// (the receiver's new duplicate-filter floor), ops-plane address, and
+// a digest of the neighbors this node was configured with.
+func (nd *Node) sendAdvert() {
+	nd.seq++
+	nd.mu.Lock()
+	addr := nd.adminAddr
+	nd.mu.Unlock()
+	f := wire.Frame{Kind: wire.KindAdvert, Alg: nd.codec.Code(),
+		Src: nd.id, Seq: nd.seq, AdminAddr: addr, Neighbors: nd.neighbors}
+	data, err := wire.Encode(f, nd.codec, &nd.enc, nil)
+	if err != nil {
+		panic("cluster: encode advert: " + err.Error())
+	}
+	nd.ep.Broadcast(nd.neighbors, data)
+	nd.stats.AdvertsSent.Add(1)
 	nd.stats.FramesSent.Add(int64(len(nd.neighbors)))
 	nd.stats.BytesSent.Add(int64(len(nd.neighbors) * len(data)))
 	if nd.frameBytes != nil {

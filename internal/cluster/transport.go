@@ -140,6 +140,38 @@ func (tr *ChanTransport) Open(id graph.NodeID) (Endpoint, error) {
 // Close implements Transport.
 func (tr *ChanTransport) Close() error { return nil }
 
+// Evict implements the membership hook (see the evictor interface):
+// flush the departing node's buffered sends into the survivors' inboxes
+// — its goodbye broadcast must not die in the tick buffer Step would
+// never visit again — then drop it from the delivery directory so a
+// rejoining incarnation of the id can attach fresh instead of failing
+// Open with "already attached". Called by the cluster coordinator with
+// every actor parked, so touching sender-owned buffers is safe.
+func (tr *ChanTransport) Evict(id graph.NodeID) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	ep, ok := tr.eps[id]
+	if !ok {
+		return
+	}
+	for _, req := range ep.out {
+		if req.dsts != nil {
+			for _, to := range req.dsts {
+				tr.deliverOne(to, req.data)
+			}
+			continue
+		}
+		tr.deliverOne(req.to, req.data)
+	}
+	ep.out = nil
+	delete(tr.eps, id)
+	if i, found := slices.BinarySearchFunc(tr.sorted, ep, func(a, b *chanEndpoint) int {
+		return cmp.Compare(a.id, b.id)
+	}); found {
+		tr.sorted = slices.Delete(tr.sorted, i, i+1)
+	}
+}
+
 // Step implements Stepper: move every tick-buffered frame into its
 // recipient's inbox, senders in ascending node order.
 func (tr *ChanTransport) Step(uint64) {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"net"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -89,6 +90,24 @@ func (tr *UDPTransport) Open(id graph.NodeID) (Endpoint, error) {
 	tr.mu.Unlock()
 	go ep.readLoop()
 	return ep, nil
+}
+
+// Evict implements the membership hook (see the evictor interface):
+// drop the departing node's id→addr directory entry and endpoint
+// registration. Without this a rejoining incarnation would fail Open
+// ("already attached") and, worse, survivors' directory lookups would
+// keep resolving the id to the dead incarnation's socket, silently
+// black-holing every frame sent to the rejoiner.
+func (tr *UDPTransport) Evict(id graph.NodeID) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	delete(tr.addrs, id)
+	for i, ep := range tr.eps {
+		if ep.id == id {
+			tr.eps = slices.Delete(tr.eps, i, i+1)
+			break
+		}
+	}
 }
 
 // Close implements Transport.

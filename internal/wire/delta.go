@@ -14,7 +14,8 @@ import (
 // node's register never changes, so full-state heartbeats carry the
 // same bytes forever; the delta family sends only what moved.
 //
-// Two compact kinds share one layout (byte offsets):
+// The compact kinds (delta, resync, and the membership pair in
+// membership.go) share one layout (byte offsets):
 //
 //	0  magic 0xA7 (1 byte, distinct from the classic "ST" prefix)
 //	1  version<<4 | kind (1)
@@ -102,7 +103,11 @@ func encodeCompact(f Frame, c Codec, b *bits.Builder, dst []byte) ([]byte, error
 				return dst, err
 			}
 		}
-	case KindResync:
+	case KindResync, KindLeave:
+	case KindAdvert:
+		if err := appendAdvert(b, f); err != nil {
+			return dst, err
+		}
 	default:
 		return dst, fmt.Errorf("%w: %d", ErrKind, f.Kind)
 	}
@@ -124,7 +129,7 @@ func decodeCompact(c Codec, data []byte, scratch []uint64) (Frame, []uint64, err
 		return f, scratch, fmt.Errorf("%w: %d", ErrVersion, data[1]>>4)
 	}
 	f.Kind = Kind(data[1] & 0xf)
-	if f.Kind != KindDelta && f.Kind != KindResync {
+	if f.Kind < KindDelta || f.Kind > KindLeave {
 		return f, scratch, fmt.Errorf("%w: %d", ErrKind, data[1]&0xf)
 	}
 	f.Alg = data[2]
@@ -183,7 +188,11 @@ func decodeCompact(c Codec, data []byte, scratch []uint64) (Frame, []uint64, err
 			f.delta, f.deltaOff = s, r.Pos()
 			return f, scratch, nil
 		}
-	case KindResync:
+	case KindAdvert:
+		if err := readAdvert(r, &f); err != nil {
+			return f, scratch, err
+		}
+	case KindResync, KindLeave:
 	}
 	if err := checkPadding(r); err != nil {
 		return f, scratch, err

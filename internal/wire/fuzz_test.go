@@ -66,6 +66,9 @@ func FuzzDecodeFrame(f *testing.F) {
 		{Kind: KindDelta, Alg: codeSwitching, Src: 3, Seq: 9, BaseSeq: 4,
 			Base: switching.SelfRoot(3), State: switching.SelfRoot(3)},
 		{Kind: KindResync, Alg: codeSwitching, Src: 8, Seq: 2},
+		{Kind: KindAdvert, Alg: codeSwitching, Src: 5, Seq: 3,
+			AdminAddr: "127.0.0.1:7070", Neighbors: []graph.NodeID{1, 2, 8}},
+		{Kind: KindLeave, Alg: codeSwitching, Src: 5, Seq: 44},
 	}
 	for _, fr := range seedFrames {
 		data, err := Encode(fr, Switching{}, &b, nil)

@@ -113,6 +113,12 @@ type Frame struct {
 	// BaseSeq < Seq. Decode leaves it nil: the receiver supplies its own
 	// cached anchor to ApplyDelta.
 	Base runtime.State
+	// AdminAddr is an advert's ops-plane address (KindAdvert); empty
+	// when the advertiser runs no admin server.
+	AdminAddr string
+	// Neighbors is an advert's neighbor digest (KindAdvert): the
+	// strictly-ascending ids the advertiser was configured with.
+	Neighbors []graph.NodeID
 	// delta parks the undecoded payload of a received delta frame with
 	// BaseSeq < Seq, positioned at deltaOff for ApplyDelta.
 	delta    bits.String
@@ -140,7 +146,7 @@ func Encode(f Frame, c Codec, b *bits.Builder, dst []byte) ([]byte, error) {
 				return dst, err
 			}
 		}
-	case KindDelta, KindResync:
+	case KindDelta, KindResync, KindAdvert, KindLeave:
 		return encodeCompact(f, c, b, dst)
 	default:
 		return dst, fmt.Errorf("%w: %d", ErrKind, f.Kind)
