@@ -28,7 +28,11 @@
 //
 // The -serve mode runs the cluster free-running over real loopback UDP
 // sockets and binds a per-node admin API (getself / getpeers / gettree
-// / getstats, plus Prometheus /metrics) — the operations-plane demo.
+// / getstats / getquiet, plus Prometheus /metrics) — the
+// operations-plane demo. Once the in-band termination detector's
+// convergecast reaches the root, the cluster announces its own silence
+// (an "announce:" line, the ss_cluster_detected_quiet gauge, and every
+// node's /getquiet).
 // Crawl it with sscrawl, or curl any node's socket:
 //
 //	sstsim -serve -alg spanning -graph random:64:0.1 \
@@ -230,6 +234,24 @@ func runServe(algName string, g *graph.Graph, seed int64, adminDir, treeOut stri
 	}
 	served := make(chan error, 1)
 	go func() { served <- cl.Serve(ctx) }()
+
+	// Announcement watcher: the in-band termination detector's verdicts
+	// as they land — the cluster telling us it is quiet over its own
+	// heartbeat frames, no mirror or coordinator read needed.
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ev := <-cl.QuietEvents():
+				if ev.Announced {
+					fmt.Printf("announce: cluster quiet at epoch %d (root %d), detected in-band\n", ev.Epoch, ev.Root)
+				} else {
+					fmt.Printf("announce: retracted at epoch %d (root %d)\n", ev.Epoch, ev.Root)
+				}
+			}
+		}
+	}()
 
 	// Quiet watcher: poll the mirror until it projects to a silent tree,
 	// optionally put the membership through a kill/rejoin cycle, then

@@ -255,6 +255,35 @@ func checkCrawl(cl *cluster.Cluster, net *runtime.Network, g *graph.Graph, rng *
 	return nil
 }
 
+// quietAnnounceBound is the certified detector-latency budget for a
+// quiet cluster: the local-quiet window (defaulting to the staleness
+// TTL), one TTL of report decay, and a per-level propagation allowance
+// with generous headroom for the lossy profiles — reports ride every
+// keep-alive, so a lost frame retries within one back-off gap.
+func quietAnnounceBound(cl *cluster.Cluster, cfg ClusterConfig) int {
+	window := 4 * cfg.QuietTicks // QuietWindow defaults to the pinned StalenessTTL
+	cap := max(1, cfg.QuietTicks/3)
+	return 2*window + 8*(cl.Nodes()+2)*(cap+2)
+}
+
+// checkQuietAnnounce ticks a quiet cluster until the in-band detector
+// announces, certifying both detector claims at once: bounded latency,
+// and zero false positives — at the moment the announcement is up, the
+// coordinator's ground truth must agree the registers have been silent.
+func checkQuietAnnounce(cl *cluster.Cluster, cfg ClusterConfig) error {
+	bound := quietAnnounceBound(cl, cfg)
+	for i := 0; i < bound; i++ {
+		if cl.QuietAnnounced() {
+			if cl.QuietFor() == 0 {
+				return fmt.Errorf("quiet detector false positive: announcement up in a tick with register writes")
+			}
+			return nil
+		}
+		cl.Tick()
+	}
+	return fmt.Errorf("no in-band quiet announcement within %d ticks of quiet", bound)
+}
+
 // runOneCluster is one certified run.
 func runOneCluster(a Algo, ng NamedGraph, prof ClusterProfile, cfg ClusterConfig, seed int64) (
 	ticks, registerBits int, st cluster.Stats, gws cluster.GatewayStats, err error) {
@@ -303,6 +332,11 @@ func runOneCluster(a Algo, ng NamedGraph, prof ClusterProfile, cfg ClusterConfig
 	if !quiet {
 		return ticks, cl.MaxRegisterBits(), st, gws, fmt.Errorf("no quiet within %d ticks", cfg.MaxTicks)
 	}
+	// The cluster must now discover its own silence in-band — the
+	// convergecast over the constructed tree, with the faults still on.
+	if err := checkQuietAnnounce(cl, cfg); err != nil {
+		return ticks, cl.MaxRegisterBits(), cl.Stats(), gw.Stats(), err
+	}
 
 	// Live-membership churn: drive a validated schedule through the
 	// cluster's own mutators — actors spawn and retire mid-run, neighbor
@@ -323,6 +357,12 @@ func runOneCluster(a Algo, ng NamedGraph, prof ClusterProfile, cfg ClusterConfig
 		if !quiet {
 			return ticks, cl.MaxRegisterBits(), st, gws,
 				fmt.Errorf("no re-stabilization after churn within %d ticks", cfg.MaxTicks)
+		}
+		// Churn bumped write epochs cluster-wide through the remaps, so
+		// any pre-churn announcement is retracted; the reshaped cluster
+		// must re-announce for its new membership.
+		if err := checkQuietAnnounce(cl, cfg); err != nil {
+			return ticks, cl.MaxRegisterBits(), st, gws, fmt.Errorf("after churn: %w", err)
 		}
 	}
 
@@ -387,6 +427,35 @@ func runOneCluster(a Algo, ng NamedGraph, prof ClusterProfile, cfg ClusterConfig
 		return ticks, registerBits, st, gws, fmt.Errorf("post-quiet batch: %d of %d delivered over a clean transport",
 			gws.Delivered-mid.Delivered, batch)
 	}
+
+	// Detector coda: one register write anywhere must retract the
+	// standing announcement (the epoch bump dominates every stale
+	// claim), and the re-stabilized cluster must re-announce at a
+	// strictly higher epoch — the self-stabilization story of §13.
+	epoch := cl.QuietEpoch()
+	cl.Corrupt(1, rng)
+	bound := quietAnnounceBound(cl, cfg)
+	retracted := false
+	for i := 0; i < bound; i++ {
+		cl.Tick()
+		if !cl.QuietAnnounced() {
+			retracted = true
+			break
+		}
+	}
+	if !retracted {
+		return ticks, registerBits, st, gws, fmt.Errorf("announcement not retracted within %d ticks of a register write", bound)
+	}
+	if _, q := cl.RunUntilQuiet(cfg.MaxTicks, cfg.QuietTicks); !q {
+		return ticks, registerBits, st, gws, fmt.Errorf("no requiet after detector coda within %d ticks", cfg.MaxTicks)
+	}
+	if err := checkQuietAnnounce(cl, cfg); err != nil {
+		return ticks, registerBits, st, gws, fmt.Errorf("after retraction: %w", err)
+	}
+	if again := cl.QuietEpoch(); again <= epoch {
+		return ticks, registerBits, st, gws, fmt.Errorf("re-announced at epoch %d, want above %d", again, epoch)
+	}
+	st = cl.Stats()
 	return ticks, registerBits, st, gws, nil
 }
 

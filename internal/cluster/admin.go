@@ -178,6 +178,23 @@ func (a nodeAdmin) AdminTree() ops.TreeInfo {
 	return info
 }
 
+// AdminQuiet implements ops.NodeAdmin: the node's view of the in-band
+// termination detector (DESIGN.md §13).
+func (a nodeAdmin) AdminQuiet() ops.QuietInfo {
+	nd := a.nd
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return ops.QuietInfo{
+		Node:         nd.id,
+		Epoch:        nd.qEpoch,
+		LocalQuiet:   nd.self != nil && nd.localTick-nd.qLastAct >= uint64(a.c.cfg.QuietWindow),
+		SubtreeQuiet: nd.qOut.Sub,
+		Covered:      nd.qOut.Count,
+		Root:         nd.self != nil && ParentOf(nd.self) == trees.None,
+		Announced:    nd.qOut.Ann,
+	}
+}
+
 // AdminStats implements ops.NodeAdmin.
 func (a nodeAdmin) AdminStats() ops.StatsInfo {
 	s := a.nd.Stats()
@@ -304,7 +321,7 @@ func (a *AdminServers) remove(id graph.NodeID) {
 }
 
 // ServeAdmin binds one loopback admin HTTP socket per live node, each
-// serving that node's getself/getpeers/gettree/getstats plus the
+// serving that node's getself/getpeers/gettree/getstats/getquiet plus the
 // cluster's /metrics. Peer entries carry their admin addresses, so a
 // crawler seeded with any single socket can walk the whole cluster.
 // The deployment is bound to the cluster's membership: later joins and

@@ -83,6 +83,13 @@ type Config struct {
 	// receiver that lost the anchor waits before the stream self-heals
 	// even without its resync request getting through.
 	FullEvery int
+	// QuietWindow is the termination detector's local-quiet window in
+	// ticks: a node claims its own silence only after this many ticks
+	// without a register write or membership event. The default is
+	// StalenessTTL — comfortably above the freshness-pull repair horizon
+	// (~1.5·BackoffCap), so a lost frame's delayed repair write cannot
+	// race an already-launched quiet claim (DESIGN.md §13).
+	QuietWindow int
 	// DisableDelta reverts to classic full-state heartbeat frames —
 	// the pre-delta wire behavior, kept for baselines and bisection.
 	DisableDelta bool
@@ -119,6 +126,9 @@ func (c *Config) fill() {
 	}
 	if c.FullEvery == 0 {
 		c.FullEvery = 16
+	}
+	if c.QuietWindow == 0 {
+		c.QuietWindow = c.StalenessTTL
 	}
 }
 
@@ -210,6 +220,21 @@ type Cluster struct {
 	joins, leaves, crashes atomic.Int64
 	departed               nodeCounters
 
+	// Termination-detector surface (quiet.go). annRoots is the set of
+	// currently announcing tree roots with their announced epochs;
+	// announced/annEpoch are its atomic projection for gauges and
+	// QuietAnnounced; quietCh carries aggregate transitions. regWrites
+	// and lastWriteNS mirror every register write (δ-driven and
+	// out-of-band) into one counter and one wall-clock stamp, so the
+	// Serve-mode gateway poller and quiet gauge need no O(n) sweeps.
+	annMu       sync.Mutex
+	annRoots    map[graph.NodeID]uint64
+	announced   atomic.Bool
+	annEpoch    atomic.Uint64
+	quietCh     chan QuietEvent
+	regWrites   atomic.Int64
+	lastWriteNS atomic.Int64
+
 	// metrics is the cluster's operational registry: counters and
 	// gauges over the hot paths, scraped through the admin plane's
 	// /metrics endpoint or snapshot directly.
@@ -245,8 +270,11 @@ func New(g *graph.Graph, alg runtime.Algorithm, tr Transport, cfg Config) (*Clus
 	d := g.Dense()
 	st, _ := tr.(Stepper)
 	c := &Cluster{g: g, d: d, alg: alg, codec: codec, tr: tr, step: st, cfg: cfg,
-		net: net, seqFloor: make(map[graph.NodeID]uint64)}
+		net: net, seqFloor: make(map[graph.NodeID]uint64),
+		annRoots: make(map[graph.NodeID]uint64),
+		quietCh:  make(chan QuietEvent, 16)}
 	c.cfg.fill()
+	c.lastWriteNS.Store(time.Now().UnixNano())
 	for i := 0; i < d.Slots(); i++ {
 		if !d.LiveAt(i) {
 			return nil, fmt.Errorf("cluster: graph has vacated dense slots; coalesce before clustering")
@@ -271,6 +299,9 @@ func (c *Cluster) newMember(id graph.NodeID, i int, ep Endpoint) *Node {
 	nd.tickCh = make(chan uint64, 1)
 	nd.stop = make(chan struct{})
 	nd.stopped = make(chan struct{})
+	nd.noteAnn = c.noteAnnounce
+	nd.writeCount = &c.regWrites
+	nd.writeClock = &c.lastWriteNS
 	return nd
 }
 
@@ -342,13 +373,14 @@ func (c *Cluster) registerMetrics() {
 		func() float64 { return float64(c.tick.Load()) })
 	reg.GaugeFunc("ss_cluster_changed_last_tick", "Registers that changed in the last lockstep tick (0 = converging toward silence).", nil,
 		func() float64 { return float64(c.changedLast.Load()) })
-	reg.GaugeFunc("ss_cluster_quiet_ticks", "Consecutive ticks without a register change.", nil,
+	reg.GaugeFunc("ss_cluster_quiet_ticks", "Consecutive ticks without a register change (wall-clock derived in Serve mode).", nil,
+		c.quietTicksGauge)
+	reg.GaugeFunc("ss_cluster_detected_quiet", "In-band termination detector: 1 while a tree root announces cluster-wide quiet.", nil,
 		func() float64 {
-			t, last := c.tick.Load(), c.lastChangeTick.Load()
-			if t < last {
-				return 0
+			if c.announced.Load() {
+				return 1
 			}
-			return float64(t - last)
+			return 0
 		})
 	c.ticksToQuiet = reg.Gauge("ss_cluster_ticks_to_quiet",
 		"Ticks the last RunUntilQuiet consumed to reach quiet (0 until reached).", nil)
@@ -607,9 +639,22 @@ func (c *Cluster) ChangedLastTick() int { return int(c.changedLast.Load()) }
 // keep-alive heartbeats themselves never stop — silence means registers
 // and caches stop changing, not that links go dark.
 func (c *Cluster) RunUntilQuiet(maxTicks, quiet int) (int, bool) {
-	if quiet <= c.cfg.HeartbeatEvery {
-		quiet = c.cfg.HeartbeatEvery + 1
+	// Clamp the window against the effective keep-alive cadence: with
+	// back-off enabled a quiet sender's gap legitimately grows to
+	// BackoffCap, so a window at or under it could declare quiet while a
+	// lost-keep-alive repair (staleness expiry → rewrite) is still
+	// pending between two backed-off frames.
+	eff := c.cfg.HeartbeatEvery
+	if !c.cfg.DisableBackoff {
+		eff = c.cfg.BackoffCap
 	}
+	if quiet <= eff {
+		quiet = eff + 1
+	}
+	// A new run invalidates the previous run's convergence measurement:
+	// hold 0 until (and unless) this run reaches quiet, so a scrape
+	// during re-stabilization never reports the old run's value.
+	c.ticksToQuiet.Set(0)
 	start := c.tick.Load()
 	for c.tick.Load()-start < uint64(maxTicks) {
 		c.Tick()
@@ -655,16 +700,17 @@ func (c *Cluster) Serve(ctx context.Context) error {
 			defer ticker.Stop()
 			// The labeling only moves when some register did: a quiet
 			// cluster skips the O(n) register sweep instead of re-reading
-			// every node per tick forever. RegisterWrites is monotone, so
-			// polling it is a safe progress signal (stateDirty is not — it
-			// belongs to the lockstep coordinator).
-			lastWrites := -1
+			// every node per tick forever. regWrites is the cluster-level
+			// write counter every setState bumps — monotone, one atomic
+			// load per poll, where the per-node Stats() sweep it replaced
+			// was O(n) under memMu even when nothing moved.
+			lastWrites := int64(-1)
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					if w := c.Stats().RegisterWrites; w != lastWrites {
+					if w := c.regWrites.Load(); w != lastWrites {
 						lastWrites = w
 						c.memMu.RLock()
 						c.gw.refresh()

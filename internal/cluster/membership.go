@@ -157,6 +157,10 @@ func (c *Cluster) retire(id graph.NodeID, goodbye bool) error {
 	// see monotone counters decrease), so they fold into the departed
 	// aggregate before the node is dropped.
 	c.departed.fold(&nd.stats)
+	// A departing announcing root takes its announcement with it: the
+	// remaining nodes' epochs bump on the remap below, so any survivor
+	// root re-announces only after a fresh convergecast.
+	c.noteAnnounce(id, 0, false)
 	// Tear down the wire presence: directory and queue entries first
 	// (flushing the goodbye still buffered on lockstep transports), then
 	// the socket.

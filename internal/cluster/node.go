@@ -4,6 +4,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"silentspan/internal/bits"
 	"silentspan/internal/graph"
@@ -98,6 +99,30 @@ type Node struct {
 	changedSince  bool // register changed since the last broadcast
 	gap           uint64
 	nextHB        uint64 // local tick the next keep-alive is due
+
+	// Termination-detector state (quiet.go). qRx caches the last
+	// accepted quiet report per neighbor, parallel to neighbors. The
+	// scalar fields are the node's own detector round: its write epoch
+	// (a Lamport clock over register writes and membership events), the
+	// local tick of its last activity, the report its frames carry, and
+	// whether it is a root with an active announcement. All are guarded
+	// by mu: out-of-band writes and the admin plane touch them from
+	// outside the actor goroutine.
+	qRx      []wire.QuietReport
+	qWrote   bool   // register written since the last detector round
+	qEpoch   uint64 // write epoch; joins to the max epoch heard
+	qLastAct uint64 // local tick of the last write or eviction
+	qOut     wire.QuietReport
+	qDirty   bool   // report transition pending an urgent broadcast
+	qAnnRoot bool   // this node is a root with an active announcement
+	qAnnEp   uint64 // epoch of the root's active announcement
+
+	// noteAnn reports root-announcement transitions to the cluster;
+	// writeCount and writeClock mirror every register write into
+	// cluster-level aggregates. All nil for standalone nodes.
+	noteAnn    func(root graph.NodeID, epoch uint64, active bool)
+	writeCount *atomic.Int64
+	writeClock *atomic.Int64
 
 	enc      bits.Builder
 	decBuf   []uint64 // reusable frame-decode scratch
@@ -195,6 +220,7 @@ func newNode(id graph.NodeID, slot, n int, neighbors []graph.NodeID, weights []g
 		anchorSeqRx: make([]uint64, deg),
 		lastResync:  make([]uint64, deg),
 		peerAdmin:   make([]string, deg),
+		qRx:         make([]wire.QuietReport, deg),
 	}
 }
 
@@ -224,6 +250,7 @@ func (nd *Node) applyRemapLocked(r *nodeRemap) {
 	anchorSeqRx := make([]uint64, deg)
 	lastResync := make([]uint64, deg)
 	peerAdmin := make([]string, deg)
+	qRx := make([]wire.QuietReport, deg)
 	for j, id := range r.neighbors {
 		if slices.Contains(r.reset, id) {
 			continue
@@ -237,6 +264,7 @@ func (nd *Node) applyRemapLocked(r *nodeRemap) {
 			anchorSeqRx[j] = nd.anchorSeqRx[k]
 			lastResync[j] = nd.lastResync[k]
 			peerAdmin[j] = nd.peerAdmin[k]
+			qRx[j] = nd.qRx[k]
 		}
 	}
 	nd.n = r.n
@@ -244,6 +272,13 @@ func (nd *Node) applyRemapLocked(r *nodeRemap) {
 	nd.cache, nd.lastSeen, nd.lastSeq, nd.wasStale = cache, lastSeen, lastSeq, wasStale
 	nd.peers = make([]runtime.State, deg)
 	nd.anchorRx, nd.anchorSeqRx, nd.lastResync, nd.peerAdmin = anchorRx, anchorSeqRx, lastResync, peerAdmin
+	nd.qRx = qRx
+	// A membership event is activity: bump the epoch so any quiet claim
+	// built over the old topology is retracted, and restart the local
+	// quiet window.
+	nd.qEpoch++
+	nd.qLastAct = nd.localTick
+	nd.qDirty = true
 }
 
 // applyPendingLocked applies a queued remap, if any. Caller holds nd.mu.
@@ -271,7 +306,14 @@ func (nd *Node) setState(s runtime.State) {
 	nd.mu.Lock()
 	nd.self = s
 	nd.changedSince = true
+	nd.qWrote = true
 	nd.mu.Unlock()
+	if nd.writeCount != nil {
+		nd.writeCount.Add(1)
+	}
+	if nd.writeClock != nil {
+		nd.writeClock.Store(time.Now().UnixNano())
+	}
 }
 
 // Inject parks a packet at this node (the gateway's entry point).
@@ -315,6 +357,7 @@ func (nd *Node) tick(now uint64, cfg *Config, gw *Gateway) {
 		nd.ingest(data, now, cfg, gw)
 	}
 	nd.step(now, cfg)
+	nd.updateQuiet(now, cfg)
 	if gw != nil {
 		nd.pump(now, cfg, gw)
 	}
@@ -331,11 +374,15 @@ func (nd *Node) tick(now uint64, cfg *Config, gw *Gateway) {
 		nd.advertPending = false
 		nd.sendAdvert()
 	}
+	// Detector-report transitions (subtree-quiet flips, announcement
+	// fire/retract) count as urgent like register changes: the
+	// convergecast and the flood-down travel at change speed, not at the
+	// backed-off keep-alive cadence.
 	nd.mu.Lock()
-	changed := nd.changedSince
+	urgent := nd.changedSince || nd.qDirty
 	nd.mu.Unlock()
-	if nd.resyncPending || (changed && now-nd.lastHB >= uint64(cfg.MinGap)) || now >= nd.nextHB {
-		nd.sendHB(now, changed, cfg)
+	if nd.resyncPending || (urgent && now-nd.lastHB >= uint64(cfg.MinGap)) || now >= nd.nextHB {
+		nd.sendHB(now, urgent, cfg)
 	}
 }
 
@@ -405,6 +452,7 @@ func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
 		nd.lastSeq[j] = f.Seq
 		nd.cache[j] = st
 		nd.lastSeen[j] = now
+		nd.qRx[j] = f.Q
 		if anchor {
 			nd.anchorRx[j] = st
 			nd.anchorSeqRx[j] = f.Seq
@@ -461,6 +509,9 @@ func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
 		nd.anchorSeqRx[j] = 0
 		nd.lastResync[j] = 0
 		nd.peerAdmin[j] = f.AdminAddr
+		nd.qRx[j] = wire.QuietReport{}
+		nd.qEpoch++
+		nd.qLastAct = now
 		nd.mu.Unlock()
 		nd.stats.NeighborEvictions.Add(1)
 	case wire.KindLeave:
@@ -488,6 +539,9 @@ func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
 		nd.anchorSeqRx[j] = 0
 		nd.lastResync[j] = 0
 		nd.peerAdmin[j] = ""
+		nd.qRx[j] = wire.QuietReport{}
+		nd.qEpoch++
+		nd.qLastAct = now
 		nd.mu.Unlock()
 		nd.stats.NeighborEvictions.Add(1)
 	case wire.KindData:
@@ -621,8 +675,8 @@ func (nd *Node) pump(now uint64, cfg *Config, gw *Gateway) {
 // re-anchor request) and broadcast. The back-off cap is derived from
 // StalenessTTL in Config.fill so that even consecutive lost keep-alives
 // cannot push a peer's observed age past the TTL.
-func (nd *Node) sendHB(now uint64, changed bool, cfg *Config) {
-	if !changed && !nd.resyncPending && !cfg.DisableBackoff {
+func (nd *Node) sendHB(now uint64, urgent bool, cfg *Config) {
+	if !urgent && !nd.resyncPending && !cfg.DisableBackoff {
 		nd.gap = min(nd.gap*2, uint64(cfg.BackoffCap))
 	} else {
 		nd.gap = uint64(cfg.HeartbeatEvery)
@@ -635,6 +689,7 @@ func (nd *Node) sendHB(now uint64, changed bool, cfg *Config) {
 	nd.lastHB = now
 	nd.mu.Lock()
 	nd.changedSince = false
+	nd.qDirty = false
 	nd.mu.Unlock()
 	nd.broadcast(now, cfg)
 }
@@ -649,7 +704,7 @@ func (nd *Node) sendHB(now uint64, changed bool, cfg *Config) {
 func (nd *Node) broadcast(now uint64, cfg *Config) {
 	nd.seq++
 	f := wire.Frame{Kind: wire.KindHeartbeat, Alg: nd.codec.Code(),
-		Src: nd.id, Seq: nd.seq, State: nd.self}
+		Src: nd.id, Seq: nd.seq, State: nd.self, Q: nd.qOut}
 	if !cfg.DisableDelta {
 		f.Kind = wire.KindDelta
 		full := nd.resyncPending || nd.anchorState == nil || nd.self == nil ||

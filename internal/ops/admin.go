@@ -99,6 +99,26 @@ type StatsInfo struct {
 	PacketsDropped    int64        `json:"packets_dropped"`
 }
 
+// QuietInfo is the getquiet response: the node's view of the in-band
+// termination detector.
+type QuietInfo struct {
+	Node graph.NodeID `json:"node"`
+	// Epoch is the node's write epoch — a Lamport clock over register
+	// writes and membership events, joined to the max epoch heard.
+	Epoch uint64 `json:"epoch"`
+	// LocalQuiet reports no local write for the configured quiet window.
+	LocalQuiet bool `json:"local_quiet"`
+	// SubtreeQuiet reports the node's whole subtree quiet at Epoch;
+	// Covered is the number of nodes that claim spans.
+	SubtreeQuiet bool   `json:"subtree_quiet"`
+	Covered      uint64 `json:"covered"`
+	// Root reports the node considers itself a tree root.
+	Root bool `json:"root"`
+	// Announced is the cluster-quiet epoch this node is announcing (as
+	// root) or forwarding down (as descendant); 0 = no announcement.
+	Announced uint64 `json:"announced_epoch"`
+}
+
 // NodeAdmin is one node's admin surface. Implementations must be safe
 // to call concurrently with the node's own protocol activity — the
 // whole point is observing a live cluster.
@@ -107,10 +127,11 @@ type NodeAdmin interface {
 	AdminPeers() PeersInfo
 	AdminTree() TreeInfo
 	AdminStats() StatsInfo
+	AdminQuiet() QuietInfo
 }
 
 // Server serves one node's admin API over a loopback HTTP socket:
-// /getself, /getpeers, /gettree, /getstats as JSON, and /metrics in
+// /getself, /getpeers, /gettree, /getstats, /getquiet as JSON, and /metrics in
 // Prometheus text format (the registry is shared across the cluster's
 // servers, so any node answers for the whole deployment's counters).
 type Server struct {
@@ -143,6 +164,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/getpeers", serveJSON(func() any { return s.admin.AdminPeers() }))
 	mux.Handle("/gettree", serveJSON(func() any { return s.admin.AdminTree() }))
 	mux.Handle("/getstats", serveJSON(func() any { return s.admin.AdminStats() }))
+	mux.Handle("/getquiet", serveJSON(func() any { return s.admin.AdminQuiet() }))
 	if s.reg != nil {
 		mux.Handle("/metrics", s.reg.Handler())
 	}
@@ -151,7 +173,7 @@ func (s *Server) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "silentspan admin: /getself /getpeers /gettree /getstats /metrics")
+		fmt.Fprintln(w, "silentspan admin: /getself /getpeers /gettree /getstats /getquiet /metrics")
 	})
 	return mux
 }

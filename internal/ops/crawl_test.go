@@ -52,6 +52,10 @@ func (f *fakeAdmin) AdminStats() StatsInfo {
 	return StatsInfo{Node: f.id, FramesSent: 4}
 }
 
+func (f *fakeAdmin) AdminQuiet() QuietInfo {
+	return QuietInfo{Node: f.id, Epoch: 7, LocalQuiet: true}
+}
+
 // star builds a hub over a star graph: node 1 is the root, nodes
 // 2..n its children.
 func star(n int) (*Hub, map[graph.NodeID]graph.NodeID) {
@@ -251,6 +255,8 @@ func TestAdminEndpointsJSON(t *testing.T) {
 			map[string]any{"node": 7.0, "parent": 1.0}},
 		{"/getstats", []string{"node", "frames_sent", "bytes_sent", "frames_recv", "rx_rejected", "heartbeats_applied", "register_writes", "staleness_expiries", "packets_forwarded", "packets_dropped"},
 			map[string]any{"node": 7.0, "frames_sent": 4.0}},
+		{"/getquiet", []string{"node", "epoch", "local_quiet", "subtree_quiet", "covered", "root", "announced_epoch"},
+			map[string]any{"node": 7.0, "epoch": 7.0, "local_quiet": true}},
 	}
 	for _, tc := range tests {
 		m := get(tc.path)

@@ -35,6 +35,7 @@ import (
 //	gamma(src)            sender identity (node IDs are positive)
 //	gamma(seq+1)          sender's heartbeat counter
 //	gamma(seq-baseSeq+1)  anchor distance; 0 ⇒ self-contained
+//	quiet report          termination-detector block (see quiet.go)
 //	if self-contained:    presence bit, then the full register
 //	                      (this frame BECOMES the receiver's anchor)
 //	else:                 codec delta: per-field changed mask, then
@@ -87,6 +88,9 @@ func encodeCompact(f Frame, c Codec, b *bits.Builder, dst []byte) ([]byte, error
 			return dst, fmt.Errorf("wire: delta base seq %d ahead of seq %d", f.BaseSeq, f.Seq)
 		}
 		b.AppendGamma(f.Seq - f.BaseSeq + 1)
+		// The quiet report precedes the register body so a receiver can
+		// read it even when the delta must be parked for ApplyDelta.
+		appendQuiet(b, f.Q)
 		if f.BaseSeq == f.Seq {
 			// Self-contained: the anchor frame.
 			b.AppendBit(f.State != nil)
@@ -166,6 +170,11 @@ func decodeCompact(c Codec, data []byte, scratch []uint64) (Frame, []uint64, err
 			return f, scratch, fmt.Errorf("%w: base %d before seq 0", ErrPayload, dist1-1)
 		}
 		f.BaseSeq = f.Seq - (dist1 - 1)
+		q, err := readQuiet(r)
+		if err != nil {
+			return f, scratch, fmt.Errorf("%w: quiet report: %v", ErrPayload, err)
+		}
+		f.Q = q
 		if f.BaseSeq == f.Seq {
 			present, err := r.ReadBit()
 			if err != nil {

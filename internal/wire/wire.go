@@ -113,6 +113,10 @@ type Frame struct {
 	// BaseSeq < Seq. Decode leaves it nil: the receiver supplies its own
 	// cached anchor to ApplyDelta.
 	Base runtime.State
+	// Q is the termination-detector report carried by heartbeat-class
+	// frames (KindHeartbeat, KindDelta): write epoch, subtree-quiet
+	// claim with coverage count, and the root's announced epoch.
+	Q QuietReport
 	// AdminAddr is an advert's ops-plane address (KindAdvert); empty
 	// when the advertiser runs no admin server.
 	AdminAddr string
@@ -134,6 +138,7 @@ func Encode(f Frame, c Codec, b *bits.Builder, dst []byte) ([]byte, error) {
 	var flags byte
 	switch f.Kind {
 	case KindHeartbeat:
+		appendQuiet(b, f.Q)
 		if f.State != nil {
 			flags |= 1
 			if err := c.AppendState(b, f.State); err != nil {
@@ -219,6 +224,11 @@ func DecodeBuf(c Codec, data []byte, scratch []uint64) (Frame, []uint64, error) 
 	r := bits.NewReader(payload)
 	switch f.Kind {
 	case KindHeartbeat:
+		q, err := readQuiet(r)
+		if err != nil {
+			return f, scratch, fmt.Errorf("%w: quiet report: %v", ErrPayload, err)
+		}
+		f.Q = q
 		if flags&1 != 0 {
 			s, err := c.DecodeState(r)
 			if err != nil {
