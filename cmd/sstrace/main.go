@@ -1,0 +1,117 @@
+// Command sstrace reconstructs a running cluster's causal timeline
+// from its flight-recorder rings: crawl the admin plane hop-by-hop
+// from one seed address, fetch every node's /gettrace ring, and stitch
+// the rings into a single happens-before DAG (program order within
+// each ring, tx→rx edges across them). Point it at any node of an
+// `sstsim -serve -trace` run:
+//
+//	sstrace -addr 127.0.0.1:40001
+//	sstrace -addr 127.0.0.1:40001 -timeline
+//	sstrace -addr 127.0.0.1:40001 -out /tmp/trace.json
+//	sstrace -addr 127.0.0.1:40001 -check -expect-n 64 -ann-n 64
+//
+// With -check the two causal invariants run over the merged trace:
+// the latest quiet announcement must have subtree-quiet reports
+// covering its claimed node count in its causal past (historical
+// announcements may rest on departed members' rings, which a live
+// crawl cannot fetch), and every delivered packet must show a
+// contiguous hop chain from launch to delivery.
+// Any violation — or an -expect-n / -ann-n mismatch — exits nonzero.
+// -out writes the Chrome trace_event JSON (load in chrome://tracing
+// or Perfetto); -timeline prints the human-readable line-per-event
+// rendering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"silentspan/internal/ops"
+)
+
+func main() {
+	addr := flag.String("addr", "", "seed admin address (host:port) of any node; required")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout (the no-hang bound on partitioned clusters)")
+	timeline := flag.Bool("timeline", false, "print the merged trace as one human-readable line per event, in causal order")
+	out := flag.String("out", "", "write the merged trace as Chrome trace_event JSON to this file")
+	check := flag.Bool("check", false, "run the causal invariants (announce coverage, packet hop chains) and exit nonzero on violation")
+	expectN := flag.Int("expect-n", 0, "fail unless exactly this many rings merge (0 = no check)")
+	annN := flag.Int("ann-n", 0, "fail unless the causally latest announcement covers exactly this many nodes (0 = no check)")
+	flag.Parse()
+	if *addr == "" {
+		fatal(fmt.Errorf("-addr is required (any node's admin socket)"))
+	}
+
+	client := ops.NewHTTPClient(*timeout)
+	merged, rep, err := ops.MergeTracesAddr(client, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("merged %d rings from %d crawled nodes: %d events, %d frame edges, %d dropped\n",
+		merged.Rings, rep.Visited(), len(merged.Events), merged.FrameEdges, merged.Dropped)
+	for id, msg := range rep.Errors {
+		fmt.Printf("no trace from node %d: %s\n", id, msg)
+	}
+	if ann, ok := merged.LatestAnnounce(); ok {
+		fmt.Printf("latest announcement: node %d at epoch %d covering %d nodes\n", ann.Node, ann.Epoch, ann.Arg)
+	} else {
+		fmt.Println("no quiet announcement recorded yet")
+	}
+
+	if *timeline {
+		fmt.Print(merged.Timeline())
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, merged.ChromeTrace(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s (open in chrome://tracing or Perfetto)\n", *out)
+	}
+
+	failed := false
+	if *expectN > 0 && merged.Rings != *expectN {
+		fmt.Fprintf(os.Stderr, "sstrace: merged %d rings, expected %d\n", merged.Rings, *expectN)
+		failed = true
+	}
+	if *check {
+		if merged.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "sstrace: warning: %d events overwritten in the rings; the causal past may be incomplete (raise -trace-cap)\n", merged.Dropped)
+		}
+		// Latest announcement only: the admin plane serves live
+		// members' rings, so after churn a historical announcement's
+		// supporting reports may have departed with their nodes. The
+		// latest one is backed by current members and stays checkable
+		// from any crawl.
+		for _, v := range merged.CheckLatestAnnounceCoverage() {
+			fmt.Fprintln(os.Stderr, "sstrace: announce coverage:", v)
+			failed = true
+		}
+		for _, v := range merged.CheckPacketChains() {
+			fmt.Fprintln(os.Stderr, "sstrace: packet chain:", v)
+			failed = true
+		}
+		if !failed {
+			fmt.Println("causal invariants hold: every announcement earned, every delivery chained")
+		}
+	}
+	if *annN > 0 {
+		ann, ok := merged.LatestAnnounce()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "sstrace: no announcement in the merged trace")
+			failed = true
+		} else if ann.Arg != uint64(*annN) {
+			fmt.Fprintf(os.Stderr, "sstrace: latest announcement covers %d nodes, expected %d\n", ann.Arg, *annN)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sstrace:", err)
+	os.Exit(1)
+}

@@ -33,10 +33,13 @@
 // convergecast reaches the root, the cluster announces its own silence
 // (an "announce:" line, the ss_cluster_detected_quiet gauge, and every
 // node's /getquiet).
-// Crawl it with sscrawl, or curl any node's socket:
+// Crawl it with sscrawl, or curl any node's socket. Add -trace to arm
+// the per-node flight recorder (collect the causal timeline with
+// sstrace) and -pprof to expose net/http/pprof on its own socket:
 //
 //	sstsim -serve -alg spanning -graph random:64:0.1 \
-//	    -admin-dir /tmp/admin.txt -tree-out /tmp/tree.txt
+//	    -admin-dir /tmp/admin.txt -tree-out /tmp/tree.txt \
+//	    -trace -pprof 127.0.0.1:6060
 package main
 
 import (
@@ -44,6 +47,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -58,6 +63,7 @@ import (
 	"silentspan/internal/graph"
 	"silentspan/internal/mdst"
 	"silentspan/internal/mst"
+	"silentspan/internal/ops"
 	"silentspan/internal/routing"
 	"silentspan/internal/runtime"
 	"silentspan/internal/spanning"
@@ -90,6 +96,9 @@ func main() {
 	noBackoff := flag.Bool("no-backoff", false, "serve mode: keep-alive every heartbeat period even when quiet (baseline/bisection)")
 	churnKill := flag.Int("churn-kill", 0, "serve mode: once quiet, crash this many non-root nodes (connectivity-preserving), then rejoin the same ids after -churn-rejoin-after; tree-out and admin-dir are republished when quiet again")
 	churnRejoin := flag.Duration("churn-rejoin-after", 2*time.Second, "serve mode: how long the killed nodes stay dead before rejoining")
+	traceOn := flag.Bool("trace", false, "serve mode: arm the per-node flight recorder (collect with sstrace, or curl any node's /gettrace)")
+	traceCap := flag.Int("trace-cap", 8192, "serve mode: flight-recorder ring capacity in events per node")
+	pprofAddr := flag.String("pprof", "", "serve mode: also serve net/http/pprof on this address (host:port)")
 	flag.Parse()
 
 	g, err := parseGraph(*graphSpec, *seed)
@@ -132,7 +141,14 @@ func main() {
 			BackoffCap: *backoffCap, MinGap: *minGap, FullEvery: *fullEvery,
 			DisableDelta: *legacyWire, DisableBackoff: *noBackoff,
 		}
-		runServe(*algName, g, *seed, *adminDir, *treeOut, *serveFor, *churnKill, *churnRejoin, cfg)
+		sv := serveOpts{
+			adminDir: *adminDir, treeOut: *treeOut, serveFor: *serveFor,
+			churnKill: *churnKill, churnRejoin: *churnRejoin, pprofAddr: *pprofAddr,
+		}
+		if *traceOn {
+			sv.traceCap = *traceCap
+		}
+		runServe(*algName, g, *seed, sv, cfg)
 		return
 	}
 
@@ -180,6 +196,14 @@ func extractAlwaysOn(algName string, net *runtime.Network) (*trees.Tree, error) 
 	return switching.ExtractTree(net, switching.RegOf)
 }
 
+// serveOpts bundles the serve-mode knobs.
+type serveOpts struct {
+	adminDir, treeOut     string
+	serveFor, churnRejoin time.Duration
+	churnKill, traceCap   int
+	pprofAddr             string
+}
+
 // runServe is the operations-plane demo: deploy the cluster
 // free-running over real loopback UDP sockets, bind one admin HTTP
 // socket per node, and serve until signalled (or -serve-for elapses).
@@ -190,8 +214,12 @@ func extractAlwaysOn(algName string, net *runtime.Network) (*trees.Tree, error) 
 // many members mid-flight, gets them back after -churn-rejoin-after,
 // and must re-stabilize — the published artifacts describe the
 // post-churn cluster, so the external certification covers live
-// membership, not just the boot path.
-func runServe(algName string, g *graph.Graph, seed int64, adminDir, treeOut string, serveFor time.Duration, churnKill int, churnRejoin time.Duration, cfg cluster.Config) {
+// membership, not just the boot path. With -trace every node records
+// into a flight-recorder ring that sstrace (or /gettrace) collects
+// into the cluster-wide causal timeline.
+func runServe(algName string, g *graph.Graph, seed int64, sv serveOpts, cfg cluster.Config) {
+	adminDir, treeOut := sv.adminDir, sv.treeOut
+	serveFor, churnKill, churnRejoin := sv.serveFor, sv.churnKill, sv.churnRejoin
 	alg := alwaysOn(algName, "-serve")
 	rng := rand.New(rand.NewSource(seed))
 	tr := cluster.NewUDPTransport()
@@ -199,6 +227,21 @@ func runServe(algName string, g *graph.Graph, seed int64, adminDir, treeOut stri
 	cl, err := cluster.New(g, alg, tr, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	ops.RegisterGoCollectors(cl.Metrics())
+	if sv.traceCap > 0 {
+		cl.EnableFlightRecorder(sv.traceCap)
+		fmt.Printf("flight recorder armed: %d-event rings (collect with sstrace)\n", sv.traceCap)
+	}
+	if sv.pprofAddr != "" {
+		psrv := &http.Server{Addr: sv.pprofAddr, Handler: ops.PprofHandler()}
+		ln, err := net.Listen("tcp", sv.pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof listener: %w", err))
+		}
+		defer psrv.Close()
+		go psrv.Serve(ln)
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", ln.Addr())
 	}
 	cl.InitArbitrary(rng)
 	admin, err := cl.ServeAdmin()

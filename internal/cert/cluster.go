@@ -25,8 +25,15 @@ import (
 	"silentspan/internal/routing"
 	"silentspan/internal/runtime"
 	"silentspan/internal/switching"
+	"silentspan/internal/trace"
 	"silentspan/internal/trees"
 )
+
+// flightTraceCap sizes the certification campaigns' per-node event
+// rings. 1<<15 events comfortably holds the full history of every
+// campaign-sized run, so the merged causal past is complete and the
+// trace invariants below are exact rather than advisory.
+const flightTraceCap = 1 << 15
 
 // ClusterProfile names one transport fault profile of the campaign.
 type ClusterProfile struct {
@@ -315,6 +322,10 @@ func runOneCluster(a Algo, ng NamedGraph, prof ClusterProfile, cfg ClusterConfig
 		return 0, 0, st, gws, err
 	}
 	defer cl.Stop()
+	// Flight recorder on for every certified run: the causal invariants
+	// at the end of the battery read the rings of the whole history,
+	// departed members included.
+	cl.EnableFlightRecorder(flightTraceCap)
 	gw := cluster.NewGateway(cl)
 	if err := init(cl, rng); err != nil {
 		return 0, 0, st, gws, err
@@ -455,8 +466,50 @@ func runOneCluster(a Algo, ng NamedGraph, prof ClusterProfile, cfg ClusterConfig
 	if again := cl.QuietEpoch(); again <= epoch {
 		return ticks, registerBits, st, gws, fmt.Errorf("re-announced at epoch %d, want above %d", again, epoch)
 	}
+
+	// Trace invariants: the flight recorder's merged happens-before DAG
+	// must certify — causally, not just by sampled state — that every
+	// announcement in the run's history was earned and every delivered
+	// packet hopped a contiguous chain.
+	if err := checkFlightTrace(cl); err != nil {
+		return ticks, registerBits, st, gws, fmt.Errorf("trace: %w", err)
+	}
 	st = cl.Stats()
 	return ticks, registerBits, st, gws, nil
+}
+
+// checkFlightTrace merges every flight-recorder ring (departed members
+// included) and certifies the two causal invariants over the entire
+// recorded history: every quiet announcement has subtree-quiet reports
+// covering its claimed count inside its causal past, and every
+// delivered packet has a contiguous possession chain from launch to
+// delivery. It runs after the detector coda, so the causally latest
+// announcement must also cover the current membership exactly.
+func checkFlightTrace(cl *cluster.Cluster) error {
+	merged := trace.Merge(cl.FlightTraces())
+	if merged.Rings == 0 {
+		return fmt.Errorf("flight recorder produced no rings")
+	}
+	if merged.Dropped > 0 {
+		// Wrapped rings make the causal past incomplete by design and the
+		// invariants would false-positive; campaign-sized runs must never
+		// wrap a flightTraceCap ring, so this is a sizing bug, not a skip.
+		return fmt.Errorf("flight rings wrapped (%d events dropped): raise flightTraceCap", merged.Dropped)
+	}
+	if viol := merged.CheckAnnounceCoverage(); len(viol) != 0 {
+		return fmt.Errorf("announce coverage: %s", strings.Join(viol, "; "))
+	}
+	if viol := merged.CheckPacketChains(); len(viol) != 0 {
+		return fmt.Errorf("packet chains: %s", strings.Join(viol, "; "))
+	}
+	ann, ok := merged.LatestAnnounce()
+	if !ok {
+		return fmt.Errorf("no announce event recorded")
+	}
+	if ann.Arg != uint64(cl.Nodes()) {
+		return fmt.Errorf("latest announce covers %d nodes, want %d", ann.Arg, cl.Nodes())
+	}
+	return nil
 }
 
 // driveClusterChurn replays a validated churn schedule through the

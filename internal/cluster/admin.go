@@ -11,6 +11,7 @@ import (
 	"silentspan/internal/runtime"
 	"silentspan/internal/spanning"
 	"silentspan/internal/switching"
+	"silentspan/internal/trace"
 	"silentspan/internal/trees"
 )
 
@@ -193,6 +194,21 @@ func (a nodeAdmin) AdminQuiet() ops.QuietInfo {
 		Root:         nd.self != nil && ParentOf(nd.self) == trees.None,
 		Announced:    nd.qOut.Ann,
 	}
+}
+
+// AdminTrace implements ops.NodeAdmin: the node's flight-recorder ring
+// (empty with the recorder disarmed). Snapshot locks only the ring, so
+// the actor never stalls behind a trace collection.
+func (a nodeAdmin) AdminTrace() ops.TraceInfo {
+	info := ops.TraceInfo{Node: a.nd.id, Events: []trace.Event{}}
+	r := a.nd.ring.Load()
+	if r == nil {
+		return info
+	}
+	info.Enabled = true
+	info.Capacity = r.Cap()
+	info.Events, info.Dropped = r.Snapshot(info.Events)
+	return info
 }
 
 // AdminStats implements ops.NodeAdmin.

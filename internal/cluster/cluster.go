@@ -46,6 +46,7 @@ import (
 	"silentspan/internal/graph"
 	"silentspan/internal/ops"
 	"silentspan/internal/runtime"
+	"silentspan/internal/trace"
 	"silentspan/internal/wire"
 )
 
@@ -246,6 +247,12 @@ type Cluster struct {
 	// trace, when enabled, folds every register change into a running
 	// hash — the determinism witness.
 	trace hash.Hash64
+
+	// Flight-recorder surface (trace.go): flightCap > 0 arms per-node
+	// rings (joiners get one on admit); departedTr retains retired
+	// nodes' final rings, bounded by departedTraceCap. Both under memMu.
+	flightCap  int
+	departedTr []trace.NodeTrace
 }
 
 // New builds a cluster over g running alg, opening one endpoint per

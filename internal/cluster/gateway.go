@@ -187,6 +187,9 @@ func (gw *Gateway) Launch(pairs []routing.Pair) {
 		gw.stats.Launched++
 		gw.mu.Unlock()
 		if p.Src == p.Dst {
+			if nd := gw.c.Node(p.Src); nd != nil {
+				nd.recordPacketSelf(pkt)
+			}
 			gw.deliver(pkt)
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"silentspan/internal/graph"
+	"silentspan/internal/trace"
 	"silentspan/internal/wire"
 )
 
@@ -91,6 +92,10 @@ func (c *Cluster) admit(id graph.NodeID, ep Endpoint) {
 	nd.resyncPending = true
 	nd.hbCadence = c.hbCadence
 	nd.frameBytes = c.frameBytes
+	if c.flightCap > 0 {
+		nd.ring.Store(trace.NewRing(c.flightCap))
+		nd.recordEpoch(trace.Admit, trace.ClassNone, 0, 0, 0, 0, 0)
+	}
 	c.nodes[slot] = nd
 	if c.admin != nil {
 		c.admin.add(c, nd)
@@ -157,6 +162,22 @@ func (c *Cluster) retire(id graph.NodeID, goodbye bool) error {
 	// see monotone counters decrease), so they fold into the departed
 	// aggregate before the node is dropped.
 	c.departed.fold(&nd.stats)
+	// The flight recorder follows the same rule: the retirement is the
+	// ring's final entry, then the ring moves to the departed list so
+	// trace merges keep the leaver's causal history. The actor is
+	// parked, so its tick and epoch are safe to read directly.
+	if r := nd.ring.Load(); r != nil {
+		coop := uint64(0)
+		if goodbye {
+			coop = 1
+		}
+		nd.recordEpoch(trace.Retire, trace.ClassNone, 0, 0, coop, nd.localTick, nd.qEpoch)
+		evs, dropped := r.Snapshot(nil)
+		c.departedTr = append(c.departedTr, trace.NodeTrace{Node: nd.id, Dropped: dropped, Events: evs})
+		if len(c.departedTr) > departedTraceCap {
+			c.departedTr = c.departedTr[len(c.departedTr)-departedTraceCap:]
+		}
+	}
 	// A departing announcing root takes its announcement with it: the
 	// remaining nodes' epochs bump on the remap below, so any survivor
 	// root re-announces only after a fresh convergecast.
@@ -196,6 +217,7 @@ func (c *Cluster) sendGoodbye(nd *Node) {
 		return // a goodbye carries no state; encode cannot fail in practice
 	}
 	nd.ep.Broadcast(nd.neighbors, data)
+	nd.record(trace.FrameTx, trace.ClassLeave, 0, nd.seq, 0, nd.localTick)
 	nd.stats.FramesSent.Add(int64(len(nd.neighbors)))
 	nd.stats.BytesSent.Add(int64(len(nd.neighbors) * len(data)))
 	if nd.frameBytes != nil {

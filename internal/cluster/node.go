@@ -10,6 +10,7 @@ import (
 	"silentspan/internal/graph"
 	"silentspan/internal/ops"
 	"silentspan/internal/runtime"
+	"silentspan/internal/trace"
 	"silentspan/internal/wire"
 )
 
@@ -134,6 +135,15 @@ type Node struct {
 	// without a metrics registry.
 	hbCadence  *ops.Histogram
 	frameBytes *ops.Histogram
+
+	// ring is the causal flight recorder (trace.go in this package,
+	// DESIGN.md §14) — nil until EnableFlightRecorder arms it. Behind an
+	// atomic pointer so arming mid-Serve needs no actor coordination and
+	// the disabled hook path is one load-and-branch. epochMirror shadows
+	// qEpoch for hooks that record outside nd.mu; it is written at every
+	// qEpoch write site.
+	ring        atomic.Pointer[trace.Ring]
+	epochMirror atomic.Uint64
 }
 
 // NodeStats is a snapshot of one node's transport-visible activity.
@@ -277,6 +287,7 @@ func (nd *Node) applyRemapLocked(r *nodeRemap) {
 	// built over the old topology is retracted, and restart the local
 	// quiet window.
 	nd.qEpoch++
+	nd.epochMirror.Store(nd.qEpoch)
 	nd.qLastAct = nd.localTick
 	nd.qDirty = true
 }
@@ -307,6 +318,7 @@ func (nd *Node) setState(s runtime.State) {
 	nd.self = s
 	nd.changedSince = true
 	nd.qWrote = true
+	nd.recordEpoch(trace.RegWrite, trace.ClassNone, 0, 0, 0, nd.localTick, nd.qEpoch)
 	nd.mu.Unlock()
 	if nd.writeCount != nil {
 		nd.writeCount.Add(1)
@@ -321,6 +333,7 @@ func (nd *Node) Inject(p wire.Packet) {
 	nd.mu.Lock()
 	nd.dataQ = append(nd.dataQ, p)
 	nd.heldSince = append(nd.heldSince, nd.localTick)
+	nd.recordEpoch(trace.PacketLaunch, trace.ClassData, 0, p.ID, uint64(p.Hops), nd.localTick, nd.qEpoch)
 	nd.mu.Unlock()
 }
 
@@ -459,6 +472,7 @@ func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
 		}
 		nd.mu.Unlock()
 		nd.stats.HeartbeatsApplied.Add(1)
+		nd.record(trace.FrameRx, trace.ClassHeartbeat, f.Src, f.Seq, 0, now)
 	case wire.KindResync:
 		if f.Alg != nd.codec.Code() {
 			nd.stats.RxRejected.Add(1)
@@ -469,6 +483,7 @@ func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
 			return
 		}
 		nd.resyncPending = true
+		nd.record(trace.FrameRx, trace.ClassResync, f.Src, f.Seq, 0, now)
 	case wire.KindAdvert:
 		if f.Alg != nd.codec.Code() {
 			nd.stats.RxRejected.Add(1)
@@ -511,9 +526,11 @@ func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
 		nd.peerAdmin[j] = f.AdminAddr
 		nd.qRx[j] = wire.QuietReport{}
 		nd.qEpoch++
+		nd.epochMirror.Store(nd.qEpoch)
 		nd.qLastAct = now
 		nd.mu.Unlock()
 		nd.stats.NeighborEvictions.Add(1)
+		nd.record(trace.FrameRx, trace.ClassAdvert, f.Src, f.Seq, 0, now)
 	case wire.KindLeave:
 		if f.Alg != nd.codec.Code() {
 			nd.stats.RxRejected.Add(1)
@@ -541,15 +558,21 @@ func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
 		nd.peerAdmin[j] = ""
 		nd.qRx[j] = wire.QuietReport{}
 		nd.qEpoch++
+		nd.epochMirror.Store(nd.qEpoch)
 		nd.qLastAct = now
 		nd.mu.Unlock()
 		nd.stats.NeighborEvictions.Add(1)
+		nd.record(trace.FrameRx, trace.ClassLeave, f.Src, f.Seq, 0, now)
 	case wire.KindData:
 		if gw == nil {
 			nd.stats.RxRejected.Add(1)
 			return
 		}
 		if f.Data.Dst == nd.id {
+			// Recorded whether or not this copy wins the gateway's
+			// single-shot resolution: the ring holds local truth, and the
+			// chain check tolerates duplicate delivery events.
+			nd.record(trace.PacketDeliver, trace.ClassData, f.Src, f.Data.ID, uint64(f.Data.Hops), now)
 			gw.deliver(f.Data)
 			return
 		}
@@ -557,6 +580,7 @@ func (nd *Node) ingest(data []byte, now uint64, cfg *Config, gw *Gateway) {
 		nd.dataQ = append(nd.dataQ, f.Data)
 		nd.heldSince = append(nd.heldSince, now)
 		nd.mu.Unlock()
+		nd.record(trace.PacketRx, trace.ClassData, f.Src, f.Data.ID, uint64(f.Data.Hops), now)
 	}
 }
 
@@ -635,6 +659,7 @@ func (nd *Node) pump(now uint64, cfg *Config, gw *Gateway) {
 				if gw.drop(p) {
 					nd.stats.PacketsDropped.Add(1)
 				}
+				nd.record(trace.PacketDrop, trace.ClassData, 0, p.ID, uint64(p.Hops), now)
 				continue
 			}
 			keepQ = append(keepQ, p)
@@ -643,6 +668,7 @@ func (nd *Node) pump(now uint64, cfg *Config, gw *Gateway) {
 			if gw.drop(p) {
 				nd.stats.PacketsDropped.Add(1)
 			}
+			nd.record(trace.PacketDrop, trace.ClassData, 0, p.ID, uint64(p.Hops), now)
 		default:
 			p.Hops++
 			data, err := wire.Encode(wire.Frame{Kind: wire.KindData, Src: nd.id, Data: p},
@@ -651,9 +677,11 @@ func (nd *Node) pump(now uint64, cfg *Config, gw *Gateway) {
 				if gw.drop(p) {
 					nd.stats.PacketsDropped.Add(1)
 				}
+				nd.record(trace.PacketDrop, trace.ClassData, 0, p.ID, uint64(p.Hops), now)
 				continue
 			}
 			nd.ep.Send(next, data)
+			nd.record(trace.PacketFwd, trace.ClassData, next, p.ID, uint64(p.Hops), now)
 			nd.stats.PacketsForwarded.Add(1)
 			nd.stats.FramesSent.Add(1)
 			nd.stats.BytesSent.Add(int64(len(data)))
@@ -730,6 +758,9 @@ func (nd *Node) broadcast(now uint64, cfg *Config) {
 		panic("cluster: encode own register: " + err.Error())
 	}
 	nd.ep.Broadcast(nd.neighbors, data)
+	// One tx event per broadcast (not per fan-out copy), mirroring the
+	// frameBytes convention; every receiver's rx stitches to it.
+	nd.record(trace.FrameTx, trace.ClassHeartbeat, 0, nd.seq, 0, now)
 	nd.stats.FramesSent.Add(int64(len(nd.neighbors)))
 	nd.stats.BytesSent.Add(int64(len(nd.neighbors) * len(data)))
 	if nd.frameBytes != nil {
@@ -752,6 +783,7 @@ func (nd *Node) sendAdvert() {
 		panic("cluster: encode advert: " + err.Error())
 	}
 	nd.ep.Broadcast(nd.neighbors, data)
+	nd.record(trace.FrameTx, trace.ClassAdvert, 0, nd.seq, 0, nd.localTick)
 	nd.stats.AdvertsSent.Add(1)
 	nd.stats.FramesSent.Add(int64(len(nd.neighbors)))
 	nd.stats.BytesSent.Add(int64(len(nd.neighbors) * len(data)))
@@ -774,6 +806,7 @@ func (nd *Node) requestResync(j int, to graph.NodeID, now uint64) {
 		return // resync carries no state; encode cannot fail in practice
 	}
 	nd.ep.Send(to, data)
+	nd.record(trace.FrameTx, trace.ClassResync, to, nd.anchorSeqRx[j], 0, now)
 	nd.stats.ResyncsSent.Add(1)
 	nd.stats.FramesSent.Add(1)
 	nd.stats.BytesSent.Add(int64(len(data)))

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"silentspan/internal/graph"
+	"silentspan/internal/trace"
 	"silentspan/internal/trees"
 	"silentspan/internal/wire"
 )
@@ -47,6 +48,7 @@ func (nd *Node) updateQuiet(now uint64, cfg *Config) {
 		e = max(e, nd.qRx[j].Epoch, nd.qRx[j].Ann)
 	}
 	nd.qEpoch = e
+	nd.epochMirror.Store(e)
 
 	localQuiet := nd.self != nil && now-nd.qLastAct >= uint64(cfg.QuietWindow)
 	sub := localQuiet
@@ -97,10 +99,26 @@ func (nd *Node) updateQuiet(now uint64, cfg *Config) {
 		nd.qDirty = true
 	}
 	nd.qOut = out
+	if out != prev {
+		// Every transition of the outgoing report — including epoch
+		// adoptions — is a fresh claim: the announce-coverage invariant
+		// needs each node's Sub@epoch claim as a recorded event.
+		subBit := uint64(0)
+		if out.Sub {
+			subBit = 1
+		}
+		nd.recordEpoch(trace.QuietReport, trace.ClassNone, parentID, 0, out.Count<<1|subBit, now, e)
+	}
 
 	annActive := isRoot && annOut != 0
-	notify := nd.noteAnn != nil &&
-		(annActive != nd.qAnnRoot || (annActive && annOut != nd.qAnnEp))
+	fired := annActive && (!nd.qAnnRoot || annOut != nd.qAnnEp)
+	retracted := !annActive && nd.qAnnRoot
+	if fired {
+		nd.recordEpoch(trace.Announce, trace.ClassNone, 0, 0, out.Count, now, annOut)
+	} else if retracted {
+		nd.recordEpoch(trace.Retract, trace.ClassNone, 0, 0, 0, now, e)
+	}
+	notify := nd.noteAnn != nil && (fired || retracted)
 	noteEpoch := annOut
 	if !annActive {
 		noteEpoch = nd.qAnnEp

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"silentspan/internal/graph"
+	"silentspan/internal/trace"
 )
 
 // None is the "no parent / unknown" identity in admin responses.
@@ -119,6 +120,19 @@ type QuietInfo struct {
 	Announced uint64 `json:"announced_epoch"`
 }
 
+// TraceInfo is the gettrace response: the node's flight-recorder ring,
+// oldest event first (DESIGN.md §14).
+type TraceInfo struct {
+	Node graph.NodeID `json:"node"`
+	// Enabled reports whether the recorder is armed on this node; the
+	// remaining fields are zero when it is not.
+	Enabled bool `json:"enabled"`
+	// Capacity is the ring size; Dropped the events lost to overwrites.
+	Capacity int           `json:"capacity,omitempty"`
+	Dropped  uint64        `json:"dropped,omitempty"`
+	Events   []trace.Event `json:"events"`
+}
+
 // NodeAdmin is one node's admin surface. Implementations must be safe
 // to call concurrently with the node's own protocol activity — the
 // whole point is observing a live cluster.
@@ -128,6 +142,7 @@ type NodeAdmin interface {
 	AdminTree() TreeInfo
 	AdminStats() StatsInfo
 	AdminQuiet() QuietInfo
+	AdminTrace() TraceInfo
 }
 
 // Server serves one node's admin API over a loopback HTTP socket:
@@ -165,6 +180,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/gettree", serveJSON(func() any { return s.admin.AdminTree() }))
 	mux.Handle("/getstats", serveJSON(func() any { return s.admin.AdminStats() }))
 	mux.Handle("/getquiet", serveJSON(func() any { return s.admin.AdminQuiet() }))
+	mux.Handle("/gettrace", serveJSON(func() any { return s.admin.AdminTrace() }))
 	if s.reg != nil {
 		mux.Handle("/metrics", s.reg.Handler())
 	}
@@ -173,7 +189,7 @@ func (s *Server) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "silentspan admin: /getself /getpeers /gettree /getstats /getquiet /metrics")
+		fmt.Fprintln(w, "silentspan admin: /getself /getpeers /gettree /getstats /getquiet /gettrace /metrics")
 	})
 	return mux
 }

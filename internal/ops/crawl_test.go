@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"silentspan/internal/graph"
+	"silentspan/internal/trace"
 )
 
 // fakeAdmin is a canned NodeAdmin: a node with a fixed parent and
@@ -54,6 +55,11 @@ func (f *fakeAdmin) AdminStats() StatsInfo {
 
 func (f *fakeAdmin) AdminQuiet() QuietInfo {
 	return QuietInfo{Node: f.id, Epoch: 7, LocalQuiet: true}
+}
+
+func (f *fakeAdmin) AdminTrace() TraceInfo {
+	return TraceInfo{Node: f.id, Enabled: true, Capacity: 16,
+		Events: []trace.Event{{Kind: trace.RegWrite, Node: f.id, Epoch: 7, Tick: 9}}}
 }
 
 // star builds a hub over a star graph: node 1 is the root, nodes
@@ -257,6 +263,8 @@ func TestAdminEndpointsJSON(t *testing.T) {
 			map[string]any{"node": 7.0, "frames_sent": 4.0}},
 		{"/getquiet", []string{"node", "epoch", "local_quiet", "subtree_quiet", "covered", "root", "announced_epoch"},
 			map[string]any{"node": 7.0, "epoch": 7.0, "local_quiet": true}},
+		{"/gettrace", []string{"node", "enabled", "capacity", "events"},
+			map[string]any{"node": 7.0, "enabled": true, "capacity": 16.0}},
 	}
 	for _, tc := range tests {
 		m := get(tc.path)
@@ -269,6 +277,23 @@ func TestAdminEndpointsJSON(t *testing.T) {
 			if m[k] != v {
 				t.Errorf("%s: %q = %v, want %v", tc.path, k, m[k], v)
 			}
+		}
+	}
+
+	// gettrace round-trips typed events, not just generic JSON.
+	{
+		resp, err := http.Get("http://" + addr + "/gettrace")
+		if err != nil {
+			t.Fatalf("GET /gettrace: %v", err)
+		}
+		var ti TraceInfo
+		if err := json.NewDecoder(resp.Body).Decode(&ti); err != nil {
+			t.Fatalf("decode trace: %v", err)
+		}
+		resp.Body.Close()
+		if !ti.Enabled || len(ti.Events) != 1 ||
+			ti.Events[0].Kind != trace.RegWrite || ti.Events[0].Epoch != 7 || ti.Events[0].Tick != 9 {
+			t.Errorf("gettrace = %+v", ti)
 		}
 	}
 

@@ -48,10 +48,33 @@ func (l Labels) render() string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, l[k])
+		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabel(l[k]))
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format:
+// backslash, double-quote, and line-feed become \\, \", and \n. (Go's
+// %q is close but not conformant — it also escapes non-ASCII and
+// control bytes with Go-only sequences like \xNN that Prometheus
+// parsers reject.)
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes HELP text per the text format: only backslash and
+// line-feed (quotes are legal there).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
 }
 
 // collector is one registered metric instance (a single label set of a
@@ -230,9 +253,9 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // bucketLabels merges the le label into the instance labels.
 func (h *Histogram) bucketLabels(le string) string {
 	if h.labels == "" {
-		return fmt.Sprintf("{le=%q}", le)
+		return `{le="` + escapeLabel(le) + `"}`
 	}
-	return h.labels[:len(h.labels)-1] + fmt.Sprintf(",le=%q", le) + "}"
+	return h.labels[:len(h.labels)-1] + `,le="` + escapeLabel(le) + `"}`
 }
 
 func (h *Histogram) expose(w io.Writer, name string) {
@@ -286,7 +309,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	defer r.mu.Unlock()
 	for _, name := range r.order {
 		f := r.families[name]
-		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
 		for _, c := range f.instances {
 			c.expose(w, f.name)

@@ -161,3 +161,111 @@ func TestConcurrentUpdatesWhileScraping(t *testing.T) {
 		t.Errorf("histogram count = %d, want 4000", h.Count())
 	}
 }
+
+// TestExpositionEscaping: label values and HELP text with backslashes,
+// quotes, and newlines must render with the text-format escapes
+// (\\, \", \n) — a raw quote or line feed corrupts the exposition and
+// makes conformant scrapers reject the whole page.
+func TestExpositionEscaping(t *testing.T) {
+	tests := []struct {
+		name   string
+		metric string
+		help   string
+		labels Labels
+		want   []string
+	}{
+		{
+			name:   "quote in label value",
+			metric: "ss_esc_quote",
+			help:   "Quoted.",
+			labels: Labels{"path": `say "hi"`},
+			want:   []string{`ss_esc_quote{path="say \"hi\""} 1`},
+		},
+		{
+			name:   "backslash in label value",
+			metric: "ss_esc_backslash",
+			help:   "Back.",
+			labels: Labels{"dir": `C:\tmp\x`},
+			want:   []string{`ss_esc_backslash{dir="C:\\tmp\\x"} 1`},
+		},
+		{
+			name:   "newline in label value",
+			metric: "ss_esc_newline",
+			help:   "NL.",
+			labels: Labels{"msg": "a\nb"},
+			want:   []string{`ss_esc_newline{msg="a\nb"} 1`},
+		},
+		{
+			name:   "all three combined",
+			metric: "ss_esc_combo",
+			help:   "Combo.",
+			labels: Labels{"v": "\\\"\n"},
+			want:   []string{`ss_esc_combo{v="\\\"\n"} 1`},
+		},
+		{
+			name:   "backslash and newline in HELP",
+			metric: "ss_esc_help",
+			help:   "path \\tmp\nsecond line",
+			labels: nil,
+			want:   []string{`# HELP ss_esc_help path \\tmp\nsecond line`},
+		},
+		{
+			name:   "quote in HELP stays literal",
+			metric: "ss_esc_help_quote",
+			help:   `says "hi"`,
+			labels: nil,
+			want:   []string{`# HELP ss_esc_help_quote says "hi"`},
+		},
+		{
+			name:   "non-ASCII passes through unescaped",
+			metric: "ss_esc_utf8",
+			help:   "Ünïcode héllo.",
+			labels: Labels{"name": "nœud-α"},
+			want: []string{
+				`# HELP ss_esc_utf8 Ünïcode héllo.`,
+				`ss_esc_utf8{name="nœud-α"} 1`,
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			reg.Counter(tc.metric, tc.help, tc.labels).Inc()
+			var b strings.Builder
+			reg.WritePrometheus(&b)
+			out := b.String()
+			for _, want := range tc.want {
+				found := false
+				for _, line := range strings.Split(out, "\n") {
+					if line == want {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("exposition missing exact line %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestEscapingHistogramLe: escaping applies to the merged le label path
+// too (le values are numeric in practice, but the merge must not
+// reopen the injection hole).
+func TestEscapingHistogramLe(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("ss_esc_hist", "H.", Labels{"q": `a"b`}, []float64{1})
+	h.Observe(0.5)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`ss_esc_hist_bucket{q="a\"b",le="1"} 1`,
+		`ss_esc_hist_bucket{q="a\"b",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

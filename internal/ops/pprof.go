@@ -1,0 +1,63 @@
+package ops
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// PprofHandler returns net/http/pprof's routes under /debug/pprof/ —
+// the profiling side of the ops plane, served on its own socket by
+// `sstsim -serve -pprof <addr>` so profiling never shares a listener
+// with the per-node admin APIs.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// memStatsCache rate-limits runtime.ReadMemStats: the read stops the
+// world briefly, and one scrape asks for several of its fields. All
+// collectors registered by RegisterGoCollectors share one cache.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	ms   runtime.MemStats
+	ttl  time.Duration
+	read func(*runtime.MemStats) // swappable for tests
+}
+
+func (c *memStatsCache) get() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.at) > c.ttl {
+		c.read(&c.ms)
+		c.at = now
+	}
+	return c.ms
+}
+
+// RegisterGoCollectors registers Go runtime health as func-backed
+// metrics: goroutine count, heap size and object count, GC cycle count
+// and cumulative pause time. Values are read at scrape time; the
+// MemStats read is cached for ~100ms so hot scrape loops cannot turn
+// into stop-the-world storms.
+func RegisterGoCollectors(r *Registry) {
+	cache := &memStatsCache{ttl: 100 * time.Millisecond, read: runtime.ReadMemStats}
+	r.GaugeFunc("ss_go_goroutines", "Live goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("ss_go_heap_alloc_bytes", "Heap bytes allocated and in use.", nil,
+		func() float64 { return float64(cache.get().HeapAlloc) })
+	r.GaugeFunc("ss_go_heap_objects", "Live heap objects.", nil,
+		func() float64 { return float64(cache.get().HeapObjects) })
+	r.CounterFunc("ss_go_gc_cycles_total", "Completed GC cycles.", nil,
+		func() float64 { return float64(cache.get().NumGC) })
+	r.CounterFunc("ss_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", nil,
+		func() float64 { return float64(cache.get().PauseTotalNs) / 1e9 })
+}

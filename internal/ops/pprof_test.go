@@ -1,0 +1,82 @@
+package ops
+
+import (
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPprofHandlerRoutes(t *testing.T) {
+	srv := httptest.NewServer(PprofHandler())
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+	}
+	// Heap profile actually renders (the cheapest real profile).
+	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatalf("GET heap: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("heap profile: HTTP %d", resp.StatusCode)
+	}
+}
+
+func TestRegisterGoCollectors(t *testing.T) {
+	reg := NewRegistry()
+	RegisterGoCollectors(reg)
+	snap := reg.Snapshot()
+	if g := snap["ss_go_goroutines"]; g < 1 {
+		t.Errorf("ss_go_goroutines = %v, want >= 1", g)
+	}
+	if h := snap["ss_go_heap_alloc_bytes"]; h <= 0 {
+		t.Errorf("ss_go_heap_alloc_bytes = %v, want > 0", h)
+	}
+	if o := snap["ss_go_heap_objects"]; o <= 0 {
+		t.Errorf("ss_go_heap_objects = %v, want > 0", o)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ss_go_goroutines gauge",
+		"# TYPE ss_go_gc_cycles_total counter",
+		"# TYPE ss_go_gc_pause_seconds_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestMemStatsCacheTTL(t *testing.T) {
+	reads := 0
+	c := &memStatsCache{ttl: time.Hour, read: func(ms *runtime.MemStats) {
+		reads++
+		ms.HeapAlloc = uint64(reads)
+	}}
+	if v := c.get().HeapAlloc; v != 1 {
+		t.Fatalf("first get = %d, want 1", v)
+	}
+	// Within TTL: the cached MemStats is reused, no second read.
+	if v := c.get().HeapAlloc; v != 1 {
+		t.Fatalf("cached get = %d, want 1", v)
+	}
+	if reads != 1 {
+		t.Fatalf("reads = %d, want 1", reads)
+	}
+	c.at = time.Now().Add(-2 * time.Hour) // expire
+	if v := c.get().HeapAlloc; v != 2 {
+		t.Fatalf("post-expiry get = %d, want 2", v)
+	}
+}

@@ -1,0 +1,85 @@
+package ops
+
+import (
+	"fmt"
+
+	"silentspan/internal/graph"
+	"silentspan/internal/trace"
+)
+
+// Trace collection over the admin plane: crawl the cluster hop-by-hop
+// (no coordinator), fetch every visited node's flight-recorder ring
+// via gettrace, and stitch the rings into one happens-before DAG with
+// trace.Merge — the sstrace CLI's engine and the certification
+// campaigns' trace-invariant input.
+
+// TraceClient is a Client that can also fetch a node's flight-recorder
+// ring.
+type TraceClient interface {
+	Client
+	Trace(id graph.NodeID) (TraceInfo, error)
+}
+
+// Trace implements TraceClient.
+func (h *Hub) Trace(id graph.NodeID) (TraceInfo, error) {
+	a, err := h.get(id)
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	return a.AdminTrace(), nil
+}
+
+// Trace implements TraceClient over the loopback admin sockets.
+func (c *HTTPClient) Trace(id graph.NodeID) (TraceInfo, error) {
+	addr, err := c.addrOf(id)
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	var info TraceInfo
+	err = c.getJSON(addr, "/gettrace", &info)
+	return info, err
+}
+
+// MergeTraces crawls the cluster from start, fetches every visited
+// node's ring, and merges them into one causally ordered trace. Nodes
+// whose gettrace fails land in the crawl report's Errors map (their
+// events are simply absent); the crawl report is returned alongside so
+// callers can see coverage. It fails only when the crawl itself cannot
+// start or when no visited node has the recorder enabled.
+func MergeTraces(c TraceClient, start graph.NodeID) (*trace.Merged, *CrawlReport, error) {
+	rep, err := Crawl(c, start)
+	if err != nil {
+		return nil, rep, err
+	}
+	var traces []trace.NodeTrace
+	enabled := 0
+	for id := range rep.Nodes {
+		info, err := c.Trace(id)
+		if err != nil {
+			if rep.Errors == nil {
+				rep.Errors = make(map[graph.NodeID]string)
+			}
+			rep.Errors[id] = err.Error()
+			continue
+		}
+		if !info.Enabled {
+			continue
+		}
+		enabled++
+		traces = append(traces, trace.NodeTrace{Node: info.Node, Dropped: info.Dropped, Events: info.Events})
+	}
+	if enabled == 0 {
+		return nil, rep, fmt.Errorf("ops: no visited node has the flight recorder enabled")
+	}
+	return trace.Merge(traces), rep, nil
+}
+
+// MergeTracesAddr is MergeTraces seeded with one admin address — the
+// operator's entry point.
+func MergeTracesAddr(c *HTTPClient, seedAddr string) (*trace.Merged, *CrawlReport, error) {
+	self, err := c.SelfAt(seedAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return MergeTraces(c, self.ID)
+}

@@ -1,0 +1,502 @@
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"silentspan/internal/graph"
+)
+
+// NodeTrace is one node's collected ring: the input unit of Merge.
+type NodeTrace struct {
+	Node    graph.NodeID `json:"node"`
+	Dropped uint64       `json:"dropped"`
+	Events  []Event      `json:"events"`
+}
+
+// edgeKey names a frame for causal stitching: the sender, the sequence
+// value the frame carries, its class, and — for data frames, whose
+// "seq" is the packet id shared by every hop — the hop count.
+type edgeKey struct {
+	node  graph.NodeID
+	seq   uint64
+	class Class
+	hop   uint64
+}
+
+func txKey(e Event) (edgeKey, bool) {
+	switch e.Kind {
+	case FrameTx:
+		return edgeKey{node: e.Node, seq: e.Seq, class: e.Class}, true
+	case PacketFwd:
+		return edgeKey{node: e.Node, seq: e.Seq, class: ClassData, hop: e.Arg}, true
+	}
+	return edgeKey{}, false
+}
+
+func rxKey(e Event) (edgeKey, bool) {
+	switch e.Kind {
+	case FrameRx:
+		return edgeKey{node: e.Peer, seq: e.Seq, class: e.Class}, true
+	case PacketRx, PacketDeliver:
+		if e.Peer == 0 {
+			return edgeKey{}, false // self-delivery: program order suffices
+		}
+		return edgeKey{node: e.Peer, seq: e.Seq, class: ClassData, hop: e.Arg}, true
+	}
+	return edgeKey{}, false
+}
+
+// Merged is a cluster-wide happens-before DAG over the collected rings,
+// topologically ordered by (epoch, tick, wall).
+type Merged struct {
+	// Events is the merged stream in causal order: every event appears
+	// after all its causes (program-order predecessors and the matched
+	// frame transmission for receive events).
+	Events []Event
+	// Dropped sums ring overwrites across all inputs — nonzero means
+	// the causal past may be incomplete and checks can false-positive.
+	Dropped uint64
+	// Rings is the number of per-node traces merged; FrameEdges the
+	// number of cross-node tx→rx edges stitched.
+	Rings      int
+	FrameEdges int
+
+	// preds holds each ordered event's causal predecessors as indices
+	// into Events — the reverse-reachability adjacency the invariant
+	// checks walk.
+	preds [][]int32
+}
+
+// eventHeap pops the ready event with the least (epoch, tick, wall,
+// node) — the deterministic tie-break that turns the partial order into
+// one canonical timeline.
+type eventHeap struct {
+	idx []int32
+	ev  []Event
+}
+
+func (h *eventHeap) Len() int { return len(h.idx) }
+func (h *eventHeap) Less(i, j int) bool {
+	a, b := h.ev[h.idx[i]], h.ev[h.idx[j]]
+	if a.Epoch != b.Epoch {
+		return a.Epoch < b.Epoch
+	}
+	if a.Tick != b.Tick {
+		return a.Tick < b.Tick
+	}
+	if a.Wall != b.Wall {
+		return a.Wall < b.Wall
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return h.idx[i] < h.idx[j]
+}
+func (h *eventHeap) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *eventHeap) Push(x any)    { h.idx = append(h.idx, x.(int32)) }
+func (h *eventHeap) Pop() any      { x := h.idx[len(h.idx)-1]; h.idx = h.idx[:len(h.idx)-1]; return x }
+func (h *eventHeap) push(i int32)  { heap.Push(h, i) }
+func (h *eventHeap) pop() int32    { return heap.Pop(h).(int32) }
+
+// Merge stitches per-node rings into one happens-before DAG and
+// linearizes it. Edges are (a) program order within each ring and (b)
+// frame edges: each receive event is matched to the FIRST transmission
+// carrying its (sender, seq, class[, hop]) key — sound under seq reuse
+// and frame duplication, because the first transmission precedes every
+// later one in the sender's program order, hence precedes the true
+// cause of the reception.
+func Merge(traces []NodeTrace) *Merged {
+	m := &Merged{Rings: len(traces)}
+	total := 0
+	for _, t := range traces {
+		total += len(t.Events)
+		m.Dropped += t.Dropped
+	}
+	flat := make([]Event, 0, total)
+	preds := make([][]int32, total)
+	indeg := make([]int32, total)
+	succs := make([][]int32, total)
+	addEdge := func(u, v int32) {
+		preds[v] = append(preds[v], u)
+		succs[u] = append(succs[u], v)
+		indeg[v]++
+	}
+	// Program order: consecutive events of one ring.
+	for _, t := range traces {
+		base := int32(len(flat))
+		flat = append(flat, t.Events...)
+		for i := 1; i < len(t.Events); i++ {
+			addEdge(base+int32(i)-1, base+int32(i))
+		}
+	}
+	// Frame edges: first tx wins per key.
+	firstTx := make(map[edgeKey]int32, total/2)
+	for i, e := range flat {
+		if k, ok := txKey(e); ok {
+			if _, seen := firstTx[k]; !seen {
+				firstTx[k] = int32(i)
+			}
+		}
+	}
+	for i, e := range flat {
+		k, ok := rxKey(e)
+		if !ok {
+			continue
+		}
+		if tx, seen := firstTx[k]; seen && tx != int32(i) {
+			addEdge(tx, int32(i))
+			m.FrameEdges++
+		}
+	}
+	// Kahn's algorithm with the (epoch, tick) heap.
+	h := &eventHeap{ev: flat, idx: make([]int32, 0, 64)}
+	for i := range flat {
+		if indeg[i] == 0 {
+			h.push(int32(i))
+		}
+	}
+	order := make([]int32, 0, total)
+	for h.Len() > 0 {
+		u := h.pop()
+		order = append(order, u)
+		for _, v := range succs[u] {
+			if indeg[v]--; indeg[v] == 0 {
+				h.push(v)
+			}
+		}
+	}
+	// A cycle cannot arise from sound happens-before edges; if damaged
+	// input produces one, the stragglers are appended in time order so
+	// the merge still terminates with every event present.
+	if len(order) < total {
+		var rest []int32
+		for i := range flat {
+			if indeg[i] > 0 {
+				rest = append(rest, int32(i))
+			}
+		}
+		sort.Slice(rest, func(a, b int) bool {
+			x, y := flat[rest[a]], flat[rest[b]]
+			if x.Epoch != y.Epoch {
+				return x.Epoch < y.Epoch
+			}
+			return x.Tick < y.Tick
+		})
+		order = append(order, rest...)
+	}
+	// Publish in causal order, remapping the adjacency to ordered slots.
+	rank := make([]int32, total)
+	for pos, i := range order {
+		rank[i] = int32(pos)
+	}
+	m.Events = make([]Event, total)
+	m.preds = make([][]int32, total)
+	for pos, i := range order {
+		m.Events[pos] = flat[i]
+		ps := preds[i]
+		out := make([]int32, len(ps))
+		for j, p := range ps {
+			out[j] = rank[p]
+		}
+		m.preds[pos] = out
+	}
+	return m
+}
+
+// causalPast marks every ordered index reachable backwards from start
+// (inclusive) and calls visit for each.
+func (m *Merged) causalPast(start int, visit func(int)) {
+	seen := make([]bool, len(m.Events))
+	stack := []int32{int32(start)}
+	seen[start] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit(int(u))
+		for _, p := range m.preds[u] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+// LatestAnnounce returns the causally latest announcement event, if any.
+func (m *Merged) LatestAnnounce() (Event, bool) {
+	for i := len(m.Events) - 1; i >= 0; i-- {
+		if m.Events[i].Kind == Announce {
+			return m.Events[i], true
+		}
+	}
+	return Event{}, false
+}
+
+// CheckAnnounceCoverage verifies the detector's headline claim against
+// the recorded causality: every Announce event covering c nodes at
+// epoch e must have, in its causal past, subtree-quiet reports at epoch
+// e from at least c distinct nodes (the announcing root's own claim
+// included). A violation means a root announced silence it could not
+// causally have learned — the strictly-stronger form of the cert's
+// quiet checks. Returns human-readable violations; empty means pass.
+func (m *Merged) CheckAnnounceCoverage() []string {
+	var bad []string
+	for i, e := range m.Events {
+		if e.Kind != Announce {
+			continue
+		}
+		if v := m.announceCoverage(i); v != "" {
+			bad = append(bad, v)
+		}
+	}
+	return bad
+}
+
+// CheckLatestAnnounceCoverage checks only the causally latest
+// announcement — the sound form for live collections. The admin plane
+// serves live members' rings only, so after churn a historical
+// announcement can under-count through no fault of the detector: the
+// subtree-quiet reports backing it departed with their nodes. The
+// latest announcement's causal support is current members only, so it
+// stays checkable from any crawl. Complete collections (departed
+// rings included, as the certification campaigns gather) should use
+// CheckAnnounceCoverage, which audits the whole history.
+func (m *Merged) CheckLatestAnnounceCoverage() []string {
+	for i := len(m.Events) - 1; i >= 0; i-- {
+		if m.Events[i].Kind != Announce {
+			continue
+		}
+		if v := m.announceCoverage(i); v != "" {
+			return []string{v}
+		}
+		return nil
+	}
+	return nil
+}
+
+// announceCoverage audits the announce event at ordered index i: its
+// causal past must hold subtree-quiet reports at the announced epoch
+// from at least the claimed number of distinct nodes. Empty means the
+// claim is covered.
+func (m *Merged) announceCoverage(i int) string {
+	e := m.Events[i]
+	nodes := make(map[graph.NodeID]bool)
+	m.causalPast(i, func(j int) {
+		ev := m.Events[j]
+		if ev.Kind == QuietReport && ev.Epoch == e.Epoch && ev.Arg&1 == 1 {
+			nodes[ev.Node] = true
+		}
+	})
+	nodes[e.Node] = true
+	if uint64(len(nodes)) < e.Arg {
+		return fmt.Sprintf(
+			"announce by node %d at epoch %d claims %d nodes quiet but only %d subtree-quiet reports at that epoch are in its causal past",
+			e.Node, e.Epoch, e.Arg, len(nodes))
+	}
+	return ""
+}
+
+// packetHop is one (forwarder → receiver) possession transfer.
+type packetHop struct{ from, to graph.NodeID }
+
+// CheckPacketChains verifies that every delivered packet's recorded hop
+// trail is contiguous: hop k was forwarded by a node that legitimately
+// held the packet after k−1 hops and received by the node that forwards
+// (or delivers) hop k — from launch at the origin to delivery at the
+// destination, with no gaps. Duplicated frames only add alternative
+// links; a missing link means the trail (and the hop accounting built
+// on it) cannot be trusted. Returns violations; empty means pass.
+func (m *Merged) CheckPacketChains() []string {
+	type packet struct {
+		origin   graph.NodeID
+		launched bool
+		fwd      map[uint64][]packetHop // hop → (forwarder, next)
+		rx       map[uint64]map[packetHop]bool
+		delivers []Event
+	}
+	pkts := make(map[uint64]*packet)
+	get := func(id uint64) *packet {
+		p := pkts[id]
+		if p == nil {
+			p = &packet{fwd: make(map[uint64][]packetHop), rx: make(map[uint64]map[packetHop]bool)}
+			pkts[id] = p
+		}
+		return p
+	}
+	for _, e := range m.Events {
+		switch e.Kind {
+		case PacketLaunch:
+			p := get(e.Seq)
+			if !p.launched {
+				p.launched, p.origin = true, e.Node
+			}
+		case PacketFwd:
+			p := get(e.Seq)
+			p.fwd[e.Arg] = append(p.fwd[e.Arg], packetHop{from: e.Node, to: e.Peer})
+		case PacketRx, PacketDeliver:
+			p := get(e.Seq)
+			if e.Peer != 0 {
+				if p.rx[e.Arg] == nil {
+					p.rx[e.Arg] = make(map[packetHop]bool)
+				}
+				p.rx[e.Arg][packetHop{from: e.Peer, to: e.Node}] = true
+			}
+			if e.Kind == PacketDeliver {
+				p.delivers = append(p.delivers, e)
+			}
+		}
+	}
+	ids := make([]uint64, 0, len(pkts))
+	for id := range pkts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var bad []string
+	for _, id := range ids {
+		p := pkts[id]
+		if len(p.delivers) == 0 {
+			continue // undelivered packets are legal casualties
+		}
+		if !p.launched {
+			bad = append(bad, fmt.Sprintf("packet %d delivered but its launch was never recorded", id))
+			continue
+		}
+		// holders[k] = nodes that legitimately possess the packet after
+		// k hops: reached by a forward from a holder at k−1 that the
+		// receiver actually recorded.
+		maxH := uint64(0)
+		for _, d := range p.delivers {
+			maxH = max(maxH, d.Arg)
+		}
+		holdersAt := make([]map[graph.NodeID]bool, maxH+1)
+		holdersAt[0] = map[graph.NodeID]bool{p.origin: true}
+		for k := uint64(1); k <= maxH; k++ {
+			next := make(map[graph.NodeID]bool)
+			for _, hop := range p.fwd[k] {
+				if holdersAt[k-1][hop.from] && p.rx[k][hop] {
+					next[hop.to] = true
+				}
+			}
+			holdersAt[k] = next
+		}
+		for _, d := range p.delivers {
+			switch {
+			case d.Arg == 0:
+				if d.Node != p.origin {
+					bad = append(bad, fmt.Sprintf(
+						"packet %d delivered at node %d with 0 hops but was launched at node %d",
+						id, d.Node, p.origin))
+				}
+			case !holdersAt[d.Arg][d.Node]:
+				bad = append(bad, fmt.Sprintf(
+					"packet %d delivered at node %d after %d hops without a contiguous hop chain from origin %d",
+					id, d.Node, d.Arg, p.origin))
+			}
+		}
+	}
+	return bad
+}
+
+// describe renders one event as a timeline line body.
+func describe(e Event) string {
+	switch e.Kind {
+	case FrameTx:
+		return fmt.Sprintf("tx %s seq=%d", e.Class, e.Seq)
+	case FrameRx:
+		return fmt.Sprintf("rx %s from %d seq=%d", e.Class, e.Peer, e.Seq)
+	case RegWrite:
+		return "register write"
+	case Admit:
+		return "admitted to cluster"
+	case Retire:
+		if e.Arg == 1 {
+			return "left cluster (goodbye)"
+		}
+		return "crashed out of cluster"
+	case QuietReport:
+		return fmt.Sprintf("quiet-report sub=%v count=%d", e.Arg&1 == 1, e.Arg>>1)
+	case Announce:
+		return fmt.Sprintf("ANNOUNCE cluster quiet: epoch=%d covers=%d", e.Epoch, e.Arg)
+	case Retract:
+		return "announcement retracted"
+	case PacketLaunch:
+		return fmt.Sprintf("packet %d launched", e.Seq)
+	case PacketFwd:
+		return fmt.Sprintf("packet %d fwd hop=%d to %d", e.Seq, e.Arg, e.Peer)
+	case PacketRx:
+		return fmt.Sprintf("packet %d rx hop=%d from %d", e.Seq, e.Arg, e.Peer)
+	case PacketDeliver:
+		return fmt.Sprintf("packet %d DELIVERED hops=%d", e.Seq, e.Arg)
+	case PacketDrop:
+		return fmt.Sprintf("packet %d dropped hop=%d", e.Seq, e.Arg)
+	}
+	return e.Kind.String()
+}
+
+// Timeline renders the merged stream as one human-readable line per
+// event, in causal order.
+func (m *Merged) Timeline() string {
+	var b strings.Builder
+	for _, e := range m.Events {
+		fmt.Fprintf(&b, "[ep %-4d t %-6d] node %-4d %s\n", e.Epoch, e.Tick, e.Node, describe(e))
+	}
+	return b.String()
+}
+
+// ChromeTrace renders the merged stream in the Chrome trace_event JSON
+// format (load via chrome://tracing or Perfetto): one instant event per
+// record with pid = node id, plus flow arrows for every stitched
+// frame edge. Timestamps come from the wall clock when present,
+// otherwise from ticks.
+func (m *Merged) ChromeTrace() []byte {
+	minWall := int64(0)
+	for _, e := range m.Events {
+		if e.Wall != 0 && (minWall == 0 || e.Wall < minWall) {
+			minWall = e.Wall
+		}
+	}
+	ts := func(e Event) int64 {
+		if e.Wall != 0 {
+			return (e.Wall - minWall) / 1000 // ns → µs
+		}
+		return int64(e.Tick) * 1000
+	}
+	var b strings.Builder
+	b.WriteString(`{"traceEvents":[`)
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, format, args...)
+	}
+	for i, e := range m.Events {
+		emit(`{"name":%q,"cat":"silentspan","ph":"X","ts":%d,"dur":1,"pid":%d,"tid":1,"args":{"epoch":%d,"tick":%d,"seq":%d,"arg":%d,"peer":%d,"order":%d}}`,
+			describe(e), ts(e), e.Node, e.Epoch, e.Tick, e.Seq, e.Arg, e.Peer, i)
+	}
+	// Flow arrows: one s/f pair per stitched frame edge.
+	edge := 0
+	for v, ps := range m.preds {
+		rv := m.Events[v]
+		if _, isRx := rxKey(rv); !isRx {
+			continue
+		}
+		for _, u := range ps {
+			tu := m.Events[u]
+			if tu.Node == rv.Node {
+				continue // program-order predecessor, not a frame edge
+			}
+			edge++
+			emit(`{"name":"frame","cat":"flow","ph":"s","id":%d,"ts":%d,"pid":%d,"tid":1}`,
+				edge, ts(tu), tu.Node)
+			emit(`{"name":"frame","cat":"flow","ph":"f","bp":"e","id":%d,"ts":%d,"pid":%d,"tid":1}`,
+				edge, ts(rv), rv.Node)
+		}
+	}
+	b.WriteString(`]}`)
+	return []byte(b.String())
+}

@@ -1,0 +1,277 @@
+// Package trace is the cluster's causal flight recorder: a fixed-size,
+// allocation-free per-node event ring plus a merge layer that stitches
+// the rings of a whole cluster into one happens-before DAG.
+//
+// Every event carries the node's Lamport write epoch (the termination
+// detector's clock, DESIGN.md §13) plus the local tick and a wall-clock
+// stamp. Receive events reference the sender's (src, seq) already
+// present on every wire frame, so cross-node causal edges come for free
+// with zero wire-format changes: a frame's transmission event and its
+// reception events share the (sender, seq, class) key, and first-tx →
+// rx is a sound happens-before edge even when a seq value is reused
+// (resync frames borrow the receiver's anchor seq; duplicated frames
+// land twice), because the first transmission precedes every later one
+// in the sender's own program order.
+//
+// The recorder is built for always-on use: Record is one mutex, one
+// slot write, no allocation; a full ring overwrites its oldest event
+// and counts the drop. The disabled path — a nil ring behind an atomic
+// pointer — costs one predictable branch per hook.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"silentspan/internal/graph"
+)
+
+// Kind enumerates the recorded event types.
+type Kind uint8
+
+const (
+	// FrameTx is a protocol-frame broadcast or send (heartbeat, delta,
+	// resync, advert, leave — see Class). Seq is the sequence number the
+	// frame carries.
+	FrameTx Kind = iota + 1
+	// FrameRx is an accepted protocol frame. Peer is the sender, Seq the
+	// frame's sequence number — together with Class they name the
+	// matching FrameTx.
+	FrameRx
+	// RegWrite is a register write (δ-driven or out-of-band). Epoch is
+	// the write epoch after the bump that this write will cause.
+	RegWrite
+	// Admit marks this node joining the running cluster.
+	Admit
+	// Retire marks this node leaving the cluster. Arg is 1 for a
+	// cooperative leave (goodbye broadcast), 0 for a crash.
+	Retire
+	// QuietReport is a transition of the node's outgoing termination-
+	// detector report. Arg packs the claim: count<<1 | sub. Epoch is the
+	// epoch the claim is made at; Peer the node's current parent (or 0).
+	QuietReport
+	// Announce marks a tree root firing the cluster-quiet announcement.
+	// Epoch is the announced epoch; Arg the number of nodes the claim
+	// covers.
+	Announce
+	// Retract marks a root withdrawing its announcement.
+	Retract
+	// PacketLaunch is a routed packet injected at this node (the
+	// gateway's entry). Seq is the packet id.
+	PacketLaunch
+	// PacketFwd is a routed packet forwarded one hop as a data frame.
+	// Seq is the packet id, Arg the hop count the frame carries, Peer
+	// the next-hop node.
+	PacketFwd
+	// PacketRx is a data frame accepted (parked) at a transit node. Seq
+	// is the packet id, Arg the hop count, Peer the forwarding node.
+	PacketRx
+	// PacketDeliver is a packet reaching its destination. Seq is the
+	// packet id, Arg the final hop count, Peer the last-hop forwarder
+	// (0 for a self-delivery).
+	PacketDeliver
+	// PacketDrop is a packet dying at this node (hop or stall budget).
+	PacketDrop
+)
+
+var kindNames = map[Kind]string{
+	FrameTx: "frame_tx", FrameRx: "frame_rx", RegWrite: "reg_write",
+	Admit: "admit", Retire: "retire",
+	QuietReport: "quiet_report", Announce: "announce", Retract: "retract",
+	PacketLaunch: "packet_launch", PacketFwd: "packet_fwd", PacketRx: "packet_rx",
+	PacketDeliver: "packet_deliver", PacketDrop: "packet_drop",
+}
+
+var kindValues = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Class refines frame events by wire kind: heartbeat-family frames use
+// the sender's own monotone sequence space, resync frames borrow the
+// receiver's anchor seq, and data frames are keyed by packet id + hop —
+// keeping the class in the causal match key prevents cross-space
+// collisions.
+type Class uint8
+
+const (
+	ClassNone Class = iota
+	// ClassHeartbeat covers heartbeat and delta frames (one monotone seq
+	// space per sender).
+	ClassHeartbeat
+	// ClassResync covers re-anchor requests (seq = the requester's last
+	// accepted anchor seq — NOT the sender's own counter).
+	ClassResync
+	// ClassAdvert covers membership beacons.
+	ClassAdvert
+	// ClassLeave covers goodbye frames.
+	ClassLeave
+	// ClassData covers routed data frames (seq = packet id; the hop
+	// count joins the match key).
+	ClassData
+)
+
+var classNames = map[Class]string{
+	ClassHeartbeat: "hb", ClassResync: "resync", ClassAdvert: "advert",
+	ClassLeave: "leave", ClassData: "data",
+}
+
+var classValues = func() map[string]Class {
+	m := make(map[string]Class, len(classNames))
+	for c, n := range classNames {
+		m[n] = c
+	}
+	return m
+}()
+
+// String returns the class's wire name ("" for ClassNone).
+func (c Class) String() string { return classNames[c] }
+
+// Event is one flight-recorder entry. The struct is fixed-size and
+// holds no pointers, so a ring of them is one flat allocation.
+type Event struct {
+	Kind  Kind
+	Class Class
+	// Node is the recording node; Peer the event's counterparty (frame
+	// sender for rx, next hop for forwards, parent for quiet reports).
+	Node graph.NodeID
+	Peer graph.NodeID
+	// Seq is the frame sequence number or packet id; Arg the
+	// kind-specific payload (hop count, packed quiet claim, coverage).
+	Seq uint64
+	Arg uint64
+	// Epoch is the node's Lamport write epoch at record time; Tick its
+	// local tick; Wall a wall-clock nanosecond stamp.
+	Epoch uint64
+	Tick  uint64
+	Wall  int64
+}
+
+// eventJSON is the stable admin-plane shape: kinds and classes travel
+// as names, zero-valued plumbing is elided.
+type eventJSON struct {
+	Kind  string       `json:"kind"`
+	Class string       `json:"class,omitempty"`
+	Node  graph.NodeID `json:"node"`
+	Peer  graph.NodeID `json:"peer,omitempty"`
+	Seq   uint64       `json:"seq,omitempty"`
+	Arg   uint64       `json:"arg,omitempty"`
+	Epoch uint64       `json:"epoch"`
+	Tick  uint64       `json:"tick"`
+	Wall  int64        `json:"wall,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		Kind: e.Kind.String(), Class: e.Class.String(),
+		Node: e.Node, Peer: e.Peer, Seq: e.Seq, Arg: e.Arg,
+		Epoch: e.Epoch, Tick: e.Tick, Wall: e.Wall,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	k, ok := kindValues[j.Kind]
+	if !ok {
+		return fmt.Errorf("trace: unknown event kind %q", j.Kind)
+	}
+	cl := ClassNone
+	if j.Class != "" {
+		if cl, ok = classValues[j.Class]; !ok {
+			return fmt.Errorf("trace: unknown frame class %q", j.Class)
+		}
+	}
+	*e = Event{Kind: k, Class: cl, Node: j.Node, Peer: j.Peer,
+		Seq: j.Seq, Arg: j.Arg, Epoch: j.Epoch, Tick: j.Tick, Wall: j.Wall}
+	return nil
+}
+
+// Ring is a fixed-capacity event buffer: Record overwrites the oldest
+// entry when full and counts the drop. One mutex guards it — Record is
+// called from the owning node's goroutine while Snapshot reads from the
+// admin plane, and the critical sections are a handful of word writes.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	head    int // next write slot
+	n       int // live entries (≤ cap)
+	dropped uint64
+}
+
+// NewRing returns a ring holding up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full. O(1), no
+// allocation.
+func (r *Ring) Record(ev Event) {
+	r.mu.Lock()
+	r.buf[r.head] = ev
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	if r.n < len(r.buf) {
+		r.n++
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot appends the ring's events oldest-first to into and returns
+// it together with the number of events dropped by overwrites so far.
+func (r *Ring) Snapshot(into []Event) ([]Event, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start := r.head - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		j := start + i
+		if j >= len(r.buf) {
+			j -= len(r.buf)
+		}
+		into = append(into, r.buf[j])
+	}
+	return into, r.dropped
+}
+
+// Len returns the number of live entries.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Dropped returns the number of events lost to overwrites.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

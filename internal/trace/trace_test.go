@@ -1,0 +1,309 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: RegWrite, Node: 1, Tick: uint64(i)})
+	}
+	evs, dropped := r.Snapshot(nil)
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.Tick != want {
+			t.Fatalf("event %d has tick %d, want %d (oldest must be dropped first)", i, e.Tick, want)
+		}
+	}
+	if r.Dropped() != 6 || r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("Dropped/Len/Cap = %d/%d/%d, want 6/4/4", r.Dropped(), r.Len(), r.Cap())
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 3; i++ {
+		r.Record(Event{Kind: FrameTx, Tick: uint64(i)})
+	}
+	evs, dropped := r.Snapshot(nil)
+	if len(evs) != 3 || dropped != 0 {
+		t.Fatalf("got %d events / %d dropped, want 3 / 0", len(evs), dropped)
+	}
+	for i, e := range evs {
+		if e.Tick != uint64(i) {
+			t.Fatalf("event %d out of order: tick %d", i, e.Tick)
+		}
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Record(Event{Kind: Admit})
+	if r.Cap() != 1 || r.Len() != 1 {
+		t.Fatalf("Cap/Len = %d/%d, want 1/1", r.Cap(), r.Len())
+	}
+}
+
+// TestRingConcurrentRecordDump exercises the record-while-dump path the
+// admin plane takes against a live actor; run under -race.
+func TestRingConcurrentRecordDump(t *testing.T) {
+	r := NewRing(64)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+				r.Record(Event{Kind: FrameTx, Seq: uint64(i), Tick: uint64(i)})
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		var buf []Event
+		for i := 0; i < 200; i++ {
+			evs, _ := r.Snapshot(buf[:0])
+			buf = evs
+			for j := 1; j < len(evs); j++ {
+				if evs[j].Seq <= evs[j-1].Seq {
+					t.Errorf("snapshot out of order at %d: %d after %d", j, evs[j].Seq, evs[j-1].Seq)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		r.Dropped()
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestEventJSONRoundtrip(t *testing.T) {
+	events := []Event{
+		{Kind: FrameTx, Class: ClassHeartbeat, Node: 3, Seq: 42, Epoch: 7, Tick: 100, Wall: 123456789},
+		{Kind: FrameRx, Class: ClassResync, Node: 2, Peer: 3, Seq: 42, Epoch: 7, Tick: 101},
+		{Kind: RegWrite, Node: 1, Epoch: 8, Tick: 50},
+		{Kind: Admit, Node: 9},
+		{Kind: Retire, Node: 9, Arg: 1},
+		{Kind: QuietReport, Node: 4, Peer: 2, Arg: 6<<1 | 1, Epoch: 12, Tick: 400},
+		{Kind: Announce, Node: 1, Arg: 6, Epoch: 12, Tick: 410},
+		{Kind: Retract, Node: 1, Epoch: 13},
+		{Kind: PacketLaunch, Node: 5, Seq: 77},
+		{Kind: PacketFwd, Class: ClassData, Node: 5, Peer: 6, Seq: 77, Arg: 1},
+		{Kind: PacketRx, Class: ClassData, Node: 6, Peer: 5, Seq: 77, Arg: 1},
+		{Kind: PacketDeliver, Class: ClassData, Node: 7, Peer: 6, Seq: 77, Arg: 2},
+		{Kind: PacketDrop, Node: 6, Seq: 78, Arg: 3},
+	}
+	for _, want := range events {
+		data, err := json.Marshal(want)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", want, err)
+		}
+		var got Event
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if got != want {
+			t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v\njson %s", got, want, data)
+		}
+	}
+}
+
+func TestEventJSONRejectsUnknownKind(t *testing.T) {
+	var e Event
+	if err := json.Unmarshal([]byte(`{"kind":"bogus"}`), &e); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"frame_tx","class":"bogus"}`), &e); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+// TestMergeFrameEdgeOrders verifies a receive is ordered after its
+// transmission even when local clocks disagree (the receiver's tick is
+// behind the sender's).
+func TestMergeFrameEdgeOrders(t *testing.T) {
+	a := NodeTrace{Node: 1, Events: []Event{
+		{Kind: FrameTx, Class: ClassHeartbeat, Node: 1, Seq: 5, Tick: 100},
+	}}
+	b := NodeTrace{Node: 2, Events: []Event{
+		{Kind: FrameRx, Class: ClassHeartbeat, Node: 2, Peer: 1, Seq: 5, Tick: 3},
+	}}
+	m := Merge([]NodeTrace{a, b})
+	if m.FrameEdges != 1 {
+		t.Fatalf("FrameEdges = %d, want 1", m.FrameEdges)
+	}
+	if len(m.Events) != 2 || m.Events[0].Kind != FrameTx || m.Events[1].Kind != FrameRx {
+		t.Fatalf("causal order violated: %+v", m.Events)
+	}
+}
+
+// TestMergeFirstTxRule: reused seq values (resync frames borrow the
+// receiver's anchor seq) must match the FIRST transmission, which is
+// causally sound, and must not fail or cycle.
+func TestMergeFirstTxRule(t *testing.T) {
+	a := NodeTrace{Node: 1, Events: []Event{
+		{Kind: FrameTx, Class: ClassResync, Node: 1, Peer: 2, Seq: 9, Tick: 10},
+		{Kind: FrameTx, Class: ClassResync, Node: 1, Peer: 2, Seq: 9, Tick: 20},
+	}}
+	b := NodeTrace{Node: 2, Events: []Event{
+		{Kind: FrameRx, Class: ClassResync, Node: 2, Peer: 1, Seq: 9, Tick: 25},
+		{Kind: FrameRx, Class: ClassResync, Node: 2, Peer: 1, Seq: 9, Tick: 26},
+	}}
+	m := Merge([]NodeTrace{a, b})
+	if m.FrameEdges != 2 {
+		t.Fatalf("FrameEdges = %d, want 2 (both receptions matched to first tx)", m.FrameEdges)
+	}
+	if m.Events[0].Kind != FrameTx || m.Events[0].Tick != 10 {
+		t.Fatalf("first event should be the first tx, got %+v", m.Events[0])
+	}
+}
+
+// TestMergeClassSeparatesSeqSpaces: a resync whose borrowed seq value
+// collides with a heartbeat seq from the same sender must not be
+// stitched to the heartbeat transmission.
+func TestMergeClassSeparatesSeqSpaces(t *testing.T) {
+	a := NodeTrace{Node: 1, Events: []Event{
+		{Kind: FrameTx, Class: ClassHeartbeat, Node: 1, Seq: 7, Tick: 50},
+	}}
+	b := NodeTrace{Node: 2, Events: []Event{
+		{Kind: FrameRx, Class: ClassResync, Node: 2, Peer: 1, Seq: 7, Tick: 60},
+	}}
+	m := Merge([]NodeTrace{a, b})
+	if m.FrameEdges != 0 {
+		t.Fatalf("FrameEdges = %d, want 0 (heartbeat tx must not back a resync rx)", m.FrameEdges)
+	}
+}
+
+func announceScenario(withReport3 bool) []NodeTrace {
+	// Tree 1 ← 2 ← 3 (3 under 2 under root 1), epoch 4, n = 3.
+	t3 := NodeTrace{Node: 3, Events: []Event{
+		{Kind: QuietReport, Node: 3, Peer: 2, Arg: 1<<1 | 1, Epoch: 4, Tick: 10},
+		{Kind: FrameTx, Class: ClassHeartbeat, Node: 3, Seq: 11, Epoch: 4, Tick: 11},
+	}}
+	if !withReport3 {
+		t3.Events = t3.Events[1:] // tx without the recorded claim
+	}
+	t2 := NodeTrace{Node: 2, Events: []Event{
+		{Kind: FrameRx, Class: ClassHeartbeat, Node: 2, Peer: 3, Seq: 11, Epoch: 4, Tick: 12},
+		{Kind: QuietReport, Node: 2, Peer: 1, Arg: 2<<1 | 1, Epoch: 4, Tick: 13},
+		{Kind: FrameTx, Class: ClassHeartbeat, Node: 2, Seq: 21, Epoch: 4, Tick: 14},
+	}}
+	t1 := NodeTrace{Node: 1, Events: []Event{
+		{Kind: FrameRx, Class: ClassHeartbeat, Node: 1, Peer: 2, Seq: 21, Epoch: 4, Tick: 15},
+		{Kind: QuietReport, Node: 1, Arg: 3<<1 | 1, Epoch: 4, Tick: 16},
+		{Kind: Announce, Node: 1, Arg: 3, Epoch: 4, Tick: 16},
+	}}
+	return []NodeTrace{t1, t2, t3}
+}
+
+func TestAnnounceCoveragePasses(t *testing.T) {
+	m := Merge(announceScenario(true))
+	if bad := m.CheckAnnounceCoverage(); len(bad) != 0 {
+		t.Fatalf("clean announce flagged: %v", bad)
+	}
+	if ann, ok := m.LatestAnnounce(); !ok || ann.Arg != 3 || ann.Epoch != 4 {
+		t.Fatalf("LatestAnnounce = %+v, %v", ann, ok)
+	}
+}
+
+func TestAnnounceCoverageCatchesMissingClaim(t *testing.T) {
+	m := Merge(announceScenario(false))
+	bad := m.CheckAnnounceCoverage()
+	if len(bad) != 1 {
+		t.Fatalf("announce with an unbacked claim not flagged: %v", bad)
+	}
+}
+
+func packetScenario(withHop2Fwd bool) []NodeTrace {
+	// Packet 9: 1 → 2 → 3, delivered after 2 hops.
+	n1 := NodeTrace{Node: 1, Events: []Event{
+		{Kind: PacketLaunch, Node: 1, Seq: 9, Tick: 1},
+		{Kind: PacketFwd, Class: ClassData, Node: 1, Peer: 2, Seq: 9, Arg: 1, Tick: 2},
+	}}
+	n2 := NodeTrace{Node: 2, Events: []Event{
+		{Kind: PacketRx, Class: ClassData, Node: 2, Peer: 1, Seq: 9, Arg: 1, Tick: 3},
+		{Kind: PacketFwd, Class: ClassData, Node: 2, Peer: 3, Seq: 9, Arg: 2, Tick: 4},
+	}}
+	if !withHop2Fwd {
+		n2.Events = n2.Events[:1]
+	}
+	n3 := NodeTrace{Node: 3, Events: []Event{
+		{Kind: PacketDeliver, Class: ClassData, Node: 3, Peer: 2, Seq: 9, Arg: 2, Tick: 5},
+	}}
+	return []NodeTrace{n1, n2, n3}
+}
+
+func TestPacketChainPasses(t *testing.T) {
+	m := Merge(packetScenario(true))
+	if bad := m.CheckPacketChains(); len(bad) != 0 {
+		t.Fatalf("contiguous chain flagged: %v", bad)
+	}
+}
+
+func TestPacketChainCatchesGap(t *testing.T) {
+	m := Merge(packetScenario(false))
+	bad := m.CheckPacketChains()
+	if len(bad) != 1 {
+		t.Fatalf("delivery with a missing hop not flagged: %v", bad)
+	}
+}
+
+func TestPacketChainSelfDelivery(t *testing.T) {
+	n1 := NodeTrace{Node: 4, Events: []Event{
+		{Kind: PacketLaunch, Node: 4, Seq: 1},
+		{Kind: PacketDeliver, Node: 4, Seq: 1, Arg: 0},
+	}}
+	m := Merge([]NodeTrace{n1})
+	if bad := m.CheckPacketChains(); len(bad) != 0 {
+		t.Fatalf("self-delivery flagged: %v", bad)
+	}
+	// Delivered elsewhere with zero hops: impossible.
+	n2 := NodeTrace{Node: 5, Events: []Event{
+		{Kind: PacketDeliver, Node: 5, Seq: 1, Arg: 0},
+	}}
+	m = Merge([]NodeTrace{n1, n2})
+	if bad := m.CheckPacketChains(); len(bad) != 1 {
+		t.Fatalf("teleported zero-hop delivery not flagged: %v", bad)
+	}
+}
+
+func TestTimelineAndChrome(t *testing.T) {
+	m := Merge(announceScenario(true))
+	tl := m.Timeline()
+	if !strings.Contains(tl, "ANNOUNCE cluster quiet") || !strings.Contains(tl, "quiet-report") {
+		t.Fatalf("timeline missing expected lines:\n%s", tl)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(m.ChromeTrace(), &chrome); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	// Every merged event plus one s/f pair per stitched frame edge.
+	want := len(m.Events) + 2*m.FrameEdges
+	if len(chrome.TraceEvents) != want {
+		t.Fatalf("chrome trace has %d entries, want %d", len(chrome.TraceEvents), want)
+	}
+}
+
+func TestMergeDroppedAggregates(t *testing.T) {
+	m := Merge([]NodeTrace{{Node: 1, Dropped: 3}, {Node: 2, Dropped: 4}})
+	if m.Dropped != 7 {
+		t.Fatalf("Dropped = %d, want 7", m.Dropped)
+	}
+}
